@@ -1,0 +1,99 @@
+// Reproduces §5.4 (asynchronous execution) and §5.6 (fail-over):
+// fn-bea:async overlaps independent slow-source calls — N parallel web
+// service invocations should cost roughly one latency instead of N —
+// and fn-bea:timeout bounds the response time of a degraded source by
+// switching to the alternate.
+
+#include <benchmark/benchmark.h>
+
+#include "tests/e2e_fixture.h"
+
+namespace {
+
+using aldsp::testing::RunningExample;
+using namespace aldsp;
+
+std::string RatingCall() {
+  return "fn:data(ns4:getRating(<ns5:getRating>"
+         "<ns5:lName>Smith</ns5:lName><ns5:ssn>1</ns5:ssn>"
+         "</ns5:getRating>)/ns5:getRatingResult)";
+}
+
+// N independent web-service calls inside one constructed element.
+std::string FanoutQuery(int n, bool async) {
+  std::string q = "<RATINGS>";
+  for (int i = 0; i < n; ++i) {
+    q += "<R>{";
+    if (async) q += "fn-bea:async(";
+    q += RatingCall();
+    if (async) q += ")";
+    q += "}</R>";
+  }
+  q += "</RATINGS>";
+  return q;
+}
+
+void BM_WsFanout(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool async = state.range(1) != 0;
+  RunningExample env(2, 0);
+  env.rating_ws->SetLatency("ns4:getRating", 20);
+  std::string query = FanoutQuery(n, async);
+  for (auto _ : state) {
+    auto r = env.Run(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->size());
+  }
+  state.SetLabel(async ? "async" : "serial");
+  state.counters["calls"] = n;
+}
+
+BENCHMARK(BM_WsFanout)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// fn-bea:timeout bounds latency of a degraded source (paper §5.6: "an
+// incomplete but fast query result may be preferable to a complete but
+// slow query result").
+void BM_TimeoutBoundsSlowSource(benchmark::State& state) {
+  int64_t source_latency = state.range(0);
+  RunningExample env(2, 0);
+  env.rating_ws->SetLatency("ns4:getRating", source_latency);
+  std::string query =
+      "fn-bea:timeout(" + RatingCall() + ", 25, -1)";
+  int64_t fallbacks = 0;
+  for (auto _ : state) {
+    auto r = env.Run(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (r->front().atomic().AsInteger() == -1) ++fallbacks;
+  }
+  state.counters["source_latency_ms"] = static_cast<double>(source_latency);
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+}
+
+BENCHMARK(BM_TimeoutBoundsSlowSource)->Arg(5)->Arg(100)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+// fn-bea:fail-over cost: the happy path adds almost nothing; a failing
+// primary costs one failed attempt plus the alternate.
+void BM_FailOver(benchmark::State& state) {
+  bool failing = state.range(0) != 0;
+  RunningExample env(2, 0);
+  env.rating_ws->SetLatency("ns4:getRating", 5);
+  std::string query = "fn-bea:fail-over(" + RatingCall() + ", -1)";
+  for (auto _ : state) {
+    if (failing) env.rating_ws->FailNextCalls(1);
+    auto r = env.Run(query);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->size());
+  }
+  state.SetLabel(failing ? "primary-fails" : "primary-ok");
+}
+
+BENCHMARK(BM_FailOver)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces §5.5: the mid-tier function cache turns "high latency data
+// service calls ... into single-row database lookups." Measures cold vs
+// warm invocation of a slow web service, TTL expiry behaviour, and the
+// persistent (relational) store shared by a second "server".
+
+#include <benchmark/benchmark.h>
+
+#include "cache/persistent_store.h"
+#include "tests/e2e_fixture.h"
+
+namespace {
+
+using aldsp::testing::RunningExample;
+using namespace aldsp;
+
+std::string RatingCall(int i) {
+  return "fn:data(ns4:getRating(<ns5:getRating>"
+         "<ns5:lName>name" + std::to_string(i) + "</ns5:lName>"
+         "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult)";
+}
+
+void BM_SlowServiceUncached(benchmark::State& state) {
+  RunningExample env(2, 0);
+  env.rating_ws->SetLatency("ns4:getRating", 10);
+  std::string q = RatingCall(1);
+  for (auto _ : state) {
+    auto r = env.Run(q);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.counters["ws_invocations"] =
+      static_cast<double>(env.rating_ws->invocation_count());
+}
+
+void BM_SlowServiceCached(benchmark::State& state) {
+  RunningExample env(2, 0);
+  env.rating_ws->SetLatency("ns4:getRating", 10);
+  env.cache.EnableFor("ns4:getRating", /*ttl=*/600000);
+  std::string q = RatingCall(1);
+  (void)env.Run(q);  // warm
+  for (auto _ : state) {
+    auto r = env.Run(q);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.counters["ws_invocations"] =
+      static_cast<double>(env.rating_ws->invocation_count());
+  state.counters["cache_hits"] =
+      static_cast<double>(env.cache.stats().hits.load());
+}
+
+// Hit ratio under a working set larger/smaller than distinct arguments.
+void BM_CacheHitRatio(benchmark::State& state) {
+  int distinct_args = static_cast<int>(state.range(0));
+  RunningExample env(2, 0);
+  env.rating_ws->SetLatency("ns4:getRating", 2);
+  env.cache.EnableFor("ns4:getRating", /*ttl=*/600000);
+  int i = 0;
+  for (auto _ : state) {
+    auto r = env.Run(RatingCall(i++ % distinct_args));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  int64_t hits = env.cache.stats().hits.load();
+  int64_t misses = env.cache.stats().misses.load();
+  state.counters["hit_ratio"] =
+      hits + misses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(hits + misses);
+  state.counters["distinct_args"] = distinct_args;
+}
+
+// Lookup cost against the persistent relational store (one "single-row
+// database lookup", as the paper puts it).
+void BM_PersistentStoreLookup(benchmark::State& state) {
+  auto store = cache::PersistentCacheStore::Create(
+      cache::PersistentCacheStore::MakeCacheDatabase());
+  xml::Sequence value{xml::Item(xml::AtomicValue::Integer(650))};
+  for (int i = 0; i < 1000; ++i) {
+    (void)(*store)->Put("key" + std::to_string(i), value, 1LL << 60);
+  }
+  xml::Sequence out;
+  int i = 0;
+  for (auto _ : state) {
+    auto hit = (*store)->Get("key" + std::to_string(i++ % 1000), 0, &out);
+    if (!hit.ok() || !hit.value()) state.SkipWithError("store miss");
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+
+BENCHMARK(BM_SlowServiceUncached)->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK(BM_SlowServiceCached)->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK(BM_CacheHitRatio)->Arg(1)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond)->Iterations(512);
+BENCHMARK(BM_PersistentStoreLookup)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

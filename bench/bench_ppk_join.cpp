@@ -1,0 +1,101 @@
+// Reproduces the PP-k block-size tradeoff of paper §4.2: "A small value
+// of k means many roundtrips, while large k approximates a full
+// middleware index join; by default, ALDSP uses a medium-sized k value
+// (20) that has been empirically shown to work well."
+//
+// The benchmark sweeps k for a cross-source-style join whose right side
+// is fetched from a relational source with a simulated network
+// round-trip cost; counters report the round trips and the middleware
+// block memory so the time/roundtrips/memory tradeoff is visible.
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/analyzer.h"
+#include "optimizer/optimizer.h"
+#include "runtime/evaluator.h"
+#include "tests/e2e_fixture.h"
+
+namespace {
+
+using aldsp::testing::RunningExample;
+using namespace aldsp;
+
+constexpr const char* kJoinQuery =
+    "for $c in ns3:CUSTOMER(), $o in ns3:ORDER() "
+    "where $c/CID eq $o/CID "
+    "return <CO>{fn:data($c/CID)}{fn:data($o/OID)}</CO>";
+
+xquery::ExprPtr PlanWithK(RunningExample& env, int k) {
+  auto parsed = xquery::ParseExpression(kJoinQuery);
+  xquery::ExprPtr e = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  (void)analyzer.Analyze(e, {});
+  optimizer::OptimizerOptions options;
+  options.ppk_k = k;
+  optimizer::Optimizer opt(&env.functions, &env.schemas, nullptr, options);
+  (void)opt.Optimize(e);
+  return e;
+}
+
+// One environment per (customers, k) point; the ORDER fetch pays a
+// simulated 500us round trip per statement plus 2us per row shipped.
+void BM_PPkBlockSize(benchmark::State& state) {
+  int customers = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  RunningExample env(customers, 3);
+  env.customer_db->latency_model().roundtrip_micros = 500;
+  env.customer_db->latency_model().per_row_micros = 2;
+  env.customer_db->latency_model().sleep = true;
+  xquery::ExprPtr plan = PlanWithK(env, k);
+  int64_t results = 0;
+  for (auto _ : state) {
+    env.stats.Reset();
+    env.customer_db->stats().Reset();
+    auto r = runtime::Evaluate(*plan, env.ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    results = static_cast<int64_t>(r->size());
+  }
+  state.counters["k"] = k;
+  state.counters["roundtrips"] =
+      static_cast<double>(env.customer_db->stats().statements.load());
+  state.counters["ppk_blocks"] =
+      static_cast<double>(env.stats.ppk_blocks.load());
+  state.counters["block_peak_bytes"] =
+      static_cast<double>(env.stats.peak_operator_bytes.load());
+  state.counters["join_results"] = static_cast<double>(results);
+}
+
+// Sweep: 1000 outer customers; k from row-at-a-time to full-index-join
+// scale. The crossover shape: latency falls steeply to around the
+// paper's default k=20, then flattens while block memory keeps growing.
+BENCHMARK(BM_PPkBlockSize)
+    ->ArgsProduct({{1000}, {1, 2, 5, 10, 20, 50, 100, 250, 1000}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Higher round-trip cost amplifies the small-k penalty.
+void BM_PPkLatencySensitivity(benchmark::State& state) {
+  int64_t roundtrip = state.range(0);
+  int k = static_cast<int>(state.range(1));
+  RunningExample env(400, 3);
+  env.customer_db->latency_model().roundtrip_micros = roundtrip;
+  env.customer_db->latency_model().sleep = true;
+  xquery::ExprPtr plan = PlanWithK(env, k);
+  for (auto _ : state) {
+    auto r = runtime::Evaluate(*plan, env.ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->size());
+  }
+  state.counters["roundtrip_us"] = static_cast<double>(roundtrip);
+  state.counters["k"] = k;
+}
+
+BENCHMARK(BM_PPkLatencySensitivity)
+    ->ArgsProduct({{100, 1000, 4000}, {1, 20, 400}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+#ifndef ALDSP_BENCH_BENCH_UTIL_H_
+#define ALDSP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "server/server.h"
+#include "tests/test_fixtures.h"
+
+namespace aldsp::bench {
+
+/// Builds a platform over a generated customer database with a
+/// configurable source latency model (round-trip cost per statement and
+/// per-row transfer cost) — the knobs that drive the paper's distributed
+/// tradeoffs.
+inline std::unique_ptr<server::DataServicePlatform> MakePlatform(
+    int customers, int max_orders, int64_t roundtrip_micros,
+    int64_t per_row_micros, bool sleep = true,
+    const std::string& vendor = "oracle") {
+  auto platform = std::make_unique<server::DataServicePlatform>();
+  auto db = std::shared_ptr<relational::Database>(
+      aldsp::testing::MakeCustomerDb(customers, max_orders).release());
+  db->latency_model().roundtrip_micros = roundtrip_micros;
+  db->latency_model().per_row_micros = per_row_micros;
+  db->latency_model().sleep = sleep;
+  (void)platform->RegisterRelationalSource("ns3", db, vendor);
+  return platform;
+}
+
+inline relational::Database* CustomerDb(server::DataServicePlatform& p) {
+  return p.adaptors().FindDatabase("customer_db");
+}
+
+}  // namespace aldsp::bench
+
+#endif  // ALDSP_BENCH_BENCH_UTIL_H_

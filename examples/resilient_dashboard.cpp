@@ -1,0 +1,93 @@
+// Slow and unavailable sources (§5.4–§5.6): a "dashboard" query fans out
+// to a slow credit-rating service. fn-bea:async overlaps the calls,
+// fn-bea:timeout bounds the wait with a fallback value, fn-bea:fail-over
+// absorbs outages, and the mid-tier function cache turns repeat calls
+// into lookups.
+//
+// Build & run:   ./build/examples/resilient_dashboard
+
+#include <chrono>
+#include <cstdio>
+
+#include "examples/example_env.h"
+#include "xml/serializer.h"
+
+using namespace aldsp;
+
+namespace {
+
+int64_t RunTimed(server::DataServicePlatform& aldsp, const char* label,
+                 const std::string& query) {
+  auto start = std::chrono::steady_clock::now();
+  auto r = aldsp.Execute(query);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  if (!r.ok()) {
+    std::printf("  %-28s ERROR: %s\n", label, r.status().ToString().c_str());
+    return ms;
+  }
+  std::printf("  %-28s %4lld ms   %s\n", label, static_cast<long long>(ms),
+              xml::SerializeSequence(*r).substr(0, 76).c_str());
+  return ms;
+}
+
+std::string Rating(const std::string& name) {
+  return "fn:data(ns4:getRating(<ns5:getRating>"
+         "<ns5:lName>" + name + "</ns5:lName><ns5:ssn>0</ns5:ssn>"
+         "</ns5:getRating>)/ns5:getRatingResult)";
+}
+
+}  // namespace
+
+int main() {
+  server::DataServicePlatform aldsp;
+  auto rating_ws =
+      examples::WireRunningExample(aldsp, 4, /*rating_latency_millis=*/40);
+
+  // --- 1. Async overlap ------------------------------------------------
+  std::printf("== fn-bea:async overlaps four 40ms service calls ==\n");
+  std::string serial = "<R><A>{" + Rating("Jones") + "}</A><B>{" +
+                       Rating("Smith") + "}</B><C>{" + Rating("Lee") +
+                       "}</C><D>{" + Rating("Kim") + "}</D></R>";
+  std::string parallel = "<R><A>{fn-bea:async(" + Rating("Jones") +
+                         ")}</A><B>{fn-bea:async(" + Rating("Smith") +
+                         ")}</B><C>{fn-bea:async(" + Rating("Lee") +
+                         ")}</C><D>{fn-bea:async(" + Rating("Kim") +
+                         ")}</D></R>";
+  int64_t serial_ms = RunTimed(aldsp, "serial", serial);
+  int64_t async_ms = RunTimed(aldsp, "fn-bea:async", parallel);
+  std::printf("  -> speedup %.1fx\n\n",
+              async_ms > 0 ? static_cast<double>(serial_ms) / async_ms : 0.0);
+
+  // --- 2. Timeout bounds a degraded source -----------------------------
+  std::printf("== fn-bea:timeout(expr, 15ms, -1) against a 40ms source ==\n");
+  RunTimed(aldsp, "bounded (falls back)",
+           "fn-bea:timeout(" + Rating("Jones") + ", 15, -1)");
+  rating_ws->SetLatency("ns4:getRating", 2);
+  RunTimed(aldsp, "healthy source",
+           "fn-bea:timeout(" + Rating("Jones") + ", 1000, -1)");
+  std::printf("\n");
+
+  // --- 3. Fail-over absorbs an outage ----------------------------------
+  std::printf("== fn-bea:fail-over during an outage ==\n");
+  rating_ws->FailNextCalls(1);
+  RunTimed(aldsp, "outage (alternate used)",
+           "fn-bea:fail-over(" + Rating("Jones") + ", -1)");
+  RunTimed(aldsp, "recovered",
+           "fn-bea:fail-over(" + Rating("Jones") + ", -1)");
+  std::printf("\n");
+
+  // --- 4. Function cache ------------------------------------------------
+  std::printf("== function cache (TTL 60s) on the rating service ==\n");
+  rating_ws->SetLatency("ns4:getRating", 40);
+  aldsp.function_cache().EnableFor("ns4:getRating", 60000);
+  aldsp.ClearPlanCache();
+  RunTimed(aldsp, "cold call", Rating("Novak"));
+  RunTimed(aldsp, "warm call (cache hit)", Rating("Novak"));
+  std::printf("  service invocations: %lld, cache hits: %lld\n",
+              static_cast<long long>(rating_ws->invocation_count()),
+              static_cast<long long>(
+                  aldsp.function_cache().stats().hits.load()));
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "adaptors/directory_adaptor.h"
+
+#include "xml/node.h"
+
+namespace aldsp::adaptors {
+
+void DirectoryAdaptor::AddEntry(Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(entry));
+}
+
+xml::Sequence DirectoryAdaptor::ToItems(
+    const std::vector<const Entry*>& entries) {
+  xml::Sequence out;
+  out.reserve(entries.size());
+  for (const Entry* entry : entries) {
+    xml::NodePtr el = xml::XNode::Element(entry_name_);
+    for (const auto& [attr, value] : *entry) {
+      el->AddChild(xml::XNode::TypedElement(attr, value));
+    }
+    out.emplace_back(std::move(el));
+  }
+  entries_shipped_ += static_cast<int64_t>(entries.size());
+  return out;
+}
+
+Result<xml::Sequence> DirectoryAdaptor::Invoke(
+    const std::string& function, const std::vector<xml::Sequence>& args) {
+  (void)function;
+  (void)args;
+  invocations_ += 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Entry*> all;
+  for (const auto& e : entries_) all.push_back(&e);
+  return ToItems(all);
+}
+
+Result<xml::Sequence> DirectoryAdaptor::InvokeFiltered(
+    const xquery::CustomQuerySpec& spec,
+    const std::vector<xml::AtomicValue>& params) {
+  invocations_ += 1;
+  filtered_invocations_ += 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Entry*> matches;
+  for (const auto& entry : entries_) {
+    bool ok = true;
+    for (const auto& conjunct : spec.conjuncts) {
+      if (pushable_ops_.count(conjunct.op) == 0) {
+        return Status::InvalidArgument("operator not supported by source " +
+                                       source_id_ + ": " + conjunct.op);
+      }
+      if (conjunct.param_index < 0 ||
+          conjunct.param_index >= static_cast<int>(params.size())) {
+        return Status::InvalidArgument("pushed filter parameter missing");
+      }
+      auto it = entry.find(conjunct.attribute);
+      if (it == entry.end()) {
+        ok = false;  // absent attribute matches nothing
+        break;
+      }
+      auto cmp = it->second.Compare(params[conjunct.param_index]);
+      if (!cmp.ok()) {
+        ok = false;
+        break;
+      }
+      int c = cmp.value();
+      const std::string& op = conjunct.op;
+      bool match = (op == "eq" && c == 0) || (op == "ne" && c != 0) ||
+                   (op == "lt" && c < 0) || (op == "le" && c <= 0) ||
+                   (op == "gt" && c > 0) || (op == "ge" && c >= 0);
+      if (!match) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) matches.push_back(&entry);
+  }
+  return ToItems(matches);
+}
+
+}  // namespace aldsp::adaptors

@@ -1,0 +1,73 @@
+#ifndef ALDSP_ADAPTORS_DIRECTORY_ADAPTOR_H_
+#define ALDSP_ADAPTORS_DIRECTORY_ADAPTOR_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/adaptor.h"
+
+namespace aldsp::adaptors {
+
+/// An LDAP-like directory source demonstrating the extensible pushdown
+/// framework of the paper's §9 roadmap. Entries are flat attribute maps;
+/// the source declares which comparison operators it can evaluate, and
+/// the pushdown phase ships matching filter conjuncts to it so that only
+/// matching entries cross the wire (`entries_shipped` vs a full scan).
+class DirectoryAdaptor : public runtime::Adaptor {
+ public:
+  using Entry = std::map<std::string, xml::AtomicValue>;
+
+  /// `pushable_ops`: operators this directory can evaluate natively
+  /// (subset of eq, ne, lt, le, gt, ge). LDAP, for instance, has equality
+  /// and ordering matches but no general inequality.
+  DirectoryAdaptor(std::string source_id, std::string entry_name,
+                   std::set<std::string> pushable_ops = {"eq", "le", "ge"})
+      : source_id_(std::move(source_id)),
+        entry_name_(std::move(entry_name)),
+        pushable_ops_(std::move(pushable_ops)) {}
+
+  const std::string& source_id() const override { return source_id_; }
+  const std::set<std::string>& pushable_ops() const { return pushable_ops_; }
+
+  void AddEntry(Entry entry);
+
+  /// Unfiltered invocation: ships every entry (the fallback when nothing
+  /// could be pushed).
+  Result<xml::Sequence> Invoke(
+      const std::string& function,
+      const std::vector<xml::Sequence>& args) override;
+
+  /// Pushed-filter invocation: evaluates the conjuncts natively.
+  Result<xml::Sequence> InvokeFiltered(
+      const xquery::CustomQuerySpec& spec,
+      const std::vector<xml::AtomicValue>& params) override;
+
+  int64_t entries_shipped() const { return entries_shipped_.load(); }
+  int64_t invocations() const { return invocations_.load(); }
+  int64_t filtered_invocations() const { return filtered_invocations_.load(); }
+  void ResetStats() {
+    entries_shipped_ = 0;
+    invocations_ = 0;
+    filtered_invocations_ = 0;
+  }
+
+ private:
+  xml::Sequence ToItems(const std::vector<const Entry*>& entries);
+
+  std::string source_id_;
+  std::string entry_name_;
+  std::set<std::string> pushable_ops_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::atomic<int64_t> entries_shipped_{0};
+  std::atomic<int64_t> invocations_{0};
+  std::atomic<int64_t> filtered_invocations_{0};
+};
+
+}  // namespace aldsp::adaptors
+
+#endif  // ALDSP_ADAPTORS_DIRECTORY_ADAPTOR_H_

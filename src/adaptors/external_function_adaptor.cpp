@@ -1,0 +1,60 @@
+#include "adaptors/external_function_adaptor.h"
+
+namespace aldsp::adaptors {
+
+void ExternalFunctionAdaptor::Register(const std::string& function,
+                                       Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[function] = std::move(handler);
+}
+
+Result<xml::Sequence> ExternalFunctionAdaptor::Invoke(
+    const std::string& function, const std::vector<xml::Sequence>& args) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handlers_.find(function);
+    if (it == handlers_.end()) {
+      return Status::NotFound("no external function registered: " + function);
+    }
+    handler = it->second;
+  }
+  return handler(args);
+}
+
+namespace {
+
+Result<xml::AtomicValue> SingleAtomic(const std::vector<xml::Sequence>& args) {
+  if (args.size() != 1) {
+    return Status::InvalidArgument("expected one argument");
+  }
+  xml::Sequence data = xml::Atomize(args[0]);
+  if (data.size() != 1) {
+    return Status::InvalidArgument("expected a single atomic value");
+  }
+  return data.front().atomic();
+}
+
+}  // namespace
+
+ExternalFunctionAdaptor::Handler MakeInt2DateHandler() {
+  return [](const std::vector<xml::Sequence>& args) -> Result<xml::Sequence> {
+    ALDSP_ASSIGN_OR_RETURN(xml::AtomicValue v, SingleAtomic(args));
+    ALDSP_ASSIGN_OR_RETURN(xml::AtomicValue secs,
+                           v.CastTo(xml::AtomicType::kInteger));
+    return xml::Sequence{
+        xml::Item(xml::AtomicValue::DateTime(secs.AsInteger()))};
+  };
+}
+
+ExternalFunctionAdaptor::Handler MakeDate2IntHandler() {
+  return [](const std::vector<xml::Sequence>& args) -> Result<xml::Sequence> {
+    ALDSP_ASSIGN_OR_RETURN(xml::AtomicValue v, SingleAtomic(args));
+    ALDSP_ASSIGN_OR_RETURN(xml::AtomicValue dt,
+                           v.CastTo(xml::AtomicType::kDateTime));
+    return xml::Sequence{
+        xml::Item(xml::AtomicValue::Integer(dt.AsDateTime()))};
+  };
+}
+
+}  // namespace aldsp::adaptors

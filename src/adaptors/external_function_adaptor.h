@@ -1,0 +1,45 @@
+#ifndef ALDSP_ADAPTORS_EXTERNAL_FUNCTION_ADAPTOR_H_
+#define ALDSP_ADAPTORS_EXTERNAL_FUNCTION_ADAPTOR_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "runtime/adaptor.h"
+
+namespace aldsp::adaptors {
+
+/// Adaptor for registered native functions — the C++ equivalent of the
+/// "externally provided Java functions" of paper §4.5 (e.g. int2date /
+/// date2int). Handlers receive and return XQuery item sequences.
+class ExternalFunctionAdaptor : public runtime::Adaptor {
+ public:
+  using Handler = std::function<Result<xml::Sequence>(
+      const std::vector<xml::Sequence>& args)>;
+
+  explicit ExternalFunctionAdaptor(std::string source_id)
+      : source_id_(std::move(source_id)) {}
+
+  const std::string& source_id() const override { return source_id_; }
+
+  void Register(const std::string& function, Handler handler);
+
+  Result<xml::Sequence> Invoke(
+      const std::string& function,
+      const std::vector<xml::Sequence>& args) override;
+
+ private:
+  std::string source_id_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Handler> handlers_;
+};
+
+/// Convenience handlers for the paper's running transformation example:
+/// int2date converts epoch seconds to xs:dateTime, date2int the reverse.
+ExternalFunctionAdaptor::Handler MakeInt2DateHandler();
+ExternalFunctionAdaptor::Handler MakeDate2IntHandler();
+
+}  // namespace aldsp::adaptors
+
+#endif  // ALDSP_ADAPTORS_EXTERNAL_FUNCTION_ADAPTOR_H_

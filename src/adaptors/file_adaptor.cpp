@@ -1,0 +1,115 @@
+#include "adaptors/file_adaptor.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xsd/validate.h"
+
+namespace aldsp::adaptors {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::SourceError("cannot open file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+Status FileAdaptor::RegisterXmlContent(const std::string& function,
+                                       const std::string& xml_text,
+                                       const xsd::TypePtr& item_schema) {
+  ALDSP_ASSIGN_OR_RETURN(xml::NodePtr root, xml::ParseXml(xml_text));
+  xml::Sequence items;
+  if (item_schema != nullptr &&
+      xml::NameMatches(root->name(), item_schema->name())) {
+    ALDSP_ASSIGN_OR_RETURN(xml::NodePtr typed,
+                           xsd::ValidateAndType(*root, item_schema));
+    items.emplace_back(std::move(typed));
+  } else if (item_schema != nullptr) {
+    for (const auto& child : root->children()) {
+      if (child->kind() != xml::NodeKind::kElement) continue;
+      ALDSP_ASSIGN_OR_RETURN(xml::NodePtr typed,
+                             xsd::ValidateAndType(*child, item_schema));
+      items.emplace_back(std::move(typed));
+    }
+  } else {
+    items.emplace_back(std::move(root));
+  }
+  content_[function] = std::move(items);
+  return Status::OK();
+}
+
+Status FileAdaptor::RegisterXmlFile(const std::string& function,
+                                    const std::string& path,
+                                    const xsd::TypePtr& item_schema) {
+  ALDSP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return RegisterXmlContent(function, text, item_schema);
+}
+
+Status FileAdaptor::RegisterCsvContent(
+    const std::string& function, const std::string& csv_text,
+    const std::string& row_name,
+    const std::vector<xml::AtomicType>& column_types) {
+  std::vector<std::string> lines;
+  for (auto& line : Split(csv_text, '\n')) {
+    if (!Trim(line).empty()) lines.push_back(std::string(Trim(line)));
+  }
+  if (lines.empty()) {
+    return Status::SourceError("CSV content has no header line");
+  }
+  std::vector<std::string> header = Split(lines[0], ',');
+  if (header.size() != column_types.size()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns but " + std::to_string(column_types.size()) +
+        " types were declared");
+  }
+  xml::Sequence items;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> fields = Split(lines[i], ',');
+    if (fields.size() != header.size()) {
+      return Status::SourceError("CSV record " + std::to_string(i) +
+                                 " has wrong field count");
+    }
+    xml::NodePtr row = xml::XNode::Element(row_name);
+    for (size_t c = 0; c < fields.size(); ++c) {
+      std::string field = std::string(Trim(fields[c]));
+      if (field.empty()) continue;  // empty field -> missing element
+      ALDSP_ASSIGN_OR_RETURN(
+          xml::AtomicValue typed,
+          xml::AtomicValue::Untyped(field).CastTo(column_types[c]));
+      row->AddChild(
+          xml::XNode::TypedElement(std::string(Trim(header[c])), typed));
+    }
+    items.emplace_back(std::move(row));
+  }
+  content_[function] = std::move(items);
+  return Status::OK();
+}
+
+Status FileAdaptor::RegisterCsvFile(
+    const std::string& function, const std::string& path,
+    const std::string& row_name,
+    const std::vector<xml::AtomicType>& column_types) {
+  ALDSP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return RegisterCsvContent(function, text, row_name, column_types);
+}
+
+Result<xml::Sequence> FileAdaptor::Invoke(
+    const std::string& function, const std::vector<xml::Sequence>& args) {
+  (void)args;
+  auto it = content_.find(function);
+  if (it == content_.end()) {
+    return Status::NotFound("no file registered for function: " + function);
+  }
+  return it->second;
+}
+
+}  // namespace aldsp::adaptors

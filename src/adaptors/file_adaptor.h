@@ -1,0 +1,57 @@
+#ifndef ALDSP_ADAPTORS_FILE_ADAPTOR_H_
+#define ALDSP_ADAPTORS_FILE_ADAPTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/adaptor.h"
+#include "xsd/types.h"
+
+namespace aldsp::adaptors {
+
+/// Adaptor for non-queryable file sources: XML documents and delimited
+/// (CSV) files (paper §2.2/§5.3). The full content is loaded and —
+/// because schemas are required at registration time — validated into
+/// typed items. Functions are zero-argument and return the file content.
+class FileAdaptor : public runtime::Adaptor {
+ public:
+  explicit FileAdaptor(std::string source_id)
+      : source_id_(std::move(source_id)) {}
+
+  const std::string& source_id() const override { return source_id_; }
+
+  /// Registers an XML document from text. The document's root must match
+  /// `item_schema` when its name does, otherwise each child of the root
+  /// is validated against `item_schema` and the function returns the
+  /// sequence of children (the common "list document" layout).
+  Status RegisterXmlContent(const std::string& function,
+                            const std::string& xml_text,
+                            const xsd::TypePtr& item_schema);
+  /// Same, reading from a file on disk.
+  Status RegisterXmlFile(const std::string& function, const std::string& path,
+                         const xsd::TypePtr& item_schema);
+
+  /// Registers a CSV file (first line = header). Each record becomes a
+  /// <row_name> element whose children are named by the header and typed
+  /// by `column_types` (parallel to the header columns).
+  Status RegisterCsvContent(const std::string& function,
+                            const std::string& csv_text,
+                            const std::string& row_name,
+                            const std::vector<xml::AtomicType>& column_types);
+  Status RegisterCsvFile(const std::string& function, const std::string& path,
+                         const std::string& row_name,
+                         const std::vector<xml::AtomicType>& column_types);
+
+  Result<xml::Sequence> Invoke(
+      const std::string& function,
+      const std::vector<xml::Sequence>& args) override;
+
+ private:
+  std::string source_id_;
+  std::map<std::string, xml::Sequence> content_;
+};
+
+}  // namespace aldsp::adaptors
+
+#endif  // ALDSP_ADAPTORS_FILE_ADAPTOR_H_

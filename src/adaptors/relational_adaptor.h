@@ -1,0 +1,65 @@
+#ifndef ALDSP_ADAPTORS_RELATIONAL_ADAPTOR_H_
+#define ALDSP_ADAPTORS_RELATIONAL_ADAPTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "relational/engine.h"
+#include "runtime/adaptor.h"
+
+namespace aldsp::adaptors {
+
+/// Adaptor for a queryable relational source (paper §5.3). Each table of
+/// the backing database is surfaced as a zero-argument function returning
+/// row elements; foreign keys surface as one-argument navigation
+/// functions that fetch the related rows for a given row element
+/// (paper §2.1). Pushed-down SQL bypasses Invoke and executes through
+/// database() directly.
+class RelationalAdaptor : public runtime::Adaptor {
+ public:
+  RelationalAdaptor(std::string source_id,
+                    std::shared_ptr<relational::Database> db)
+      : source_id_(std::move(source_id)), db_(std::move(db)) {}
+
+  const std::string& source_id() const override { return source_id_; }
+  relational::Database* database() override { return db_.get(); }
+
+  /// Maps `function` to SELECT * FROM `table`.
+  Status RegisterTableFunction(const std::string& function,
+                               const std::string& table);
+
+  /// Maps `function($row)` to SELECT * FROM `table` WHERE `table_column`
+  /// equals the value of the argument row's `arg_child` child element.
+  Status RegisterNavigationFunction(const std::string& function,
+                                    const std::string& table,
+                                    const std::string& table_column,
+                                    const std::string& arg_child);
+
+  Result<xml::Sequence> Invoke(
+      const std::string& function,
+      const std::vector<xml::Sequence>& args) override;
+
+ private:
+  struct TableFn {
+    std::string table;
+  };
+  struct NavFn {
+    std::string table;
+    std::string table_column;
+    std::string arg_child;
+  };
+
+  relational::SelectPtr SelectAll(const relational::TableDef& def,
+                                  bool with_key_param,
+                                  const std::string& key_column) const;
+
+  std::string source_id_;
+  std::shared_ptr<relational::Database> db_;
+  std::map<std::string, TableFn> table_fns_;
+  std::map<std::string, NavFn> nav_fns_;
+};
+
+}  // namespace aldsp::adaptors
+
+#endif  // ALDSP_ADAPTORS_RELATIONAL_ADAPTOR_H_

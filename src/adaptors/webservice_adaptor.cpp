@@ -1,0 +1,66 @@
+#include "adaptors/webservice_adaptor.h"
+
+#include <chrono>
+#include <thread>
+
+#include "xsd/validate.h"
+
+namespace aldsp::adaptors {
+
+void SimulatedWebService::RegisterOperation(const std::string& function,
+                                            Handler handler,
+                                            int64_t latency_millis,
+                                            xsd::TypePtr result_schema) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  operations_[function] = {std::move(handler), latency_millis,
+                           std::move(result_schema)};
+}
+
+void SimulatedWebService::SetLatency(const std::string& function,
+                                     int64_t latency_millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = operations_.find(function);
+  if (it != operations_.end()) it->second.latency_millis = latency_millis;
+}
+
+Result<xml::Sequence> SimulatedWebService::Invoke(
+    const std::string& function, const std::vector<xml::Sequence>& args) {
+  Operation op;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = operations_.find(function);
+    if (it == operations_.end()) {
+      return Status::NotFound("web service " + source_id_ +
+                              " has no operation " + function);
+    }
+    op = it->second;
+  }
+  invocations_ += 1;
+  int expected = fail_next_.load();
+  while (expected > 0) {
+    if (fail_next_.compare_exchange_weak(expected, expected - 1)) {
+      return Status::SourceError("web service " + source_id_ +
+                                 " is unavailable");
+    }
+  }
+  if (op.latency_millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(op.latency_millis));
+  }
+  ALDSP_ASSIGN_OR_RETURN(xml::Sequence result, op.handler(args));
+  if (op.result_schema != nullptr) {
+    xml::Sequence validated;
+    for (const auto& item : result) {
+      if (!item.is_node()) {
+        return Status::SourceError("web service result is not an element");
+      }
+      ALDSP_ASSIGN_OR_RETURN(
+          xml::NodePtr typed,
+          xsd::ValidateAndType(*item.node(), op.result_schema));
+      validated.emplace_back(std::move(typed));
+    }
+    return validated;
+  }
+  return result;
+}
+
+}  // namespace aldsp::adaptors

@@ -1,0 +1,66 @@
+#ifndef ALDSP_ADAPTORS_WEBSERVICE_ADAPTOR_H_
+#define ALDSP_ADAPTORS_WEBSERVICE_ADAPTOR_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "runtime/adaptor.h"
+#include "xsd/types.h"
+
+namespace aldsp::adaptors {
+
+/// A simulated web service source. The paper's experiments depend on web
+/// services being *slow* and *sometimes unavailable* (async §5.4,
+/// fail-over §5.6, function cache §5.5); this adaptor makes latency and
+/// failures injectable per operation while exercising the same adaptor
+/// code path as a real document-style service: arguments and results are
+/// schema-validated typed XML.
+class SimulatedWebService : public runtime::Adaptor {
+ public:
+  using Handler = std::function<Result<xml::Sequence>(
+      const std::vector<xml::Sequence>& args)>;
+
+  explicit SimulatedWebService(std::string source_id)
+      : source_id_(std::move(source_id)) {}
+
+  const std::string& source_id() const override { return source_id_; }
+
+  /// Registers a service operation. `latency_millis` is slept on every
+  /// invocation (the simulated network + service time). If
+  /// `result_schema` is non-null, results are validated and typed
+  /// against it (paper §5.3: WSDL-schema validation on the way in).
+  void RegisterOperation(const std::string& function, Handler handler,
+                         int64_t latency_millis = 0,
+                         xsd::TypePtr result_schema = nullptr);
+
+  /// The next `n` invocations of any operation fail with SourceError.
+  void FailNextCalls(int n) { fail_next_ = n; }
+  /// Overrides latency for one operation (e.g. to simulate degradation).
+  void SetLatency(const std::string& function, int64_t latency_millis);
+
+  int64_t invocation_count() const { return invocations_.load(); }
+
+  Result<xml::Sequence> Invoke(
+      const std::string& function,
+      const std::vector<xml::Sequence>& args) override;
+
+ private:
+  struct Operation {
+    Handler handler;
+    int64_t latency_millis;
+    xsd::TypePtr result_schema;
+  };
+
+  std::string source_id_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Operation> operations_;
+  std::atomic<int> fail_next_{0};
+  std::atomic<int64_t> invocations_{0};
+};
+
+}  // namespace aldsp::adaptors
+
+#endif  // ALDSP_ADAPTORS_WEBSERVICE_ADAPTOR_H_

@@ -1,0 +1,91 @@
+#include "cache/persistent_store.h"
+
+#include "cache/typed_codec.h"
+
+namespace aldsp::cache {
+
+using relational::Cell;
+using relational::ColumnType;
+using relational::SelectStmt;
+using relational::SqlExpr;
+using relational::TableDef;
+
+std::shared_ptr<relational::Database> PersistentCacheStore::MakeCacheDatabase(
+    const std::string& name) {
+  return std::make_shared<relational::Database>(name);
+}
+
+Result<std::shared_ptr<PersistentCacheStore>> PersistentCacheStore::Create(
+    std::shared_ptr<relational::Database> db) {
+  if (db->catalog().FindTable("CACHE_ENTRIES") == nullptr) {
+    TableDef def;
+    def.name = "CACHE_ENTRIES";
+    def.columns = {{"K", ColumnType::kVarchar, false},
+                   {"V", ColumnType::kVarchar, false},
+                   {"EXPIRES_AT", ColumnType::kBigInt, false}};
+    def.primary_key = {"K"};
+    ALDSP_RETURN_NOT_OK(db->CreateTable(def));
+  }
+  return std::shared_ptr<PersistentCacheStore>(
+      new PersistentCacheStore(std::move(db)));
+}
+
+Status PersistentCacheStore::Put(const std::string& key,
+                                 const xml::Sequence& value,
+                                 int64_t expires_at_millis) {
+  std::string encoded = EncodeTypedSequence(value);
+  // Upsert: delete any previous entry, then insert.
+  relational::DeleteStmt del;
+  del.table_name = "CACHE_ENTRIES";
+  del.where = SqlExpr::Binary("=", SqlExpr::Column("CACHE_ENTRIES", "K"),
+                              SqlExpr::Literal(Cell::Str(key)));
+  ALDSP_RETURN_NOT_OK(db_->ExecuteDelete(del).status());
+  relational::InsertStmt ins;
+  ins.table_name = "CACHE_ENTRIES";
+  ins.columns = {"K", "V", "EXPIRES_AT"};
+  ins.values = {SqlExpr::Literal(Cell::Str(key)),
+                SqlExpr::Literal(Cell::Str(std::move(encoded))),
+                SqlExpr::Literal(Cell::Int(expires_at_millis))};
+  return db_->ExecuteInsert(ins).status();
+}
+
+Result<bool> PersistentCacheStore::Get(const std::string& key,
+                                       int64_t now_millis,
+                                       xml::Sequence* value) {
+  auto s = std::make_shared<SelectStmt>();
+  s->from = {"CACHE_ENTRIES", nullptr, "t1"};
+  s->items = {{SqlExpr::Column("t1", "V"), "v"},
+              {SqlExpr::Column("t1", "EXPIRES_AT"), "e"}};
+  s->where = SqlExpr::Binary(
+      "AND",
+      SqlExpr::Binary("=", SqlExpr::Column("t1", "K"),
+                      SqlExpr::Literal(Cell::Str(key))),
+      SqlExpr::Binary(">", SqlExpr::Column("t1", "EXPIRES_AT"),
+                      SqlExpr::Literal(Cell::Int(now_millis))));
+  ALDSP_ASSIGN_OR_RETURN(relational::ResultSet rs, db_->ExecuteSelect(*s));
+  if (rs.rows.empty()) return false;
+  ALDSP_ASSIGN_OR_RETURN(
+      xml::Sequence decoded,
+      DecodeTypedSequence(rs.rows.front()[0].value.AsString()));
+  *value = std::move(decoded);
+  return true;
+}
+
+Result<int64_t> PersistentCacheStore::Purge(int64_t now_millis) {
+  relational::DeleteStmt del;
+  del.table_name = "CACHE_ENTRIES";
+  del.where = SqlExpr::Binary("<=", SqlExpr::Column("CACHE_ENTRIES", "EXPIRES_AT"),
+                              SqlExpr::Literal(Cell::Int(now_millis)));
+  return db_->ExecuteDelete(del);
+}
+
+Result<int64_t> PersistentCacheStore::EntryCount() const {
+  auto s = std::make_shared<SelectStmt>();
+  s->from = {"CACHE_ENTRIES", nullptr, "t1"};
+  s->items = {{SqlExpr::Aggregate(relational::SqlAgg::kCountStar, nullptr),
+               "n"}};
+  ALDSP_ASSIGN_OR_RETURN(relational::ResultSet rs, db_->ExecuteSelect(*s));
+  return rs.rows.front()[0].value.AsInteger();
+}
+
+}  // namespace aldsp::cache

@@ -1,0 +1,47 @@
+#ifndef ALDSP_CACHE_PERSISTENT_STORE_H_
+#define ALDSP_CACHE_PERSISTENT_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/engine.h"
+#include "runtime/function_cache.h"
+
+namespace aldsp::cache {
+
+/// The persistent, distributed function-cache store of paper §5.5: "the
+/// current cache implementation employs a relational database to achieve
+/// persistence and distribution in the context of a cluster of ALDSP
+/// servers." Entries live in a CACHE_ENTRIES table of a (shared)
+/// relational database; multiple FunctionCache instances attached to the
+/// same store observe each other's inserts — turning a slow data-service
+/// call into a single-row database lookup on every server of the cluster.
+class PersistentCacheStore : public runtime::CacheBackingStore {
+ public:
+  /// Uses (and if necessary creates the CACHE_ENTRIES table in) `db`.
+  static Result<std::shared_ptr<PersistentCacheStore>> Create(
+      std::shared_ptr<relational::Database> db);
+
+  /// Convenience: a fresh in-process cache database.
+  static std::shared_ptr<relational::Database> MakeCacheDatabase(
+      const std::string& name = "cache_db");
+
+  Status Put(const std::string& key, const xml::Sequence& value,
+             int64_t expires_at_millis) override;
+  Result<bool> Get(const std::string& key, int64_t now_millis,
+                   xml::Sequence* value) override;
+
+  /// Removes expired entries; returns the number purged.
+  Result<int64_t> Purge(int64_t now_millis);
+  Result<int64_t> EntryCount() const;
+
+ private:
+  explicit PersistentCacheStore(std::shared_ptr<relational::Database> db)
+      : db_(std::move(db)) {}
+
+  std::shared_ptr<relational::Database> db_;
+};
+
+}  // namespace aldsp::cache
+
+#endif  // ALDSP_CACHE_PERSISTENT_STORE_H_

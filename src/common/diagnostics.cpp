@@ -1,0 +1,81 @@
+#include "common/diagnostics.h"
+
+#include <sstream>
+
+namespace aldsp {
+
+std::string SourceLocation::ToString() const {
+  if (!valid()) return "<unknown>";
+  std::ostringstream os;
+  os << line << ":" << column;
+  return os.str();
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  switch (severity) {
+    case DiagnosticSeverity::kError:
+      os << "error";
+      break;
+    case DiagnosticSeverity::kWarning:
+      os << "warning";
+      break;
+    case DiagnosticSeverity::kNote:
+      os << "note";
+      break;
+  }
+  os << " [" << StatusCodeName(code) << "]";
+  if (location.valid()) os << " at " << location.ToString();
+  if (!function_name.empty()) os << " in " << function_name;
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticBag::AddError(StatusCode code, std::string message,
+                             SourceLocation location, std::string function) {
+  Diagnostic d;
+  d.severity = DiagnosticSeverity::kError;
+  d.code = code;
+  d.message = std::move(message);
+  d.location = location;
+  d.function_name = std::move(function);
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticBag::AddWarning(std::string message, SourceLocation location) {
+  Diagnostic d;
+  d.severity = DiagnosticSeverity::kWarning;
+  d.code = StatusCode::kOk;
+  d.message = std::move(message);
+  d.location = location;
+  diagnostics_.push_back(std::move(d));
+}
+
+bool DiagnosticBag::has_errors() const { return error_count() > 0; }
+
+size_t DiagnosticBag::error_count() const {
+  size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == DiagnosticSeverity::kError) ++n;
+  }
+  return n;
+}
+
+Status DiagnosticBag::FirstError() const {
+  for (const auto& d : diagnostics_) {
+    if (d.severity == DiagnosticSeverity::kError) {
+      std::string msg = d.message;
+      if (d.location.valid()) msg += " (at " + d.location.ToString() + ")";
+      return Status(d.code, std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
+std::string DiagnosticBag::ToString() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << d.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace aldsp

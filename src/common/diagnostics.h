@@ -1,0 +1,59 @@
+#ifndef ALDSP_COMMON_DIAGNOSTICS_H_
+#define ALDSP_COMMON_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aldsp {
+
+/// A position in XQuery source text (1-based line/column).
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+  std::string ToString() const;
+};
+
+enum class DiagnosticSeverity { kError, kWarning, kNote };
+
+/// One compiler message. Design-time compilation (the XQuery editor mode
+/// described in paper §4.1) collects many of these and keeps going;
+/// runtime compilation fails on the first error.
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kError;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  SourceLocation location;
+  /// Function the diagnostic was found in, if known ("tns:getProfile").
+  std::string function_name;
+
+  std::string ToString() const;
+};
+
+/// Collects diagnostics across the phases of a compilation.
+class DiagnosticBag {
+ public:
+  void Add(Diagnostic diag) { diagnostics_.push_back(std::move(diag)); }
+  void AddError(StatusCode code, std::string message,
+                SourceLocation location = {}, std::string function = {});
+  void AddWarning(std::string message, SourceLocation location = {});
+
+  bool has_errors() const;
+  size_t error_count() const;
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// First error as a Status (OK if none) — used by fail-fast compiles.
+  Status FirstError() const;
+  /// All messages, one per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace aldsp
+
+#endif  // ALDSP_COMMON_DIAGNOSTICS_H_

@@ -1,0 +1,68 @@
+#ifndef ALDSP_COMMON_RESULT_H_
+#define ALDSP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace aldsp {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+/// Modeled on arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call
+  /// sites terse: `return value;` or `return Status::TypeError(...)`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates an expression returning Result<T>; assigns the value to `lhs`
+/// on success, otherwise returns the Status from the enclosing function.
+#define ALDSP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define ALDSP_CONCAT_INNER(a, b) a##b
+#define ALDSP_CONCAT(a, b) ALDSP_CONCAT_INNER(a, b)
+
+#define ALDSP_ASSIGN_OR_RETURN(lhs, expr) \
+  ALDSP_ASSIGN_OR_RETURN_IMPL(ALDSP_CONCAT(_aldsp_res_, __LINE__), lhs, expr)
+
+}  // namespace aldsp
+
+#endif  // ALDSP_COMMON_RESULT_H_

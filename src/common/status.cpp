@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace aldsp {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kAnalysisError:
+      return "AnalysisError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kOptimizeError:
+      return "OptimizeError";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+    case StatusCode::kSourceError:
+      return "SourceError";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kSecurityError:
+      return "SecurityError";
+    case StatusCode::kUpdateError:
+      return "UpdateError";
+    case StatusCode::kConcurrencyError:
+      return "ConcurrencyError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace aldsp

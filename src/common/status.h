@@ -1,0 +1,106 @@
+#ifndef ALDSP_COMMON_STATUS_H_
+#define ALDSP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace aldsp {
+
+/// Error categories used across the platform. Mirrors the query-processing
+/// stages of the paper (parse/analysis/type/optimize) plus runtime and
+/// source-access failures.
+enum class StatusCode {
+  kOk = 0,
+  kParseError,        // XQuery or SQL syntax error.
+  kAnalysisError,     // Expression-tree construction / normalization error.
+  kTypeError,         // Static type checking failure.
+  kOptimizeError,     // Optimizer invariant violation.
+  kRuntimeError,      // Dynamic evaluation error.
+  kSourceError,       // Data source (adaptor) failure.
+  kTimeout,           // Evaluation exceeded a deadline (fn-bea:timeout).
+  kSecurityError,     // Access denied.
+  kUpdateError,       // Update decomposition / propagation failure.
+  kConcurrencyError,  // Optimistic concurrency check failed at submit time.
+  kNotFound,          // Missing function, table, service, ...
+  kInvalidArgument,   // Caller misuse of an API.
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name such as "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. All fallible ALDSP APIs return Status
+/// or Result<T>; the platform does not throw exceptions.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status AnalysisError(std::string m) {
+    return Status(StatusCode::kAnalysisError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status OptimizeError(std::string m) {
+    return Status(StatusCode::kOptimizeError, std::move(m));
+  }
+  static Status RuntimeError(std::string m) {
+    return Status(StatusCode::kRuntimeError, std::move(m));
+  }
+  static Status SourceError(std::string m) {
+    return Status(StatusCode::kSourceError, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status SecurityError(std::string m) {
+    return Status(StatusCode::kSecurityError, std::move(m));
+  }
+  static Status UpdateError(std::string m) {
+    return Status(StatusCode::kUpdateError, std::move(m));
+  }
+  static Status ConcurrencyError(std::string m) {
+    return Status(StatusCode::kConcurrencyError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotImplemented(std::string m) {
+    return Status(StatusCode::kNotImplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ParseError: unexpected token" or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define ALDSP_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::aldsp::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace aldsp
+
+#endif  // ALDSP_COMMON_STATUS_H_

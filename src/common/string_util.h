@@ -1,0 +1,34 @@
+#ifndef ALDSP_COMMON_STRING_UTIL_H_
+#define ALDSP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aldsp {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Collapses runs of whitespace to single spaces and trims — used by tests
+/// to compare generated SQL against the paper's formatting-insensitive text.
+std::string NormalizeWhitespace(std::string_view s);
+
+/// Escapes XML special characters (& < > " ') for text/attribute content.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace aldsp
+
+#endif  // ALDSP_COMMON_STRING_UTIL_H_

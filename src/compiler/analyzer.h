@@ -1,0 +1,70 @@
+#ifndef ALDSP_COMPILER_ANALYZER_H_
+#define ALDSP_COMPILER_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "common/result.h"
+#include "compiler/function_table.h"
+#include "xquery/ast.h"
+#include "xsd/types.h"
+
+namespace aldsp::compiler {
+
+/// Resolves a source-level type reference against the schema registry.
+/// element(E) resolves to the registered structural type when the schema
+/// is known, otherwise to element(E, ANYTYPE); schema-element(E) errors
+/// if E is not in scope (per the XQuery rules summarized in paper §3.1).
+Result<xsd::SequenceType> ResolveTypeRef(const xquery::TypeRef& ref,
+                                         const xsd::SchemaRegistry& schemas);
+
+struct AnalyzeOptions {
+  /// Design-time mode (paper §4.1): collect as many errors as possible,
+  /// substituting error expressions; runtime mode fails on first error.
+  bool recover = false;
+};
+
+/// A variable binding visible to an expression under analysis.
+struct VarBinding {
+  std::string name;
+  xsd::SequenceType type;
+};
+
+/// The analysis phase of compilation (paper §4.1): normalization — making
+/// implicit operations explicit (conditional constructors become ifs,
+/// function names are resolved and arities checked) — followed by
+/// optimistic structural type checking, annotating every node's
+/// static_type and inserting runtime typematch operators where an
+/// argument type merely intersects (rather than subtypes) the parameter.
+class Analyzer {
+ public:
+  Analyzer(const FunctionTable* functions, const xsd::SchemaRegistry* schemas,
+           DiagnosticBag* bag, AnalyzeOptions options = {})
+      : functions_(functions),
+        schemas_(schemas),
+        bag_(bag),
+        options_(options) {}
+
+  /// Analyzes (and rewrites in place) an expression with the given
+  /// variables in scope. Returns the first error in fail-fast mode.
+  Status Analyze(xquery::ExprPtr& root, const std::vector<VarBinding>& env);
+
+  /// Analyzes every function of a parsed module and registers the valid
+  /// ones in `out`. In recovery mode invalid functions are registered
+  /// with valid=false so their signatures remain usable (paper §4.1);
+  /// in fail-fast mode the first broken function aborts.
+  Status AnalyzeModule(const xquery::Module& module, FunctionTable* out);
+
+ private:
+  class Impl;
+
+  const FunctionTable* functions_;
+  const xsd::SchemaRegistry* schemas_;
+  DiagnosticBag* bag_;
+  AnalyzeOptions options_;
+};
+
+}  // namespace aldsp::compiler
+
+#endif  // ALDSP_COMPILER_ANALYZER_H_

@@ -1,0 +1,70 @@
+#include "compiler/function_table.h"
+
+namespace aldsp::compiler {
+
+Status FunctionTable::RegisterUser(UserFunction fn) {
+  if (Exists(fn.name)) {
+    return Status::AnalysisError("duplicate function: " + fn.name);
+  }
+  user_.push_back(std::move(fn));
+  return Status::OK();
+}
+
+Status FunctionTable::RegisterExternal(ExternalFunction fn) {
+  if (Exists(fn.name)) {
+    return Status::AnalysisError("duplicate function: " + fn.name);
+  }
+  external_.push_back(std::move(fn));
+  return Status::OK();
+}
+
+const UserFunction* FunctionTable::FindUser(const std::string& name) const {
+  for (const auto& f : user_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+UserFunction* FunctionTable::FindUserMutable(const std::string& name) {
+  for (auto& f : user_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const ExternalFunction* FunctionTable::FindExternal(
+    const std::string& name) const {
+  for (const auto& f : external_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FunctionTable::Exists(const std::string& name) const {
+  return FindUser(name) != nullptr || FindExternal(name) != nullptr;
+}
+
+Status FunctionTable::RegisterInverse(const std::string& fn_name,
+                                      const std::string& inverse_name) {
+  const ExternalFunction* fn = FindExternal(fn_name);
+  const ExternalFunction* inv = FindExternal(inverse_name);
+  if (fn == nullptr || inv == nullptr) {
+    return Status::NotFound("inverse registration requires both functions: " +
+                            fn_name + ", " + inverse_name);
+  }
+  if (fn->param_types.size() != 1 || inv->param_types.size() != 1) {
+    return Status::InvalidArgument(
+        "inverse functions must be single-argument: " + fn_name);
+  }
+  inverses_.emplace_back(fn_name, inverse_name);
+  return Status::OK();
+}
+
+std::string FunctionTable::InverseOf(const std::string& fn_name) const {
+  for (const auto& [fn, inv] : inverses_) {
+    if (fn == fn_name) return inv;
+  }
+  return "";
+}
+
+}  // namespace aldsp::compiler

@@ -1,0 +1,98 @@
+#ifndef ALDSP_COMPILER_FUNCTION_TABLE_H_
+#define ALDSP_COMPILER_FUNCTION_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+#include "xsd/types.h"
+
+namespace aldsp::compiler {
+
+/// A user-defined XQuery function (a data service method) with resolved
+/// types and an analyzed body. These are the view layers that the
+/// optimizer unfolds (paper §4.2).
+struct UserFunction {
+  struct Parameter {
+    std::string name;
+    xsd::SequenceType type;
+  };
+
+  std::string name;
+  std::vector<Parameter> params;
+  xsd::SequenceType return_type;
+  xquery::ExprPtr body;
+  std::string pragma_kind;  // "read", "navigate", ... from the pragma
+  /// Marked isPrimary="true" in its function pragma: the designated
+  /// lineage provider of its data service (paper §6).
+  bool is_primary = false;
+  /// Declarative optimizer hints from `(::pragma hint k="v" ... ::)`
+  /// (the §9 roadmap: hints "that can survive correctly through layers
+  /// of views" — they attach to the function, so every query that
+  /// unfolds it inherits them). Recognized keys: join_method
+  /// (nl|inl|ppk-nl|ppk-inl), ppk_k (integer), no_pushdown_joins.
+  std::map<std::string, std::string> hints;
+  /// Functions whose analysis failed are retained for signature checking
+  /// of other functions but are not executable (paper §4.1).
+  bool valid = true;
+};
+
+/// An externally implemented function surfaced by a physical data
+/// service. `properties` carries the pragma-captured metadata the
+/// compiler and runtime need (paper §3.2): for relational sources the
+/// source id and table name, key columns, vendor; for web services the
+/// operation; for external (user) functions the registered callback id
+/// and an optional inverse function.
+struct ExternalFunction {
+  std::string name;
+  std::vector<xsd::SequenceType> param_types;
+  xsd::SequenceType return_type;
+  std::map<std::string, std::string> properties;
+
+  std::string Property(const std::string& key) const {
+    auto it = properties.find(key);
+    return it == properties.end() ? "" : it->second;
+  }
+  /// Source kind: "relational", "webservice", "external", "file".
+  std::string kind() const { return Property("kind"); }
+  bool is_relational() const { return kind() == "relational"; }
+};
+
+/// The compile-time metadata registry: all callable functions (user views
+/// and source-backed externals) by name.
+class FunctionTable {
+ public:
+  Status RegisterUser(UserFunction fn);
+  Status RegisterExternal(ExternalFunction fn);
+
+  const UserFunction* FindUser(const std::string& name) const;
+  UserFunction* FindUserMutable(const std::string& name);
+  const ExternalFunction* FindExternal(const std::string& name) const;
+  bool Exists(const std::string& name) const;
+
+  const std::vector<UserFunction>& user_functions() const { return user_; }
+  const std::vector<ExternalFunction>& external_functions() const {
+    return external_;
+  }
+
+  /// Registers `inverse_name` as the inverse of external function
+  /// `fn_name` (paper §4.5), enabling predicate rewrites and updates
+  /// through value transformations. Both functions must already be
+  /// registered and take exactly one argument.
+  Status RegisterInverse(const std::string& fn_name,
+                         const std::string& inverse_name);
+  /// Name of the inverse of `fn_name`, or empty.
+  std::string InverseOf(const std::string& fn_name) const;
+
+ private:
+  std::vector<UserFunction> user_;
+  std::vector<ExternalFunction> external_;
+  std::vector<std::pair<std::string, std::string>> inverses_;
+};
+
+}  // namespace aldsp::compiler
+
+#endif  // ALDSP_COMPILER_FUNCTION_TABLE_H_

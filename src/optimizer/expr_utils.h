@@ -1,0 +1,36 @@
+#ifndef ALDSP_OPTIMIZER_EXPR_UTILS_H_
+#define ALDSP_OPTIMIZER_EXPR_UTILS_H_
+
+#include <set>
+#include <string>
+
+#include "xquery/ast.h"
+
+namespace aldsp::optimizer {
+
+/// Free variables of an expression (variables referenced but not bound
+/// within it). The context item "." counts as a variable.
+std::set<std::string> FreeVars(const xquery::Expr& e);
+
+/// True if `name` occurs free in `e`.
+bool IsFreeVar(const xquery::Expr& e, const std::string& name);
+
+/// Replaces every free occurrence of $`name` with a clone of
+/// `replacement`, in place.
+void SubstituteVar(xquery::ExprPtr& e, const std::string& name,
+                   const xquery::ExprPtr& replacement);
+
+/// Renames every variable *bound within* `e` (FLWOR/quantifier/group
+/// bindings) to a fresh name `<old>#<serial>`, keeping the tree
+/// capture-free for inlining. `serial` is incremented per rename.
+void RenameBoundVars(xquery::ExprPtr& e, int* serial);
+
+/// True if any function call to `name` occurs in `e`.
+bool ContainsCallTo(const xquery::Expr& e, const std::string& name);
+
+/// Counts free occurrences of $`name` in `e`.
+int CountVarUses(const xquery::Expr& e, const std::string& name);
+
+}  // namespace aldsp::optimizer
+
+#endif  // ALDSP_OPTIMIZER_EXPR_UTILS_H_

@@ -1,0 +1,71 @@
+#include "relational/catalog.h"
+
+namespace aldsp::relational {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInteger:
+      return "INTEGER";
+    case ColumnType::kBigInt:
+      return "BIGINT";
+    case ColumnType::kDecimal:
+      return "DECIMAL";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kVarchar:
+      return "VARCHAR";
+    case ColumnType::kBoolean:
+      return "BOOLEAN";
+    case ColumnType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+xml::AtomicType ToAtomicType(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInteger:
+    case ColumnType::kBigInt:
+      return xml::AtomicType::kInteger;
+    case ColumnType::kDecimal:
+      return xml::AtomicType::kDecimal;
+    case ColumnType::kDouble:
+      return xml::AtomicType::kDouble;
+    case ColumnType::kVarchar:
+      return xml::AtomicType::kString;
+    case ColumnType::kBoolean:
+      return xml::AtomicType::kBoolean;
+    case ColumnType::kTimestamp:
+      return xml::AtomicType::kDateTime;
+  }
+  return xml::AtomicType::kString;
+}
+
+int TableDef::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const ColumnDef* TableDef::FindColumn(const std::string& column) const {
+  int idx = ColumnIndex(column);
+  return idx < 0 ? nullptr : &columns[static_cast<size_t>(idx)];
+}
+
+Status Catalog::AddTable(TableDef def) {
+  if (FindTable(def.name) != nullptr) {
+    return Status::InvalidArgument("table already exists: " + def.name);
+  }
+  tables_.push_back(std::move(def));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace aldsp::relational

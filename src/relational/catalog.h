@@ -1,0 +1,66 @@
+#ifndef ALDSP_RELATIONAL_CATALOG_H_
+#define ALDSP_RELATIONAL_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/value.h"
+
+namespace aldsp::relational {
+
+/// SQL column types of the substrate. Each maps to an XML atomic type via
+/// the "well-defined set of SQL to XML data type mappings" (paper §4.4).
+enum class ColumnType {
+  kInteger,    // -> xs:integer
+  kBigInt,     // -> xs:integer
+  kDecimal,    // -> xs:decimal
+  kDouble,     // -> xs:double
+  kVarchar,    // -> xs:string
+  kBoolean,    // -> xs:boolean
+  kTimestamp,  // -> xs:dateTime
+};
+
+const char* ColumnTypeName(ColumnType t);
+xml::AtomicType ToAtomicType(ColumnType t);
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kVarchar;
+  bool nullable = true;
+};
+
+/// A foreign key: `columns` of this table reference `ref_columns` of
+/// `ref_table`. Introspection turns these into navigation functions
+/// (paper §2.1).
+struct ForeignKey {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKey> foreign_keys;
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& column) const;
+  const ColumnDef* FindColumn(const std::string& column) const;
+};
+
+/// Schema metadata of one database, introspectable by the adaptor layer.
+class Catalog {
+ public:
+  Status AddTable(TableDef def);
+  const TableDef* FindTable(const std::string& name) const;
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace aldsp::relational
+
+#endif  // ALDSP_RELATIONAL_CATALOG_H_

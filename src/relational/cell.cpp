@@ -1,0 +1,71 @@
+#include "relational/cell.h"
+
+namespace aldsp::relational {
+
+Tribool TriAnd(Tribool a, Tribool b) {
+  if (a == Tribool::kFalse || b == Tribool::kFalse) return Tribool::kFalse;
+  if (a == Tribool::kUnknown || b == Tribool::kUnknown) return Tribool::kUnknown;
+  return Tribool::kTrue;
+}
+
+Tribool TriOr(Tribool a, Tribool b) {
+  if (a == Tribool::kTrue || b == Tribool::kTrue) return Tribool::kTrue;
+  if (a == Tribool::kUnknown || b == Tribool::kUnknown) return Tribool::kUnknown;
+  return Tribool::kFalse;
+}
+
+Tribool TriNot(Tribool a) {
+  switch (a) {
+    case Tribool::kTrue:
+      return Tribool::kFalse;
+    case Tribool::kFalse:
+      return Tribool::kTrue;
+    case Tribool::kUnknown:
+      return Tribool::kUnknown;
+  }
+  return Tribool::kUnknown;
+}
+
+Result<Tribool> CompareCells(const Cell& a, const Cell& b,
+                             const std::string& op) {
+  if (a.is_null || b.is_null) return Tribool::kUnknown;
+  ALDSP_ASSIGN_OR_RETURN(int c, a.value.Compare(b.value));
+  bool result;
+  if (op == "=") {
+    result = c == 0;
+  } else if (op == "<>") {
+    result = c != 0;
+  } else if (op == "<") {
+    result = c < 0;
+  } else if (op == "<=") {
+    result = c <= 0;
+  } else if (op == ">") {
+    result = c > 0;
+  } else if (op == ">=") {
+    result = c >= 0;
+  } else {
+    return Status::InvalidArgument("unknown comparison operator: " + op);
+  }
+  return ToTribool(result);
+}
+
+bool GroupingEquals(const Cell& a, const Cell& b) {
+  if (a.is_null && b.is_null) return true;
+  if (a.is_null != b.is_null) return false;
+  auto cmp = a.value.Compare(b.value);
+  return cmp.ok() && cmp.value() == 0;
+}
+
+int OrderCompare(const Cell& a, const Cell& b) {
+  if (a.is_null && b.is_null) return 0;
+  if (a.is_null) return 1;   // NULLs last
+  if (b.is_null) return -1;
+  auto cmp = a.value.Compare(b.value);
+  if (!cmp.ok()) {
+    // Incomparable types: order by type id to keep the sort total.
+    return static_cast<int>(a.value.type()) - static_cast<int>(b.value.type());
+  }
+  return cmp.value();
+}
+
+}  // namespace aldsp::relational

@@ -1,0 +1,56 @@
+#ifndef ALDSP_RELATIONAL_CELL_H_
+#define ALDSP_RELATIONAL_CELL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/value.h"
+
+namespace aldsp::relational {
+
+/// A nullable SQL value. NULLs are modeled explicitly here and become
+/// *missing elements* when rows cross into XML (paper §4.4: "NULLs are
+/// modeled as missing column elements, so the rows can be 'ragged'").
+struct Cell {
+  bool is_null = true;
+  xml::AtomicValue value;
+
+  static Cell Null() { return {}; }
+  static Cell Of(xml::AtomicValue v) { return {false, std::move(v)}; }
+  static Cell Int(int64_t v) { return Of(xml::AtomicValue::Integer(v)); }
+  static Cell Str(std::string v) {
+    return Of(xml::AtomicValue::String(std::move(v)));
+  }
+  static Cell Dbl(double v) { return Of(xml::AtomicValue::Double(v)); }
+  static Cell Bool(bool v) { return Of(xml::AtomicValue::Boolean(v)); }
+  static Cell Ts(int64_t epoch_seconds) {
+    return Of(xml::AtomicValue::DateTime(epoch_seconds));
+  }
+
+  std::string ToString() const { return is_null ? "NULL" : value.Lexical(); }
+};
+
+using Row = std::vector<Cell>;
+
+/// SQL three-valued logic.
+enum class Tribool { kFalse, kTrue, kUnknown };
+
+inline Tribool ToTribool(bool b) { return b ? Tribool::kTrue : Tribool::kFalse; }
+Tribool TriAnd(Tribool a, Tribool b);
+Tribool TriOr(Tribool a, Tribool b);
+Tribool TriNot(Tribool a);
+
+/// SQL comparison with NULL propagation; `op` is one of =,<>,<,<=,>,>=.
+Result<Tribool> CompareCells(const Cell& a, const Cell& b,
+                             const std::string& op);
+
+/// Equality used by GROUP BY / DISTINCT (NULLs group together).
+bool GroupingEquals(const Cell& a, const Cell& b);
+/// Ordering used by ORDER BY (NULLs sort last, as Oracle defaults).
+int OrderCompare(const Cell& a, const Cell& b);
+
+}  // namespace aldsp::relational
+
+#endif  // ALDSP_RELATIONAL_CELL_H_

@@ -1,0 +1,27 @@
+#include "runtime/adaptor.h"
+
+namespace aldsp::runtime {
+
+Status AdaptorRegistry::Register(std::shared_ptr<Adaptor> adaptor) {
+  if (Find(adaptor->source_id()) != nullptr) {
+    return Status::InvalidArgument("adaptor already registered: " +
+                                   adaptor->source_id());
+  }
+  adaptors_.push_back(std::move(adaptor));
+  return Status::OK();
+}
+
+Adaptor* AdaptorRegistry::Find(const std::string& source_id) const {
+  for (const auto& a : adaptors_) {
+    if (a->source_id() == source_id) return a.get();
+  }
+  return nullptr;
+}
+
+relational::Database* AdaptorRegistry::FindDatabase(
+    const std::string& source_id) const {
+  Adaptor* a = Find(source_id);
+  return a == nullptr ? nullptr : a->database();
+}
+
+}  // namespace aldsp::runtime

@@ -1,0 +1,64 @@
+#ifndef ALDSP_RUNTIME_ADAPTOR_H_
+#define ALDSP_RUNTIME_ADAPTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/engine.h"
+#include "xml/item.h"
+#include "xquery/ast.h"
+
+namespace aldsp::runtime {
+
+/// A runtime data source adaptor (paper §5.3). One adaptor instance
+/// represents one connected physical source; invocation follows the
+/// paper's five steps (connect, translate parameters, invoke, translate
+/// result into the typed token stream / item form, release).
+class Adaptor {
+ public:
+  virtual ~Adaptor() = default;
+
+  /// Registered source id ("customer_db", "ratingWS", ...).
+  virtual const std::string& source_id() const = 0;
+
+  /// Invokes a source function with XQuery-level arguments and returns the
+  /// result as a typed item sequence. Must be thread-safe: asynchronous
+  /// evaluation (fn-bea:async) calls adaptors from worker threads.
+  virtual Result<xml::Sequence> Invoke(
+      const std::string& function, const std::vector<xml::Sequence>& args) = 0;
+
+  /// Non-null for queryable (relational) sources; used by the pushdown
+  /// runtime to execute generated SQL.
+  virtual relational::Database* database() { return nullptr; }
+
+  /// Extensible pushdown hook (the §9 roadmap: pushing work to queryable
+  /// non-relational sources like LDAP). Sources that advertise pushable
+  /// operators (via the function's `pushdown_ops` metadata) receive the
+  /// pushed conjuncts plus the evaluated parameter values and return only
+  /// matching items. The default declines.
+  virtual Result<xml::Sequence> InvokeFiltered(
+      const xquery::CustomQuerySpec& spec,
+      const std::vector<xml::AtomicValue>& params) {
+    (void)params;
+    return Status::NotImplemented("source " + spec.source +
+                                  " does not accept pushed filters");
+  }
+};
+
+/// Runtime registry of connected adaptors, keyed by source id.
+class AdaptorRegistry {
+ public:
+  Status Register(std::shared_ptr<Adaptor> adaptor);
+  Adaptor* Find(const std::string& source_id) const;
+  /// Finds an adaptor that wraps a relational database, or null.
+  relational::Database* FindDatabase(const std::string& source_id) const;
+
+ private:
+  std::vector<std::shared_ptr<Adaptor>> adaptors_;
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_ADAPTOR_H_

@@ -1,0 +1,70 @@
+#ifndef ALDSP_RUNTIME_CONTEXT_H_
+#define ALDSP_RUNTIME_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "compiler/function_table.h"
+#include "runtime/adaptor.h"
+#include "runtime/function_cache.h"
+#include "runtime/observed_cost.h"
+#include "runtime/tuple_repr.h"
+
+namespace aldsp::runtime {
+
+/// Counters the benchmarks and the (future) observed-cost optimizer read.
+struct RuntimeStats {
+  std::atomic<int64_t> source_invocations{0};
+  std::atomic<int64_t> sql_pushdowns{0};
+  std::atomic<int64_t> join_probe_rows{0};
+  std::atomic<int64_t> ppk_blocks{0};
+  std::atomic<int64_t> async_tasks{0};
+  std::atomic<int64_t> timeouts_fired{0};
+  std::atomic<int64_t> failovers_fired{0};
+  std::atomic<int64_t> group_sort_fallbacks{0};
+  std::atomic<int64_t> streaming_groups{0};
+  /// Peak bytes materialized by a single blocking operator instance
+  /// (group-by / sort / join build side) — the memory axis of the
+  /// grouping and PP-k experiments.
+  std::atomic<int64_t> peak_operator_bytes{0};
+
+  void Reset() {
+    source_invocations = 0;
+    sql_pushdowns = 0;
+    join_probe_rows = 0;
+    ppk_blocks = 0;
+    async_tasks = 0;
+    timeouts_fired = 0;
+    failovers_fired = 0;
+    group_sort_fallbacks = 0;
+    streaming_groups = 0;
+    peak_operator_bytes = 0;
+  }
+
+  void NotePeakBytes(int64_t bytes) {
+    int64_t prev = peak_operator_bytes.load();
+    while (bytes > prev &&
+           !peak_operator_bytes.compare_exchange_weak(prev, bytes)) {
+    }
+  }
+};
+
+/// Everything the evaluator needs to execute a compiled plan: function
+/// metadata, connected adaptors, the optional mid-tier function cache,
+/// and tuning knobs.
+struct RuntimeContext {
+  const compiler::FunctionTable* functions = nullptr;
+  const AdaptorRegistry* adaptors = nullptr;
+  FunctionCache* function_cache = nullptr;   // optional
+  RuntimeStats* stats = nullptr;             // optional
+  ObservedCostModel* observed = nullptr;     // optional (§9 roadmap)
+
+  /// Maximum user-function call depth (recursion guard).
+  int max_call_depth = 64;
+  /// Representation for blocking-operator materialization (Fig. 4 knob).
+  TupleRepr materialize_repr = TupleRepr::kArray;
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_CONTEXT_H_

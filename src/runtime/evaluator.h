@@ -1,0 +1,55 @@
+#ifndef ALDSP_RUNTIME_EVALUATOR_H_
+#define ALDSP_RUNTIME_EVALUATOR_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "runtime/context.h"
+#include "runtime/tuple.h"
+#include "xml/item.h"
+#include "xquery/ast.h"
+
+namespace aldsp::runtime {
+
+/// Evaluates an analyzed (and typically optimized) expression tree
+/// against a variable environment. This is the ALDSP runtime system's
+/// entry point: FLWOR expressions execute as tuple-stream pipelines with
+/// the paper's operator repertoire — for/let/where, the four cross-source
+/// join methods (nested loop, index nested loop, PP-k over both), the
+/// streaming pre-clustered group operator with sort fallback, order-by,
+/// and pushed-down SQL regions executed through relational adaptors.
+///
+/// fn-bea:async arguments inside element constructors and sequences are
+/// evaluated concurrently on worker threads (paper §5.4); fn-bea:timeout
+/// and fn-bea:fail-over implement the §5.6 fail-over semantics. The
+/// RuntimeContext must outlive any in-flight timeout evaluations.
+Result<xml::Sequence> Evaluate(const xquery::Expr& expr, const Tuple& env,
+                               const RuntimeContext& ctx);
+
+/// Convenience entry point with an empty environment.
+Result<xml::Sequence> Evaluate(const xquery::Expr& expr,
+                               const RuntimeContext& ctx);
+
+/// Streaming evaluation (the paper's server-side API that lets same-JVM
+/// applications "consume the results of a data service call or query
+/// incrementally, as a stream ... without materializing them first"):
+/// a top-level FLWOR pipelines tuple by tuple, invoking `sink` per result
+/// item as it is produced; a sink error aborts evaluation immediately.
+/// Non-FLWOR roots fall back to materialize-then-deliver.
+Status EvaluateStream(const xquery::Expr& expr, const RuntimeContext& ctx,
+                      const std::function<Status(const xml::Item&)>& sink);
+
+/// Canonical encoding of an atomic value used for grouping, distinct-
+/// values and join keys (numeric values encode equal across numeric
+/// types; the empty sequence has a distinguished encoding).
+std::string EncodeAtomic(const xml::AtomicValue& v);
+std::string EncodeAtomicSequence(const xml::Sequence& atomized);
+
+/// Converts a relational result set into a sequence of row elements named
+/// `row_name`; NULL cells become missing child elements (paper §4.4).
+xml::Sequence RowsToItems(const relational::ResultSet& rs,
+                          const std::string& row_name);
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_EVALUATOR_H_

@@ -1,0 +1,106 @@
+#include "runtime/function_cache.h"
+
+#include "xml/serializer.h"
+
+namespace aldsp::runtime {
+
+void FunctionCache::EnableFor(const std::string& function,
+                              int64_t ttl_millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_[function] = ttl_millis;
+}
+
+void FunctionCache::DisableFor(const std::string& function) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.erase(function);
+}
+
+bool FunctionCache::IsEnabled(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_.count(function) > 0;
+}
+
+int64_t FunctionCache::TtlFor(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = enabled_.find(function);
+  return it == enabled_.end() ? -1 : it->second;
+}
+
+std::string FunctionCache::MakeKey(const std::string& function,
+                                   const std::vector<xml::Sequence>& args) {
+  std::string key = function;
+  for (const auto& arg : args) {
+    key += '\x1f';
+    key += xml::SerializeSequence(arg);
+  }
+  return key;
+}
+
+int64_t FunctionCache::NowMillis() const {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now).count() +
+         clock_skew_millis_.load();
+}
+
+bool FunctionCache::Lookup(const std::string& key, xml::Sequence* result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Local miss: consult the shared persistent store, if attached.
+    if (backing_store_ != nullptr) {
+      auto found = backing_store_->Get(key, NowMillis(), result);
+      if (found.ok() && found.value()) {
+        stats_.hits += 1;
+        return true;
+      }
+    }
+    stats_.misses += 1;
+    return false;
+  }
+  if (it->second.expires_at_millis <= NowMillis()) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    stats_.expirations += 1;
+    stats_.misses += 1;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  *result = it->second.result;
+  stats_.hits += 1;
+  return true;
+}
+
+void FunctionCache::Insert(const std::string& key, xml::Sequence result,
+                           int64_t ttl_millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (backing_store_ != nullptr) {
+    (void)backing_store_->Put(key, result, NowMillis() + ttl_millis);
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    it->second.expires_at_millis = NowMillis() + ttl_millis;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (entries_.size() >= max_entries_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  entries_.emplace(
+      key, Entry{std::move(result), NowMillis() + ttl_millis, lru_.begin()});
+}
+
+void FunctionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t FunctionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace aldsp::runtime

@@ -1,0 +1,104 @@
+#ifndef ALDSP_RUNTIME_FUNCTION_CACHE_H_
+#define ALDSP_RUNTIME_FUNCTION_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/item.h"
+
+namespace aldsp::runtime {
+
+/// Backing store interface for the function cache. The production ALDSP
+/// cache "employs a relational database to achieve persistence and
+/// distribution in the context of a cluster of ALDSP servers" (paper
+/// §5.5); src/cache provides that implementation.
+class CacheBackingStore {
+ public:
+  virtual ~CacheBackingStore() = default;
+  virtual Status Put(const std::string& key, const xml::Sequence& value,
+                     int64_t expires_at_millis) = 0;
+  /// Returns true and fills `value` when a non-expired entry exists.
+  virtual Result<bool> Get(const std::string& key, int64_t now_millis,
+                           xml::Sequence* value) = 0;
+};
+
+/// The ALDSP mid-tier function cache (paper §5.5): a map from (function,
+/// argument values) to the function result, with an administratively
+/// configured TTL per function. It caches *function invocations* — not a
+/// queryable materialized view — which is what makes it effective for
+/// turning slow service calls into lookups. Entries are cached before
+/// security filtering so they are shareable across users (paper §7).
+class FunctionCache {
+ public:
+  struct Stats {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> expirations{0};
+  };
+
+  explicit FunctionCache(size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// Enables caching for a function with the given TTL. A data service
+  /// designer must allow caching before an administrator enables it;
+  /// this API models the administrative step.
+  void EnableFor(const std::string& function, int64_t ttl_millis);
+  void DisableFor(const std::string& function);
+  bool IsEnabled(const std::string& function) const;
+  /// TTL for a function, or -1 if caching is not enabled for it.
+  int64_t TtlFor(const std::string& function) const;
+
+  /// Builds the cache key for an invocation.
+  static std::string MakeKey(const std::string& function,
+                             const std::vector<xml::Sequence>& args);
+
+  /// Looks up a non-stale entry. Returns true and fills `result` on a hit.
+  bool Lookup(const std::string& key, xml::Sequence* result);
+  /// Inserts a result with the given TTL (LRU eviction at capacity).
+  void Insert(const std::string& key, xml::Sequence result,
+              int64_t ttl_millis);
+
+  void Clear();
+  size_t size() const;
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Advances the cache's virtual clock — lets tests and benchmarks expire
+  /// entries without real sleeps.
+  void AdvanceClockForTest(int64_t millis) { clock_skew_millis_ += millis; }
+
+  /// Attaches a shared persistent store (cluster distribution, §5.5):
+  /// local misses consult the store; inserts write through.
+  void set_backing_store(std::shared_ptr<CacheBackingStore> store) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    backing_store_ = std::move(store);
+  }
+
+ private:
+  int64_t NowMillis() const;
+
+  struct Entry {
+    xml::Sequence result;
+    int64_t expires_at_millis;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, int64_t> enabled_;
+  std::shared_ptr<CacheBackingStore> backing_store_;
+  Stats stats_;
+  std::atomic<int64_t> clock_skew_millis_{0};
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_FUNCTION_CACHE_H_

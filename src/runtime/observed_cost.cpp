@@ -1,0 +1,77 @@
+#include "runtime/observed_cost.h"
+
+#include <algorithm>
+
+namespace aldsp::runtime {
+
+void ObservedCostModel::RecordTableScan(const std::string& source,
+                                        const std::string& table,
+                                        int64_t rows, int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TableObservation& obs = tables_[{source, table}];
+  obs.rows = rows;
+  obs.avg_scan_micros =
+      (obs.avg_scan_micros * static_cast<double>(obs.scans) +
+       static_cast<double>(micros)) /
+      static_cast<double>(obs.scans + 1);
+  obs.scans += 1;
+}
+
+void ObservedCostModel::RecordStatement(const std::string& source,
+                                        int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& [n, avg] = statements_[source];
+  avg = (avg * static_cast<double>(n) + static_cast<double>(micros)) /
+        static_cast<double>(n + 1);
+  n += 1;
+}
+
+int64_t ObservedCostModel::ObservedRows(const std::string& source,
+                                        const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find({source, table});
+  return it == tables_.end() ? -1 : it->second.rows;
+}
+
+double ObservedCostModel::ObservedRoundTripMicros(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = statements_.find(source);
+  return it == statements_.end() ? -1.0 : it->second.second;
+}
+
+ObservedCostModel::TableObservation ObservedCostModel::TableStats(
+    const std::string& source, const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find({source, table});
+  return it == tables_.end() ? TableObservation{} : it->second;
+}
+
+bool ObservedCostModel::AdvisePPk(const std::string& source,
+                                  const std::string& table,
+                                  int64_t estimated_outer_rows,
+                                  bool default_ppk) const {
+  int64_t inner = ObservedRows(source, table);
+  if (inner < 0 || estimated_outer_rows < 0) return default_ppk;
+  // A full fetch transfers `inner` rows once; PP-k fetches only joining
+  // rows but pays ceil(outer/k) round trips. With the default k, PP-k
+  // wins when the outer is small relative to the inner table.
+  return estimated_outer_rows * 4 < inner;
+}
+
+int ObservedCostModel::AdvisePPkBlockSize(
+    int64_t estimated_outer_rows) const {
+  if (estimated_outer_rows < 0) return 20;
+  // Aim for at most ~10 round trips while keeping the paper's default as
+  // the floor and bounded middleware block memory as the ceiling.
+  int64_t k = estimated_outer_rows / 10;
+  return static_cast<int>(std::clamp<int64_t>(k, 20, 500));
+}
+
+void ObservedCostModel::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_.clear();
+  statements_.clear();
+}
+
+}  // namespace aldsp::runtime

@@ -1,0 +1,69 @@
+#ifndef ALDSP_RUNTIME_OBSERVED_COST_H_
+#define ALDSP_RUNTIME_OBSERVED_COST_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace aldsp::runtime {
+
+/// Observed-cost instrumentation — an implementation of the paper's §9
+/// roadmap item: "skip past 'old school' techniques that rely on static
+/// cost models and difficult-to-obtain statistics, instead instrumenting
+/// the system and basing its optimization decisions (such as evaluation
+/// ordering and parallelization) only on actually observed data
+/// characteristics and data source behavior."
+///
+/// The runtime records what each source actually did (rows returned per
+/// table, statement round-trip time); the optimizer consults these
+/// observations when picking cross-source join methods and PP-k block
+/// sizes on the next compilation.
+class ObservedCostModel {
+ public:
+  struct TableObservation {
+    int64_t rows = -1;            // last observed cardinality
+    int64_t scans = 0;            // times observed
+    double avg_scan_micros = 0;   // running average full-scan time
+  };
+
+  /// Records a completed table fetch.
+  void RecordTableScan(const std::string& source, const std::string& table,
+                       int64_t rows, int64_t micros);
+  /// Records a statement round trip (any SQL execution).
+  void RecordStatement(const std::string& source, int64_t micros);
+
+  /// Last observed cardinality of a table, or -1 if never observed.
+  int64_t ObservedRows(const std::string& source,
+                       const std::string& table) const;
+  /// Running average statement round-trip time for a source (-1 unknown).
+  double ObservedRoundTripMicros(const std::string& source) const;
+
+  TableObservation TableStats(const std::string& source,
+                              const std::string& table) const;
+
+  /// Join-method advice for a cross-source join whose right side scans
+  /// `table`: returns true when PP-k is advisable (the outer is small
+  /// relative to the observed inner cardinality, so parameterized
+  /// fetches beat a full transfer), false when a one-shot full fetch
+  /// (index nested loop) is expected to win. Unknown cardinalities give
+  /// no advice (returns `default_ppk`).
+  bool AdvisePPk(const std::string& source, const std::string& table,
+                 int64_t estimated_outer_rows, bool default_ppk) const;
+
+  /// Block-size advice: balances round trips against block memory given
+  /// the estimated outer cardinality; clamped to [20, 500] so the paper's
+  /// empirical default is the floor.
+  int AdvisePPkBlockSize(int64_t estimated_outer_rows) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, std::string>, TableObservation> tables_;
+  std::map<std::string, std::pair<int64_t, double>> statements_;  // n, avg
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_OBSERVED_COST_H_

@@ -1,0 +1,47 @@
+#ifndef ALDSP_RUNTIME_TUPLE_H_
+#define ALDSP_RUNTIME_TUPLE_H_
+
+#include <memory>
+#include <string>
+
+#include "xml/item.h"
+
+namespace aldsp::runtime {
+
+/// A binding tuple: an immutable environment mapping FLWOR variables to
+/// item sequences. Binding returns a new tuple sharing the tail, so the
+/// tuple streams flowing between operators are cheap to extend. (Tuples
+/// are internal to the runtime and never XQuery-visible — paper §5.1.)
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// New tuple with `name` bound to `value`, shadowing earlier bindings.
+  Tuple Bind(const std::string& name, xml::Sequence value) const {
+    Tuple t;
+    t.head_ = std::make_shared<Node>(Node{name, std::move(value), head_});
+    return t;
+  }
+
+  /// Innermost binding of `name`, or nullptr.
+  const xml::Sequence* Lookup(const std::string& name) const {
+    for (const Node* n = head_.get(); n != nullptr; n = n->next.get()) {
+      if (n->name == name) return &n->value;
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return head_ == nullptr; }
+
+ private:
+  struct Node {
+    std::string name;
+    xml::Sequence value;
+    std::shared_ptr<const Node> next;
+  };
+  std::shared_ptr<const Node> head_;
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_TUPLE_H_

@@ -1,0 +1,79 @@
+#ifndef ALDSP_RUNTIME_TUPLE_REPR_H_
+#define ALDSP_RUNTIME_TUPLE_REPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/item.h"
+#include "xml/token.h"
+
+namespace aldsp::runtime {
+
+/// The three internal tuple representations of Fig. 4 (paper §5.1).
+/// The optimizer picks one per materialization point based on usage:
+///  - kStream: a flat token vector with (BeginTuple, FieldSeparator,
+///    EndTuple) framing. Lowest memory; field access requires scanning
+///    (skipping over earlier fields token by token).
+///  - kSingleToken: one boxed token per tuple holding its fields; the
+///    framed stream is re-extracted when content is needed. Cheap to
+///    skip whole tuples, expensive to access content.
+///  - kArray: one token (item sequence) per field. Highest memory, O(1)
+///    access to every field — ideal for flat relational data where every
+///    field is a single token.
+enum class TupleRepr { kStream, kSingleToken, kArray };
+
+const char* TupleReprName(TupleRepr r);
+
+/// A materialized buffer of N-field tuples in one of the three
+/// representations. Used by blocking operators (sort, group, PP-k block
+/// assembly) and by the Fig. 4 reproduction benchmark.
+class TupleBuffer {
+ public:
+  TupleBuffer(TupleRepr repr, size_t field_count);
+  ~TupleBuffer();
+
+  TupleRepr repr() const { return repr_; }
+  size_t field_count() const { return field_count_; }
+  size_t size() const { return tuple_count_; }
+
+  /// Appends one tuple given its field sequences.
+  void Append(const std::vector<xml::Sequence>& fields);
+
+  /// Reads one field of one tuple. Cost depends on the representation:
+  /// kArray is O(1); kStream scans from the start of the tuple's frame;
+  /// kSingleToken unboxes the tuple then scans.
+  Result<xml::Sequence> GetField(size_t row, size_t field) const;
+
+  /// Reads a whole tuple.
+  Result<std::vector<xml::Sequence>> GetTuple(size_t row) const;
+
+  /// Approximate heap footprint — the memory axis of Fig. 4.
+  size_t MemoryBytes() const;
+
+ private:
+  struct BoxedTupleBytes;  // one tuple's packed token bytes
+
+  TupleRepr repr_;
+  size_t field_count_;
+  size_t tuple_count_ = 0;
+
+  // kStream: one packed byte buffer holding every framed tuple. The
+  // compact binary token encoding is what gives the stream
+  // representation its low footprint; access decodes sequentially.
+  std::string stream_bytes_;
+  std::vector<size_t> tuple_offsets_;  // byte offset of each BeginTuple
+
+  // kSingleToken: one boxed packed buffer per tuple (cheap to skip whole
+  // tuples, content decoded on demand).
+  std::vector<std::shared_ptr<BoxedTupleBytes>> boxed_;
+
+  // kArray: materialized field sequences, row-major
+  // (row * field_count + field); O(1) access, highest memory.
+  std::vector<xml::Sequence> array_;
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_TUPLE_REPR_H_

@@ -1,0 +1,121 @@
+#include "security/security.h"
+
+#include "xml/node.h"
+
+namespace aldsp::security {
+
+using xml::NodeKind;
+using xml::NodePtr;
+using xml::XNode;
+
+void AuditLog::Record(const std::string& category, const std::string& user,
+                      const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({next_sequence_++, category, user, detail});
+}
+
+std::vector<AuditLog::Event> AuditLog::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<AuditLog::Event> AuditLog::EventsInCategory(
+    const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void AccessControl::AddFunctionAcl(FunctionAcl acl) {
+  function_acls_.push_back(std::move(acl));
+}
+
+void AccessControl::AddElementPolicy(ElementPolicy policy) {
+  element_policies_.push_back(std::move(policy));
+}
+
+Status AccessControl::CheckFunctionAccess(
+    const Principal& principal, const std::vector<std::string>& functions,
+    AuditLog* audit) const {
+  for (const auto& fn : functions) {
+    for (const auto& acl : function_acls_) {
+      if (acl.function != fn) continue;
+      if (!principal.HasAnyRole(acl.allowed_roles)) {
+        if (audit != nullptr) {
+          audit->Record("access-denied", principal.user,
+                        "function " + fn);
+        }
+        return Status::SecurityError("user " + principal.user +
+                                     " may not call " + fn);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Applies policies to `node` (whose path from the item root is `path`),
+// returning false if the node should be removed entirely.
+bool RedactNode(const NodePtr& node, const std::string& path,
+                const std::vector<ElementPolicy>& policies,
+                const Principal& principal, AuditLog* audit) {
+  for (const auto& p : policies) {
+    if (p.resource_path != path) continue;
+    if (principal.HasAnyRole(p.allowed_roles)) continue;
+    if (audit != nullptr) {
+      audit->Record("redaction", principal.user, "resource " + path);
+    }
+    if (p.action == RedactionAction::kRemove) return false;
+    node->SetChildren({XNode::Text(p.replacement)});
+    return true;
+  }
+  // Recurse into children.
+  for (size_t i = node->children().size(); i > 0; --i) {
+    const NodePtr& child = node->children()[i - 1];
+    if (child->kind() != NodeKind::kElement) continue;
+    std::string child_path =
+        path + "/" + xml::LocalName(child->name());
+    if (!RedactNode(child, child_path, policies, principal, audit)) {
+      node->RemoveChildAt(i - 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+xml::Sequence AccessControl::FilterResult(const Principal& principal,
+                                          const xml::Sequence& result,
+                                          AuditLog* audit) const {
+  if (element_policies_.empty()) return result;
+  xml::Sequence out;
+  out.reserve(result.size());
+  for (const auto& item : result) {
+    if (!item.is_node() || item.node()->kind() != NodeKind::kElement) {
+      out.push_back(item);
+      continue;
+    }
+    NodePtr copy = item.node()->Clone();
+    std::string root_path = xml::LocalName(copy->name());
+    if (RedactNode(copy, root_path, element_policies_, principal, audit)) {
+      out.emplace_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace aldsp::security

@@ -1,0 +1,104 @@
+#ifndef ALDSP_SECURITY_SECURITY_H_
+#define ALDSP_SECURITY_SECURITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/item.h"
+
+namespace aldsp::security {
+
+/// An authenticated caller with roles (the WebLogic security framework
+/// substitute).
+struct Principal {
+  std::string user;
+  std::set<std::string> roles;
+
+  bool HasAnyRole(const std::set<std::string>& required) const {
+    for (const auto& r : required) {
+      if (roles.count(r) > 0) return true;
+    }
+    return false;
+  }
+};
+
+/// What to do when an unauthorized caller would see a protected subtree
+/// (paper §7): silently remove it, or substitute an administratively
+/// specified replacement value.
+enum class RedactionAction { kRemove, kReplace };
+
+/// A labeled security resource: an element subtree of a data service's
+/// shape, identified by its slash path of element names from the result
+/// item's root ("PROFILE/RATING").
+struct ElementPolicy {
+  std::string resource_path;
+  std::set<std::string> allowed_roles;
+  RedactionAction action = RedactionAction::kRemove;
+  xml::AtomicValue replacement;
+};
+
+/// Function-level access control: who is allowed to call what.
+struct FunctionAcl {
+  std::string function;
+  std::set<std::string> allowed_roles;
+};
+
+/// Auditing security service (paper §7): records security decisions and
+/// operational events for administrative monitoring.
+class AuditLog {
+ public:
+  struct Event {
+    int64_t sequence;
+    std::string category;  // "access-denied", "redaction", "query", ...
+    std::string user;
+    std::string detail;
+  };
+
+  void Record(const std::string& category, const std::string& user,
+              const std::string& detail);
+  std::vector<Event> Events() const;
+  std::vector<Event> EventsInCategory(const std::string& category) const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::atomic<int64_t> next_sequence_{1};
+};
+
+/// The fine-grained access control service. Fine-grained filtering is
+/// applied at a late stage of query processing — after the function
+/// cache — so plans and cached results stay shareable across users
+/// (paper §7).
+class AccessControl {
+ public:
+  void AddFunctionAcl(FunctionAcl acl);
+  void AddElementPolicy(ElementPolicy policy);
+
+  /// Checks that the principal may call every listed function.
+  Status CheckFunctionAccess(const Principal& principal,
+                             const std::vector<std::string>& functions,
+                             AuditLog* audit = nullptr) const;
+
+  /// Applies element policies to a result, producing a redacted copy.
+  /// Matching subtrees are removed or replaced per policy.
+  xml::Sequence FilterResult(const Principal& principal,
+                             const xml::Sequence& result,
+                             AuditLog* audit = nullptr) const;
+
+  bool has_element_policies() const { return !element_policies_.empty(); }
+
+ private:
+  std::vector<FunctionAcl> function_acls_;
+  std::vector<ElementPolicy> element_policies_;
+};
+
+}  // namespace aldsp::security
+
+#endif  // ALDSP_SECURITY_SECURITY_H_

@@ -1,0 +1,368 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+
+namespace aldsp::server {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Collects every function the query can reach, transitively through the
+// bodies of user-defined functions: access control must see indirect
+// calls (tns:getProfileByID calls tns:getProfile) even though the
+// optimizer later unfolds them all.
+void CollectCalledFunctions(const xquery::ExprPtr& e,
+                            const compiler::FunctionTable& functions,
+                            std::vector<std::string>* out) {
+  if (e->kind == xquery::ExprKind::kFunctionCall) {
+    bool seen = false;
+    for (const auto& f : *out) {
+      if (f == e->fn_name) seen = true;
+    }
+    if (!seen) {
+      out->push_back(e->fn_name);
+      const compiler::UserFunction* fn = functions.FindUser(e->fn_name);
+      if (fn != nullptr && fn->body != nullptr) {
+        CollectCalledFunctions(fn->body, functions, out);
+      }
+    }
+  }
+  xquery::ForEachChildSlot(*e, [&](xquery::ExprPtr& c) {
+    if (c) CollectCalledFunctions(c, functions, out);
+  });
+}
+
+}  // namespace
+
+DataServicePlatform::DataServicePlatform(ServerOptions options)
+    : options_(std::move(options)),
+      view_cache_(options_.view_plan_cache_size) {
+  ctx_.functions = &functions_;
+  ctx_.adaptors = &adaptors_;
+  ctx_.function_cache = &function_cache_;
+  ctx_.stats = &stats_;
+  // Observed-cost feedback loop (§9 roadmap): the runtime records source
+  // behaviour; the optimizer consults it on the next compilation.
+  ctx_.observed = &observed_;
+  options_.optimizer.observed = &observed_;
+}
+
+Status DataServicePlatform::RegisterRelationalSource(
+    const std::string& fn_prefix, std::shared_ptr<relational::Database> db,
+    const std::string& vendor) {
+  auto adaptor =
+      std::make_shared<adaptors::RelationalAdaptor>(db->name(), db);
+  ALDSP_RETURN_NOT_OK(service::IntrospectRelationalSource(
+      fn_prefix, db, adaptor.get(), &functions_, &schemas_, vendor));
+  return adaptors_.Register(std::move(adaptor));
+}
+
+Status DataServicePlatform::RegisterAdaptor(
+    std::shared_ptr<runtime::Adaptor> adaptor) {
+  return adaptors_.Register(std::move(adaptor));
+}
+
+Status DataServicePlatform::RegisterFunctionalSource(
+    const std::string& function_name, const std::string& source_id,
+    const std::string& kind, std::vector<xsd::SequenceType> param_types,
+    xsd::SequenceType return_type,
+    std::map<std::string, std::string> extra_properties) {
+  return service::RegisterFunctionalSource(
+      function_name, source_id, kind, std::move(param_types),
+      std::move(return_type), &functions_, std::move(extra_properties));
+}
+
+Status DataServicePlatform::RegisterXmlSource(const std::string& function_name,
+                                              const std::string& xml_text,
+                                              const xsd::TypePtr& item_schema) {
+  if (file_adaptor_ == nullptr) {
+    file_adaptor_ = std::make_shared<adaptors::FileAdaptor>("files");
+    ALDSP_RETURN_NOT_OK(adaptors_.Register(file_adaptor_));
+  }
+  ALDSP_RETURN_NOT_OK(
+      file_adaptor_->RegisterXmlContent(function_name, xml_text, item_schema));
+  if (item_schema != nullptr) {
+    schemas_.Register(item_schema->name(), item_schema);
+  }
+  return service::RegisterFunctionalSource(
+      function_name, "files", "file", {},
+      item_schema != nullptr ? xsd::Star(item_schema)
+                             : xsd::AnySequence(),
+      &functions_);
+}
+
+Status DataServicePlatform::RegisterCsvSource(
+    const std::string& function_name, const std::string& csv_text,
+    const std::string& row_name, const std::vector<std::string>& column_names,
+    const std::vector<xml::AtomicType>& column_types) {
+  if (file_adaptor_ == nullptr) {
+    file_adaptor_ = std::make_shared<adaptors::FileAdaptor>("files");
+    ALDSP_RETURN_NOT_OK(adaptors_.Register(file_adaptor_));
+  }
+  ALDSP_RETURN_NOT_OK(file_adaptor_->RegisterCsvContent(
+      function_name, csv_text, row_name, column_types));
+  if (column_names.size() != column_types.size()) {
+    return Status::InvalidArgument("column names/types size mismatch");
+  }
+  std::vector<xsd::ElementField> fields;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    fields.push_back(
+        {column_names[i],
+         xsd::Opt(xsd::XType::SimpleElement(column_names[i],
+                                            column_types[i]))});
+  }
+  xsd::TypePtr row_type =
+      xsd::XType::ComplexElement(row_name, std::move(fields));
+  schemas_.Register(row_name, row_type);
+  return service::RegisterFunctionalSource(function_name, "files", "file", {},
+                                           xsd::Star(row_type), &functions_);
+}
+
+Status DataServicePlatform::LoadDataService(const std::string& xquery_text) {
+  ALDSP_ASSIGN_OR_RETURN(xquery::Module module,
+                         xquery::ParseModule(xquery_text));
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&functions_, &schemas_, &bag);
+  ALDSP_RETURN_NOT_OK(analyzer.AnalyzeModule(module, &functions_));
+  if (bag.has_errors()) return bag.FirstError();
+  // Register the file's functions as data services, one per namespace
+  // prefix (paper §2.1).
+  std::set<std::string> prefixes;
+  for (const auto& fn : module.functions) {
+    size_t colon = fn.name.find(':');
+    if (colon != std::string::npos) prefixes.insert(fn.name.substr(0, colon));
+  }
+  for (const auto& prefix : prefixes) {
+    auto svc = services_.BuildService(functions_, prefix);
+    if (svc.ok()) ALDSP_RETURN_NOT_OK(services_.Register(std::move(*svc)));
+  }
+  ClearPlanCache();
+  view_cache_.Clear();
+  return Status::OK();
+}
+
+Result<update::LineageMap> DataServicePlatform::LineageFor(
+    const std::string& service_name) {
+  const service::DataService* svc = services_.Find(service_name);
+  if (svc == nullptr) {
+    return Status::NotFound("no such data service: " + service_name);
+  }
+  if (svc->lineage_provider.empty()) {
+    return Status::UpdateError("data service " + service_name +
+                               " has no lineage provider (no read method)");
+  }
+  return update::ComputeLineage(svc->lineage_provider, functions_);
+}
+
+Result<update::SubmitReport> DataServicePlatform::Submit(
+    const std::string& service_name, const update::DataObject& object,
+    const update::SubmitOptions& options) {
+  ALDSP_ASSIGN_OR_RETURN(update::LineageMap lineage, LineageFor(service_name));
+  update::UpdateEngine engine(&functions_, &adaptors_);
+  auto report = engine.Submit(object, lineage, options);
+  if (report.ok() && !report->statements.empty()) {
+    audit_.Record("update", "", "submit to " + service_name + " touched " +
+                                    std::to_string(report->sources_touched.size()) +
+                                    " source(s)");
+  }
+  return report;
+}
+
+Status DataServicePlatform::LoadDataServiceWithRecovery(
+    const std::string& xquery_text, DiagnosticBag* bag) {
+  ALDSP_ASSIGN_OR_RETURN(xquery::Module module,
+                         xquery::ParseModule(xquery_text, bag, true));
+  compiler::AnalyzeOptions opts;
+  opts.recover = true;
+  compiler::Analyzer analyzer(&functions_, &schemas_, bag, opts);
+  ALDSP_RETURN_NOT_OK(analyzer.AnalyzeModule(module, &functions_));
+  ClearPlanCache();
+  view_cache_.Clear();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Compile(
+    const std::string& query) {
+  auto plan = std::make_shared<CompiledPlan>();
+  plan->text = query;
+
+  int64_t t0 = NowMicros();
+  ALDSP_ASSIGN_OR_RETURN(xquery::ExprPtr expr, xquery::ParseExpression(query));
+  int64_t t1 = NowMicros();
+  plan->parse_micros = t1 - t0;
+
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&functions_, &schemas_, &bag);
+  ALDSP_RETURN_NOT_OK(analyzer.Analyze(expr, {}));
+  CollectCalledFunctions(expr, functions_, &plan->called_functions);
+  int64_t t2 = NowMicros();
+  plan->analyze_micros = t2 - t1;
+
+  if (options_.enable_optimizer) {
+    optimizer::Optimizer opt(&functions_, &schemas_, &view_cache_,
+                             options_.optimizer);
+    ALDSP_RETURN_NOT_OK(opt.Optimize(expr));
+  }
+  int64_t t3 = NowMicros();
+  plan->optimize_micros = t3 - t2;
+
+  if (options_.enable_pushdown) {
+    ALDSP_RETURN_NOT_OK(
+        sql::PushdownRewrite(expr, &functions_, &plan->pushdown));
+    DiagnosticBag bag2;
+    compiler::Analyzer reanalyzer(&functions_, &schemas_, &bag2);
+    ALDSP_RETURN_NOT_OK(reanalyzer.Analyze(expr, {}));
+  }
+  plan->pushdown_micros = NowMicros() - t3;
+
+  plan->plan = std::move(expr);
+  return std::shared_ptr<const CompiledPlan>(plan);
+}
+
+Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Prepare(
+    const std::string& query) {
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+    auto it = plan_cache_.find(query);
+    if (it != plan_cache_.end()) {
+      ++plan_cache_hits_;
+      plan_lru_.remove(query);
+      plan_lru_.push_front(query);
+      return it->second;
+    }
+    ++plan_cache_misses_;
+  }
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Compile(query));
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+    while (plan_cache_.size() >= options_.plan_cache_size &&
+           !plan_lru_.empty()) {
+      plan_cache_.erase(plan_lru_.back());
+      plan_lru_.pop_back();
+    }
+    plan_cache_[query] = plan;
+    plan_lru_.push_front(query);
+  }
+  return plan;
+}
+
+Result<xml::Sequence> DataServicePlatform::Execute(const std::string& query) {
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Prepare(query));
+  return ExecutePlan(*plan);
+}
+
+Result<xml::Sequence> DataServicePlatform::ExecutePlan(
+    const CompiledPlan& plan) {
+  return runtime::Evaluate(*plan.plan, ctx_);
+}
+
+Result<xml::Sequence> DataServicePlatform::CallMethod(
+    const std::string& function, const std::vector<std::string>& args,
+    const MethodCriteria& criteria) {
+  // The method call composes into XQuery text, so the plan cache and the
+  // whole compilation pipeline apply to it.
+  std::string call = function + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) call += ", ";
+    call += args[i];
+  }
+  call += ")";
+  std::string query;
+  if (criteria.filter_child.empty() && criteria.sort_child.empty()) {
+    query = call;
+  } else {
+    query = "for $mc_item in " + call + " ";
+    if (!criteria.filter_child.empty()) {
+      std::string value = criteria.filter_is_string
+                              ? "\"" + criteria.filter_value + "\""
+                              : criteria.filter_value;
+      query += "where $mc_item/" + criteria.filter_child + " " +
+               criteria.filter_op + " " + value + " ";
+    }
+    if (!criteria.sort_child.empty()) {
+      query += "order by $mc_item/" + criteria.sort_child +
+               (criteria.sort_descending ? " descending " : " ");
+    }
+    query += "return $mc_item";
+  }
+  return Execute(query);
+}
+
+Result<xml::Sequence> DataServicePlatform::ExecuteAs(
+    const std::string& query, const security::Principal& principal) {
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Prepare(query));
+  ALDSP_RETURN_NOT_OK(access_control_.CheckFunctionAccess(
+      principal, plan->called_functions, &audit_));
+  ALDSP_ASSIGN_OR_RETURN(xml::Sequence result, ExecutePlan(*plan));
+  // Fine-grained filtering happens last so cached plans and cached
+  // function results remain user-agnostic (paper §7).
+  return access_control_.FilterResult(principal, result, &audit_);
+}
+
+Status DataServicePlatform::ExecuteStream(
+    const std::string& query,
+    const std::function<Status(const xml::Item&)>& sink) {
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Prepare(query));
+  // FLWOR plans pipeline tuple by tuple: items reach the sink as they
+  // are produced, without materializing the whole result (the paper's
+  // server-side streaming API; remote client APIs stay materialized to
+  // keep them stateless).
+  return runtime::EvaluateStream(*plan->plan, ctx_, sink);
+}
+
+void DataServicePlatform::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+  plan_cache_.clear();
+  plan_lru_.clear();
+}
+
+std::string DataServicePlatform::Describe() const {
+  std::ostringstream os;
+  os << "=== ALDSP server ===\n";
+  os << "external functions (physical data services):\n";
+  for (const auto& fn : functions_.external_functions()) {
+    os << "  " << fn.name << "  [" << fn.kind() << " @ "
+       << fn.Property("source") << "]";
+    if (!fn.Property("table").empty()) os << " table=" << fn.Property("table");
+    os << "\n";
+  }
+  os << "user functions (logical data services):\n";
+  for (const auto& fn : functions_.user_functions()) {
+    os << "  " << fn.name << "  kind=" << fn.pragma_kind
+       << (fn.valid ? "" : "  [INVALID]")
+       << (fn.is_primary ? "  [lineage provider]" : "") << "\n";
+  }
+  os << "deployed data services:\n";
+  for (const auto& svc : services_.services()) {
+    os << "  " << svc.name << ": " << svc.read_methods.size() << " read, "
+       << svc.navigate_methods.size() << " navigate; lineage provider "
+       << (svc.lineage_provider.empty() ? "<none>" : svc.lineage_provider)
+       << "\n";
+  }
+  os << "caches: plan " << plan_cache_.size() << " entries ("
+     << plan_cache_hits_ << " hits / " << plan_cache_misses_
+     << " misses), view plans " << view_cache_.size() << ", function cache "
+     << function_cache_.size() << " entries ("
+     << function_cache_.stats().hits.load() << " hits)\n";
+  os << "runtime: " << stats_.source_invocations.load()
+     << " source invocations, " << stats_.sql_pushdowns.load()
+     << " pushed SQL executions, " << stats_.ppk_blocks.load()
+     << " PP-k blocks, " << stats_.async_tasks.load() << " async tasks, "
+     << stats_.timeouts_fired.load() << " timeouts, "
+     << stats_.failovers_fired.load() << " failovers\n";
+  os << "audit events: " << audit_.size() << "\n";
+  return os.str();
+}
+
+}  // namespace aldsp::server

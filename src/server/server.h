@@ -1,0 +1,221 @@
+#ifndef ALDSP_SERVER_SERVER_H_
+#define ALDSP_SERVER_SERVER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "adaptors/file_adaptor.h"
+#include "adaptors/relational_adaptor.h"
+#include "compiler/analyzer.h"
+#include "compiler/function_table.h"
+#include "optimizer/optimizer.h"
+#include "runtime/context.h"
+#include "runtime/evaluator.h"
+#include "security/security.h"
+#include "service/data_service.h"
+#include "service/introspect.h"
+#include "sql/pushdown.h"
+#include "update/engine.h"
+#include "xquery/parser.h"
+
+namespace aldsp::server {
+
+/// A compiled, executable query plan (the output of code generation,
+/// paper §3.3 step 6). Plans are immutable after compilation and safe to
+/// share across executions and threads.
+struct CompiledPlan {
+  std::string text;
+  xquery::ExprPtr plan;
+  sql::PushdownStats pushdown;
+  /// User/data-service functions the original query calls — recorded
+  /// before view unfolding so function-level access control still sees
+  /// them (paper §7).
+  std::vector<std::string> called_functions;
+  /// Microseconds spent in each compilation phase, for the §3.3 bench.
+  int64_t parse_micros = 0;
+  int64_t analyze_micros = 0;
+  int64_t optimize_micros = 0;
+  int64_t pushdown_micros = 0;
+};
+
+struct ServerOptions {
+  optimizer::OptimizerOptions optimizer;
+  bool enable_optimizer = true;
+  bool enable_pushdown = true;
+  size_t plan_cache_size = 256;
+  size_t view_plan_cache_size = 256;
+};
+
+/// The ALDSP server (paper Fig. 2): data service metadata, the query
+/// compiler (analysis, optimization, SQL pushdown), the plan cache, the
+/// runtime with its adaptor framework, and the mid-tier function cache.
+/// Client results are fully materialized (the paper's client APIs are
+/// stateless); `ExecuteStream` exposes the server-side incremental API.
+class DataServicePlatform {
+ public:
+  explicit DataServicePlatform(ServerOptions options = {});
+
+  // ----- Source registration (design-time) ----------------------------
+
+  /// Introspects a relational database and registers its physical data
+  /// services under `fn_prefix` (one read function per table, navigation
+  /// functions from foreign keys).
+  Status RegisterRelationalSource(const std::string& fn_prefix,
+                                  std::shared_ptr<relational::Database> db,
+                                  const std::string& vendor = "base-sql92");
+
+  /// Registers a functional/file source adaptor; its functions must be
+  /// declared separately via RegisterFunctionalSource.
+  Status RegisterAdaptor(std::shared_ptr<runtime::Adaptor> adaptor);
+
+  Status RegisterFunctionalSource(
+      const std::string& function_name, const std::string& source_id,
+      const std::string& kind, std::vector<xsd::SequenceType> param_types,
+      xsd::SequenceType return_type,
+      std::map<std::string, std::string> extra_properties = {});
+
+  /// Registers a non-queryable XML document source (paper §2.2): the
+  /// content is parsed, validated against `item_schema` (which is also
+  /// added to the schema registry), and surfaced as the zero-argument
+  /// function `function_name`.
+  Status RegisterXmlSource(const std::string& function_name,
+                           const std::string& xml_text,
+                           const xsd::TypePtr& item_schema);
+
+  /// Registers a delimited-file source: records become <row_name>
+  /// elements with header-named, typed children.
+  Status RegisterCsvSource(const std::string& function_name,
+                           const std::string& csv_text,
+                           const std::string& row_name,
+                           const std::vector<std::string>& column_names,
+                           const std::vector<xml::AtomicType>& column_types);
+
+  /// Loads a data service file (XQuery module) in fail-fast mode.
+  Status LoadDataService(const std::string& xquery_text);
+  /// Design-time load (paper §4.1): collects all diagnostics, keeps valid
+  /// functions.
+  Status LoadDataServiceWithRecovery(const std::string& xquery_text,
+                                     DiagnosticBag* bag);
+
+  // ----- Data services and updates (paper §2.1 / §6) -------------------
+
+  /// Deployed data services (populated by LoadDataService: the functions
+  /// of each namespace prefix form one service, with methods classified
+  /// by pragma kind and a designated lineage provider).
+  const service::ServiceCatalog& services() const { return services_; }
+
+  /// Lineage of a data service, computed from its lineage provider.
+  Result<update::LineageMap> LineageFor(const std::string& service_name);
+
+  /// Submits a changed SDO back through the service's lineage: the unit
+  /// of update execution, run as one (simulated) XA transaction across
+  /// the affected sources.
+  Result<update::SubmitReport> Submit(const std::string& service_name,
+                                      const update::DataObject& object,
+                                      const update::SubmitOptions& options = {});
+
+  // ----- Query API ------------------------------------------------------
+
+  /// Compiles a query through every phase; plans are cached by query text
+  /// (the paper's query plan cache).
+  Result<std::shared_ptr<const CompiledPlan>> Prepare(const std::string& query);
+
+  /// Prepares (or reuses) a plan and executes it, returning the fully
+  /// materialized result.
+  Result<xml::Sequence> Execute(const std::string& query);
+
+  /// Filtering and sorting criteria a mediator-API client may attach to a
+  /// data service method call (paper §2.2: "the mediator API permits
+  /// clients to include result filtering and sorting criteria along with
+  /// their request"). The criteria compose into the generated query, so
+  /// they benefit from view unfolding and SQL pushdown like any
+  /// hand-written predicate.
+  struct MethodCriteria {
+    /// Child element of each result item to filter on (empty = none).
+    std::string filter_child;
+    std::string filter_op = "eq";  // eq, ne, lt, le, gt, ge
+    std::string filter_value;      // literal, quoted per `filter_is_string`
+    bool filter_is_string = true;
+    /// Child element to sort by (empty = source order).
+    std::string sort_child;
+    bool sort_descending = false;
+  };
+
+  /// Invokes a data service method with literal arguments and optional
+  /// client criteria.
+  Result<xml::Sequence> CallMethod(const std::string& function,
+                                   const std::vector<std::string>& args,
+                                   const MethodCriteria& criteria);
+  Result<xml::Sequence> CallMethod(const std::string& function,
+                                   const std::vector<std::string>& args) {
+    return CallMethod(function, args, MethodCriteria());
+  }
+
+  Result<xml::Sequence> ExecutePlan(const CompiledPlan& plan);
+
+  /// Executes on behalf of a principal: function ACLs are enforced
+  /// against the query's (pre-unfolding) function calls, and
+  /// element-level policies filter the result at the last stage, after
+  /// plan and function caches, so those stay shared across users
+  /// (paper §7).
+  Result<xml::Sequence> ExecuteAs(const std::string& query,
+                                  const security::Principal& principal);
+
+  /// Server-side streaming API: invokes `sink` per result item without
+  /// materializing the full sequence in one buffer first.
+  Status ExecuteStream(const std::string& query,
+                       const std::function<Status(const xml::Item&)>& sink);
+
+  // ----- Introspection of internals (tests, benchmarks, console) ------
+
+  compiler::FunctionTable& functions() { return functions_; }
+  xsd::SchemaRegistry& schemas() { return schemas_; }
+  runtime::AdaptorRegistry& adaptors() { return adaptors_; }
+  runtime::FunctionCache& function_cache() { return function_cache_; }
+  runtime::RuntimeStats& stats() { return stats_; }
+  runtime::RuntimeContext& runtime_context() { return ctx_; }
+  optimizer::ViewPlanCache& view_plan_cache() { return view_cache_; }
+  security::AccessControl& access_control() { return access_control_; }
+  security::AuditLog& audit_log() { return audit_; }
+  runtime::ObservedCostModel& observed_cost() { return observed_; }
+  ServerOptions& options() { return options_; }
+
+  int64_t plan_cache_hits() const { return plan_cache_hits_; }
+  int64_t plan_cache_misses() const { return plan_cache_misses_; }
+  void ClearPlanCache();
+
+  /// The administration console's view of the server (paper Fig. 2): a
+  /// human-readable report of registered sources and functions, deployed
+  /// data services, cache and runtime statistics.
+  std::string Describe() const;
+
+ private:
+  Result<std::shared_ptr<const CompiledPlan>> Compile(const std::string& query);
+
+  ServerOptions options_;
+  compiler::FunctionTable functions_;
+  xsd::SchemaRegistry schemas_;
+  runtime::AdaptorRegistry adaptors_;
+  runtime::FunctionCache function_cache_;
+  runtime::RuntimeStats stats_;
+  runtime::RuntimeContext ctx_;
+  optimizer::ViewPlanCache view_cache_;
+  security::AccessControl access_control_;
+  security::AuditLog audit_;
+  runtime::ObservedCostModel observed_;
+  service::ServiceCatalog services_;
+  std::shared_ptr<adaptors::FileAdaptor> file_adaptor_;  // lazily created
+
+  std::mutex plan_cache_mutex_;
+  std::map<std::string, std::shared_ptr<const CompiledPlan>> plan_cache_;
+  std::list<std::string> plan_lru_;
+  int64_t plan_cache_hits_ = 0;
+  int64_t plan_cache_misses_ = 0;
+};
+
+}  // namespace aldsp::server
+
+#endif  // ALDSP_SERVER_SERVER_H_

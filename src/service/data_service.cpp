@@ -1,0 +1,64 @@
+#include "service/data_service.h"
+
+#include "common/string_util.h"
+
+namespace aldsp::service {
+
+Result<DataService> ServiceCatalog::BuildService(
+    const compiler::FunctionTable& functions, const std::string& prefix,
+    const std::string& primary) {
+  DataService service;
+  service.name = prefix;
+  std::string designated = primary;
+  std::string first_read;
+  for (const auto& fn : functions.user_functions()) {
+    if (!StartsWith(fn.name, prefix + ":")) continue;
+    if (fn.pragma_kind == "read") {
+      service.read_methods.push_back(fn.name);
+      if (first_read.empty()) first_read = fn.name;
+      // An isPrimary-marked read method is the designated lineage
+      // provider (paper §6); an explicit `primary` argument wins.
+      if (designated.empty() && fn.is_primary) designated = fn.name;
+    } else if (fn.pragma_kind == "navigate") {
+      service.navigate_methods.push_back(fn.name);
+    } else {
+      service.other_methods.push_back(fn.name);
+    }
+  }
+  if (service.read_methods.empty() && service.navigate_methods.empty() &&
+      service.other_methods.empty()) {
+    return Status::NotFound("no functions with prefix " + prefix);
+  }
+  // Default: the first read method — the "get all" function (paper §6).
+  service.lineage_provider = designated.empty() ? first_read : designated;
+  if (!service.lineage_provider.empty()) {
+    const compiler::UserFunction* provider =
+        functions.FindUser(service.lineage_provider);
+    if (provider != nullptr && !provider->return_type.is_empty_sequence() &&
+        provider->return_type.item != nullptr &&
+        provider->return_type.item->kind() == xsd::XType::Kind::kElement) {
+      service.shape = provider->return_type.item;
+    }
+  }
+  return service;
+}
+
+Status ServiceCatalog::Register(DataService service) {
+  for (auto& existing : services_) {
+    if (existing.name == service.name) {
+      existing = std::move(service);  // redeployment replaces
+      return Status::OK();
+    }
+  }
+  services_.push_back(std::move(service));
+  return Status::OK();
+}
+
+const DataService* ServiceCatalog::Find(const std::string& name) const {
+  for (const auto& s : services_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace aldsp::service

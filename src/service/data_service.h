@@ -1,0 +1,50 @@
+#ifndef ALDSP_SERVICE_DATA_SERVICE_H_
+#define ALDSP_SERVICE_DATA_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/function_table.h"
+
+namespace aldsp::service {
+
+/// A deployed data service (paper §2.1): a coarse-grained business-object
+/// type with a shape and categorized service calls. Methods are the
+/// XQuery functions of one data service file, classified by their pragma
+/// `kind`; the lineage provider — the function update decomposition
+/// analyzes (paper §6) — is the function marked isPrimary="true", or by
+/// default the first read method (the "get all" function).
+struct DataService {
+  std::string name;  // the functions' namespace prefix ("tns")
+  std::vector<std::string> read_methods;
+  std::vector<std::string> navigate_methods;
+  std::vector<std::string> other_methods;
+  std::string lineage_provider;
+
+  /// Shape: the structural element type returned by the lineage provider
+  /// (null when it cannot be determined).
+  xsd::TypePtr shape;
+};
+
+/// Registry of deployed data services.
+class ServiceCatalog {
+ public:
+  /// Groups the user functions with namespace prefix `prefix` into a data
+  /// service, classifying methods by pragma kind and designating the
+  /// lineage provider. `primary` overrides the default designation.
+  Result<DataService> BuildService(const compiler::FunctionTable& functions,
+                                   const std::string& prefix,
+                                   const std::string& primary = "");
+
+  Status Register(DataService service);
+  const DataService* Find(const std::string& name) const;
+  const std::vector<DataService>& services() const { return services_; }
+
+ private:
+  std::vector<DataService> services_;
+};
+
+}  // namespace aldsp::service
+
+#endif  // ALDSP_SERVICE_DATA_SERVICE_H_

@@ -1,0 +1,94 @@
+#include "service/introspect.h"
+
+#include "common/string_util.h"
+
+namespace aldsp::service {
+
+using compiler::ExternalFunction;
+using relational::ColumnDef;
+using relational::ForeignKey;
+using relational::TableDef;
+
+xsd::TypePtr RowElementType(const TableDef& def) {
+  std::vector<xsd::ElementField> fields;
+  for (const ColumnDef& col : def.columns) {
+    xsd::TypePtr el =
+        xsd::XType::SimpleElement(col.name, relational::ToAtomicType(col.type));
+    fields.push_back({col.name, col.nullable ? xsd::Opt(el) : xsd::One(el)});
+  }
+  return xsd::XType::ComplexElement(def.name, std::move(fields));
+}
+
+Status IntrospectRelationalSource(
+    const std::string& fn_prefix,
+    const std::shared_ptr<relational::Database>& db,
+    adaptors::RelationalAdaptor* adaptor, compiler::FunctionTable* functions,
+    xsd::SchemaRegistry* schemas, const std::string& vendor) {
+  const std::string& source_id = db->name();
+  for (const TableDef& table : db->catalog().tables()) {
+    xsd::TypePtr row_type = RowElementType(table);
+    if (schemas != nullptr) schemas->Register(table.name, row_type);
+
+    // Read function: one per table or view (paper §2.1).
+    std::string fn_name = fn_prefix + ":" + table.name;
+    ExternalFunction fn;
+    fn.name = fn_name;
+    fn.return_type = xsd::Star(row_type);
+    fn.properties["kind"] = "relational";
+    fn.properties["source"] = source_id;
+    fn.properties["table"] = table.name;
+    fn.properties["vendor"] = vendor;
+    if (!table.primary_key.empty()) {
+      fn.properties["primary_key"] = Join(table.primary_key, ",");
+    }
+    ALDSP_RETURN_NOT_OK(functions->RegisterExternal(std::move(fn)));
+    ALDSP_RETURN_NOT_OK(adaptor->RegisterTableFunction(fn_name, table.name));
+
+    // Navigation functions from foreign keys (paper §2.1): a FK
+    // REFERENCING.cols -> REFERENCED.cols yields a function from a
+    // REFERENCED row to its REFERENCING rows.
+    for (const ForeignKey& fk : table.foreign_keys) {
+      const TableDef* target = db->catalog().FindTable(fk.ref_table);
+      if (target == nullptr || fk.columns.size() != 1 ||
+          fk.ref_columns.size() != 1) {
+        continue;  // composite-key navigation is not surfaced
+      }
+      std::string nav_name = fn_prefix + ":get" + table.name;
+      if (functions->Exists(nav_name)) continue;
+      ExternalFunction nav;
+      nav.name = nav_name;
+      nav.param_types = {xsd::One(RowElementType(*target))};
+      nav.return_type = xsd::Star(row_type);
+      nav.properties["kind"] = "relational-nav";
+      nav.properties["source"] = source_id;
+      nav.properties["table"] = table.name;
+      nav.properties["column"] = fk.columns[0];
+      nav.properties["arg_table"] = fk.ref_table;
+      nav.properties["arg_child"] = fk.ref_columns[0];
+      nav.properties["vendor"] = vendor;
+      ALDSP_RETURN_NOT_OK(functions->RegisterExternal(std::move(nav)));
+      ALDSP_RETURN_NOT_OK(adaptor->RegisterNavigationFunction(
+          nav_name, table.name, fk.columns[0], fk.ref_columns[0]));
+    }
+  }
+  return Status::OK();
+}
+
+Status RegisterFunctionalSource(
+    const std::string& function_name, const std::string& source_id,
+    const std::string& kind, std::vector<xsd::SequenceType> param_types,
+    xsd::SequenceType return_type, compiler::FunctionTable* functions,
+    std::map<std::string, std::string> extra_properties) {
+  ExternalFunction fn;
+  fn.name = function_name;
+  fn.param_types = std::move(param_types);
+  fn.return_type = std::move(return_type);
+  for (auto& [key, value] : extra_properties) {
+    fn.properties[key] = std::move(value);
+  }
+  fn.properties["kind"] = kind;
+  fn.properties["source"] = source_id;
+  return functions->RegisterExternal(std::move(fn));
+}
+
+}  // namespace aldsp::service

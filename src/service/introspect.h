@@ -1,0 +1,49 @@
+#ifndef ALDSP_SERVICE_INTROSPECT_H_
+#define ALDSP_SERVICE_INTROSPECT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "adaptors/relational_adaptor.h"
+#include "compiler/function_table.h"
+#include "relational/engine.h"
+#include "xsd/types.h"
+
+namespace aldsp::service {
+
+/// Builds the structural row-element type for a table via the SQL→XML
+/// type mapping (paper §4.4): one child element per column, typed by the
+/// column type; nullable columns become optional particles (NULL = the
+/// element is missing).
+xsd::TypePtr RowElementType(const relational::TableDef& def);
+
+/// Introspects a relational source (paper §2.1): for every table,
+/// registers
+///   - a physical data service read function `<prefix>:<TABLE>()` that
+///     returns all rows, and
+///   - for every foreign key pointing *at* the table, a navigation
+///     function `<prefix>:get<TABLE>($row)` from the referencing row.
+/// Metadata (source id, table, keys, vendor) is recorded in the external
+/// functions' properties — the C++ form of the pragma annotations of
+/// paper §3.2 — and invocation mappings are installed in `adaptor`.
+/// Row element types are registered in `schemas`.
+Status IntrospectRelationalSource(
+    const std::string& fn_prefix,
+    const std::shared_ptr<relational::Database>& db,
+    adaptors::RelationalAdaptor* adaptor, compiler::FunctionTable* functions,
+    xsd::SchemaRegistry* schemas, const std::string& vendor = "base-sql92");
+
+/// Registers a functional (web service / external function / custom
+/// queryable) source operation as an external XQuery function.
+/// `extra_properties` carries source-specific metadata — e.g. a custom
+/// queryable source's `pushdown_ops` capability declaration (§9).
+Status RegisterFunctionalSource(
+    const std::string& function_name, const std::string& source_id,
+    const std::string& kind, std::vector<xsd::SequenceType> param_types,
+    xsd::SequenceType return_type, compiler::FunctionTable* functions,
+    std::map<std::string, std::string> extra_properties = {});
+
+}  // namespace aldsp::service
+
+#endif  // ALDSP_SERVICE_INTROSPECT_H_

@@ -1,0 +1,411 @@
+#include "update/engine.h"
+
+#include <map>
+
+#include "runtime/evaluator.h"
+#include "sql/dialect.h"
+
+namespace aldsp::update {
+
+using compiler::ExternalFunction;
+using relational::Cell;
+using relational::SqlExpr;
+using relational::SqlExprPtr;
+using relational::UpdateStmt;
+using xml::AtomicValue;
+using xml::NodePtr;
+
+namespace {
+
+struct RowUpdate {
+  std::string source_id;
+  std::string vendor;
+  std::string table;
+  std::string key_column;
+  Cell key_value;
+  std::vector<std::pair<std::string, Cell>> sets;
+  std::vector<std::pair<std::string, Cell>> checks;
+
+  void AddSet(const std::string& column, Cell value) {
+    for (auto& [c, v] : sets) {
+      if (c == column) {
+        v = std::move(value);
+        return;
+      }
+    }
+    sets.emplace_back(column, std::move(value));
+  }
+
+  void AddCheck(const std::string& column, Cell value) {
+    for (auto& [c, v] : checks) {
+      if (c == column) return;  // first check wins
+    }
+    checks.emplace_back(column, std::move(value));
+  }
+};
+
+/// A whole-row insert or delete (paper §2.1: write methods support
+/// "modifying, inserting, or deleting" instances).
+struct RowOp {
+  ChangeEntry::Kind kind;
+  std::string source_id;
+  std::string vendor;
+  relational::InsertStmt insert;
+  relational::DeleteStmt del;
+};
+
+SqlExprPtr EqualsOrNull(const std::string& table, const std::string& column,
+                        const Cell& value) {
+  if (value.is_null) return SqlExpr::IsNull(SqlExpr::Column(table, column));
+  return SqlExpr::Binary("=", SqlExpr::Column(table, column),
+                         SqlExpr::Literal(value));
+}
+
+}  // namespace
+
+Result<SubmitReport> UpdateEngine::Submit(const DataObject& object,
+                                          const LineageMap& lineage,
+                                          const SubmitOptions& options) {
+  SubmitReport report;
+  if (!object.modified()) return report;
+
+  // Applies an external function (an inverse transformation) to a value.
+  auto apply_external = [&](const std::string& fn_name,
+                            const AtomicValue& v) -> Result<AtomicValue> {
+    const ExternalFunction* fn = functions_->FindExternal(fn_name);
+    if (fn == nullptr) return Status::NotFound("no such function: " + fn_name);
+    runtime::Adaptor* adaptor = adaptors_->Find(fn->Property("source"));
+    if (adaptor == nullptr) {
+      return Status::SourceError("no adaptor for " + fn->Property("source"));
+    }
+    ALDSP_ASSIGN_OR_RETURN(
+        xml::Sequence result,
+        adaptor->Invoke(fn_name, {xml::Sequence{xml::Item(v)}}));
+    if (result.size() != 1 || !result.front().is_atomic()) {
+      return Status::UpdateError("inverse function " + fn_name +
+                                 " did not return a single value");
+    }
+    return result.front().atomic();
+  };
+
+  // Maps a shape-side value to its source-column value by applying the
+  // registered inverses, outermost transformation first (paper §4.5).
+  auto to_source_value = [&](const FieldLineage& lin,
+                             const AtomicValue& shape_value)
+      -> Result<AtomicValue> {
+    AtomicValue v = shape_value;
+    for (const auto& t : lin.transforms) {
+      std::string inverse = functions_->InverseOf(t);
+      if (inverse.empty()) {
+        return Status::UpdateError("no inverse registered for " + t);
+      }
+      ALDSP_ASSIGN_OR_RETURN(v, apply_external(inverse, v));
+    }
+    return v;
+  };
+
+  auto vendor_of = [&](const std::string& source_id,
+                       const std::string& table) -> std::string {
+    for (const auto& cand : functions_->external_functions()) {
+      if (cand.kind() == "relational" &&
+          cand.Property("source") == source_id &&
+          cand.Property("table") == table) {
+        return cand.Property("vendor");
+      }
+    }
+    return "";
+  };
+
+  // Reads the original (as-read) value of `leaf` within the row instance
+  // identified by `instance_prefix`; a missing element reads as NULL.
+  auto original_cell = [&](const ObjectPath& instance_prefix,
+                           const std::string& leaf_path,
+                           const FieldLineage& lin) -> Result<Cell> {
+    ObjectPath path = instance_prefix;
+    ALDSP_ASSIGN_OR_RETURN(ObjectPath leaf, ParseObjectPath(leaf_path));
+    for (auto& seg : leaf) path.push_back(seg);
+    auto node = ResolvePath(object.original(), path);
+    if (!node.ok()) return Cell::Null();
+    ALDSP_ASSIGN_OR_RETURN(AtomicValue v,
+                           to_source_value(lin, (*node)->TypedValue()));
+    return Cell::Of(std::move(v));
+  };
+
+  // ----- Decompose modifications into per-row updates -------------------
+  std::map<std::string, RowUpdate> rows;
+  for (const ChangeEntry& change : object.change_log()) {
+    if (change.kind != ChangeEntry::Kind::kModify) continue;
+    std::string stripped = StripIndexes(change.path);
+    const FieldLineage* lin = lineage.Find(stripped);
+    if (lin == nullptr) {
+      return Status::UpdateError("field has no lineage (read-only): " +
+                                 stripped);
+    }
+    if (!lin->updatable) {
+      return Status::UpdateError("field is not updatable: " + stripped);
+    }
+    ObjectPath instance_prefix = change.path;
+    instance_prefix.pop_back();
+    std::string row_prefix = lin->RowPathPrefix();
+    std::string key_leaf = lin->key_shape_path.substr(
+        row_prefix.empty() ? 0 : row_prefix.size() + 1);
+    ObjectPath key_path = instance_prefix;
+    {
+      ALDSP_ASSIGN_OR_RETURN(ObjectPath leaf, ParseObjectPath(key_leaf));
+      for (auto& seg : leaf) key_path.push_back(seg);
+    }
+    ALDSP_ASSIGN_OR_RETURN(NodePtr key_node,
+                           ResolvePath(object.original(), key_path));
+    AtomicValue key_value = key_node->TypedValue();
+
+    std::string row_id = lin->source_id + "|" + lin->table + "|" +
+                         runtime::EncodeAtomic(key_value);
+    RowUpdate& row = rows[row_id];
+    if (row.table.empty()) {
+      row.source_id = lin->source_id;
+      row.table = lin->table;
+      row.key_column = lin->key_column;
+      row.key_value = Cell::Of(key_value);
+      row.vendor = vendor_of(lin->source_id, lin->table);
+    }
+    ALDSP_ASSIGN_OR_RETURN(AtomicValue new_value,
+                           to_source_value(*lin, change.new_value));
+    row.AddSet(lin->column, Cell::Of(std::move(new_value)));
+
+    // Optimistic-concurrency conditions (paper §6).
+    switch (options.policy) {
+      case ConcurrencyPolicy::kUpdatedValues: {
+        std::string leaf = lin->shape_path.substr(
+            row_prefix.empty() ? 0 : row_prefix.size() + 1);
+        ALDSP_ASSIGN_OR_RETURN(Cell orig,
+                               original_cell(instance_prefix, leaf, *lin));
+        row.AddCheck(lin->column, std::move(orig));
+        break;
+      }
+      case ConcurrencyPolicy::kAllReadValues: {
+        for (const auto& f : lineage.fields) {
+          if (f.table != lin->table || f.source_id != lin->source_id ||
+              f.RowPathPrefix() != row_prefix) {
+            continue;
+          }
+          std::string leaf = f.shape_path.substr(
+              row_prefix.empty() ? 0 : row_prefix.size() + 1);
+          ALDSP_ASSIGN_OR_RETURN(Cell orig,
+                                 original_cell(instance_prefix, leaf, f));
+          row.AddCheck(f.column, std::move(orig));
+        }
+        break;
+      }
+      case ConcurrencyPolicy::kDesignatedFields: {
+        for (const auto& path : options.designated_paths) {
+          const FieldLineage* f = lineage.Find(path);
+          if (f == nullptr || f->table != lin->table ||
+              f->RowPathPrefix() != row_prefix) {
+            continue;
+          }
+          std::string leaf = f->shape_path.substr(
+              row_prefix.empty() ? 0 : row_prefix.size() + 1);
+          ALDSP_ASSIGN_OR_RETURN(Cell orig,
+                                 original_cell(instance_prefix, leaf, *f));
+          row.AddCheck(f->column, std::move(orig));
+        }
+        break;
+      }
+    }
+  }
+
+  // ----- Decompose whole-row inserts and deletes ------------------------
+  std::vector<RowOp> row_ops;
+  for (const ChangeEntry& change : object.change_log()) {
+    if (change.kind == ChangeEntry::Kind::kModify) continue;
+    std::string row_path = StripIndexes(change.path);
+    std::vector<const FieldLineage*> fields;
+    const FieldLineage* key_field = nullptr;
+    for (const auto& f : lineage.fields) {
+      if (f.RowPathPrefix() != row_path) continue;
+      fields.push_back(&f);
+      if (f.column == f.key_column && f.transforms.empty()) key_field = &f;
+    }
+    if (fields.empty()) {
+      return Status::UpdateError("no lineage for row: " + row_path);
+    }
+    if (key_field == nullptr) {
+      return Status::UpdateError("row key not exposed in shape: " + row_path);
+    }
+    const FieldLineage& proto = *fields.front();
+    auto leaf_of = [&](const FieldLineage& f) {
+      return f.shape_path.substr(row_path.empty() ? 0 : row_path.size() + 1);
+    };
+    if (change.subtree == nullptr) {
+      return Status::UpdateError("change entry has no row content");
+    }
+    RowOp op;
+    op.kind = change.kind;
+    op.source_id = proto.source_id;
+    op.vendor = vendor_of(proto.source_id, proto.table);
+
+    if (change.kind == ChangeEntry::Kind::kDeleteRow) {
+      NodePtr key_node = change.subtree->FirstChildNamed(leaf_of(*key_field));
+      if (key_node == nullptr) {
+        return Status::UpdateError("deleted row lacks its key value: " +
+                                   row_path);
+      }
+      op.del.table_name = proto.table;
+      SqlExprPtr where = SqlExpr::Binary(
+          "=", SqlExpr::Column(proto.table, key_field->column),
+          SqlExpr::Literal(Cell::Of(key_node->TypedValue())));
+      // Concurrency: under all-read-values, every recorded column must
+      // still match (the delete's "previous values").
+      if (options.policy == ConcurrencyPolicy::kAllReadValues) {
+        for (const FieldLineage* f : fields) {
+          if (f == key_field) continue;
+          NodePtr node = change.subtree->FirstChildNamed(leaf_of(*f));
+          Cell value = Cell::Null();
+          if (node != nullptr) {
+            ALDSP_ASSIGN_OR_RETURN(AtomicValue v,
+                                   to_source_value(*f, node->TypedValue()));
+            value = Cell::Of(std::move(v));
+          }
+          where = SqlExpr::Binary("AND", where,
+                                  EqualsOrNull(proto.table, f->column, value));
+        }
+      }
+      op.del.where = std::move(where);
+    } else {  // kInsertRow
+      op.insert.table_name = proto.table;
+      bool has_key = false;
+      for (const FieldLineage* f : fields) {
+        NodePtr node = change.subtree->FirstChildNamed(leaf_of(*f));
+        if (node == nullptr) continue;  // absent -> column default/NULL
+        ALDSP_ASSIGN_OR_RETURN(AtomicValue v,
+                               to_source_value(*f, node->TypedValue()));
+        op.insert.columns.push_back(f->column);
+        op.insert.values.push_back(SqlExpr::Literal(Cell::Of(std::move(v))));
+        if (f == key_field) has_key = true;
+      }
+      if (!has_key) {
+        return Status::UpdateError("inserted row lacks its key value: " +
+                                   row_path);
+      }
+    }
+    row_ops.push_back(std::move(op));
+  }
+
+  // ----- Execute under simulated XA two-phase commit --------------------
+  std::vector<relational::Database*> begun;
+  auto rollback_all = [&] {
+    for (auto* db : begun) (void)db->Rollback();
+  };
+  std::map<std::string, relational::Database*> dbs;
+  auto require_db = [&](const std::string& source_id) -> Status {
+    if (dbs.count(source_id) > 0) return Status::OK();
+    relational::Database* db = adaptors_->FindDatabase(source_id);
+    if (db == nullptr) {
+      return Status::SourceError("no relational source " + source_id);
+    }
+    dbs[source_id] = db;
+    report.sources_touched.push_back(source_id);
+    return Status::OK();
+  };
+  for (const auto& [id, row] : rows) {
+    (void)id;
+    ALDSP_RETURN_NOT_OK(require_db(row.source_id));
+  }
+  for (const auto& op : row_ops) {
+    ALDSP_RETURN_NOT_OK(require_db(op.source_id));
+  }
+  for (auto& [source, db] : dbs) {
+    (void)source;
+    Status st = db->Begin();
+    if (!st.ok()) {
+      rollback_all();
+      return st;
+    }
+    begun.push_back(db);
+  }
+
+  for (const auto& [id, row] : rows) {
+    (void)id;
+    UpdateStmt stmt;
+    stmt.table_name = row.table;
+    for (const auto& [col, val] : row.sets) {
+      stmt.assignments.emplace_back(col, SqlExpr::Literal(val));
+    }
+    SqlExprPtr where = SqlExpr::Binary(
+        "=", SqlExpr::Column(row.table, row.key_column),
+        SqlExpr::Literal(row.key_value));
+    for (const auto& [col, val] : row.checks) {
+      where = SqlExpr::Binary("AND", where,
+                              EqualsOrNull(row.table, col, val));
+    }
+    stmt.where = where;
+
+    relational::Database* db = dbs[row.source_id];
+    auto affected = db->ExecuteUpdate(stmt);
+    if (!affected.ok()) {
+      rollback_all();
+      return affected.status();
+    }
+    if (affected.value() != 1) {
+      rollback_all();
+      return Status::ConcurrencyError(
+          "optimistic concurrency check failed for " + row.table + " row " +
+          row.key_value.ToString() + " (rows matched: " +
+          std::to_string(affected.value()) + ")");
+    }
+    SubmitReport::StatementInfo info;
+    info.source_id = row.source_id;
+    auto text = sql::RenderUpdate(stmt, sql::DialectForVendor(row.vendor));
+    info.sql = text.ok() ? *text : "<unrenderable>";
+    info.rows_affected = affected.value();
+    report.statements.push_back(std::move(info));
+  }
+
+  for (const auto& op : row_ops) {
+    relational::Database* db = dbs[op.source_id];
+    SubmitReport::StatementInfo info;
+    info.source_id = op.source_id;
+    if (op.kind == ChangeEntry::Kind::kDeleteRow) {
+      auto affected = db->ExecuteDelete(op.del);
+      if (!affected.ok()) {
+        rollback_all();
+        return affected.status();
+      }
+      if (affected.value() != 1) {
+        rollback_all();
+        return Status::ConcurrencyError(
+            "delete matched " + std::to_string(affected.value()) +
+            " rows in " + op.del.table_name);
+      }
+      auto text = sql::RenderDelete(op.del, sql::DialectForVendor(op.vendor));
+      info.sql = text.ok() ? *text : "<unrenderable>";
+      info.rows_affected = affected.value();
+    } else {
+      auto affected = db->ExecuteInsert(op.insert);
+      if (!affected.ok()) {
+        rollback_all();
+        return affected.status();
+      }
+      auto text =
+          sql::RenderInsert(op.insert, sql::DialectForVendor(op.vendor));
+      info.sql = text.ok() ? *text : "<unrenderable>";
+      info.rows_affected = affected.value();
+    }
+    report.statements.push_back(std::move(info));
+  }
+
+  // Phase 1: prepare everywhere; phase 2: commit.
+  for (auto* db : begun) {
+    Status st = db->Prepare();
+    if (!st.ok()) {
+      rollback_all();
+      return st;
+    }
+  }
+  for (auto* db : begun) {
+    ALDSP_RETURN_NOT_OK(db->Commit());
+  }
+  return report;
+}
+
+}  // namespace aldsp::update

@@ -1,0 +1,70 @@
+#ifndef ALDSP_UPDATE_ENGINE_H_
+#define ALDSP_UPDATE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/function_table.h"
+#include "runtime/adaptor.h"
+#include "runtime/context.h"
+#include "update/lineage.h"
+#include "update/sdo.h"
+
+namespace aldsp::update {
+
+/// Optimistic concurrency options a data service designer can choose
+/// from (paper §6).
+enum class ConcurrencyPolicy {
+  /// All values read must still match their original values.
+  kAllReadValues,
+  /// Only the updated columns must still match their original values.
+  kUpdatedValues,
+  /// A designated subset (e.g. a timestamp field) must still match.
+  kDesignatedFields,
+};
+
+struct SubmitOptions {
+  ConcurrencyPolicy policy = ConcurrencyPolicy::kUpdatedValues;
+  /// Index-free shape paths checked under kDesignatedFields.
+  std::vector<std::string> designated_paths;
+};
+
+/// What a submit did: per-statement SQL (for inspection/auditing) and the
+/// set of sources touched. Unaffected sources are never contacted
+/// (paper §6).
+struct SubmitReport {
+  struct StatementInfo {
+    std::string source_id;
+    std::string sql;  // rendered vendor-neutral text
+    int64_t rows_affected = 0;
+  };
+  std::vector<StatementInfo> statements;
+  std::vector<std::string> sources_touched;
+};
+
+/// The update decomposition and propagation engine (paper §6). A submit
+/// call is the unit of update execution: changes in the SDO's change log
+/// are mapped through lineage to source columns (applying registered
+/// inverse functions to transformed values), grouped into one UPDATE per
+/// affected row, guarded by the chosen optimistic-concurrency condition,
+/// and executed under a simulated XA two-phase commit across all
+/// affected relational sources.
+class UpdateEngine {
+ public:
+  UpdateEngine(const compiler::FunctionTable* functions,
+               const runtime::AdaptorRegistry* adaptors)
+      : functions_(functions), adaptors_(adaptors) {}
+
+  Result<SubmitReport> Submit(const DataObject& object,
+                              const LineageMap& lineage,
+                              const SubmitOptions& options = {});
+
+ private:
+  const compiler::FunctionTable* functions_;
+  const runtime::AdaptorRegistry* adaptors_;
+};
+
+}  // namespace aldsp::update
+
+#endif  // ALDSP_UPDATE_ENGINE_H_

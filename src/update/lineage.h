@@ -1,0 +1,51 @@
+#ifndef ALDSP_UPDATE_LINEAGE_H_
+#define ALDSP_UPDATE_LINEAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/function_table.h"
+
+namespace aldsp::update {
+
+/// Lineage of one field of a data service's shape: which source column
+/// it was read from, which key identifies its row, and any value
+/// transformation applied on the way out (whose registered inverse is
+/// applied on the way back in, paper §4.5/§6).
+struct FieldLineage {
+  std::string shape_path;  // index-free path in the shape ("LAST_NAME",
+                           // "ORDERS/ORDER/AMOUNT")
+  std::string source_id;
+  std::string table;
+  std::string column;
+  std::string key_column;      // primary-key column of `table`
+  std::string key_shape_path;  // where the key value appears in the shape
+  /// External functions applied source->shape, outermost last; each must
+  /// have a registered inverse for the field to be updatable.
+  std::vector<std::string> transforms;
+  bool updatable = true;
+
+  std::string RowPathPrefix() const;  // shape path of the enclosing row
+};
+
+struct LineageMap {
+  std::vector<FieldLineage> fields;
+
+  const FieldLineage* Find(const std::string& index_free_path) const;
+};
+
+/// Computes the lineage of a data service from its designated lineage
+/// provider function (paper §6: by default the first read function — the
+/// "get all" function). The analysis is rule-driven over the function's
+/// analyzed body: the top-level iteration identifies the primary source
+/// rows; constructed shape elements map columns (through inverse-capable
+/// transformations); navigation functions and nested per-row FLWORs map
+/// child tables. Fields fed by web services or computations carry no
+/// lineage and are read-only.
+Result<LineageMap> ComputeLineage(const std::string& function_name,
+                                  const compiler::FunctionTable& functions);
+
+}  // namespace aldsp::update
+
+#endif  // ALDSP_UPDATE_LINEAGE_H_

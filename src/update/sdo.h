@@ -1,0 +1,92 @@
+#ifndef ALDSP_UPDATE_SDO_H_
+#define ALDSP_UPDATE_SDO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace aldsp::update {
+
+/// One step of a data-object path: a child element name with an optional
+/// 1-based position among same-named siblings ("ORDER[2]").
+struct PathSegment {
+  std::string name;
+  int index = 1;
+  bool has_index = false;
+};
+
+using ObjectPath = std::vector<PathSegment>;
+
+/// Parses "ORDERS/ORDER[2]/AMOUNT" into segments.
+Result<ObjectPath> ParseObjectPath(const std::string& path);
+std::string ObjectPathToString(const ObjectPath& path);
+/// The path without positional indexes ("ORDERS/ORDER/AMOUNT") — the form
+/// lineage entries are keyed by.
+std::string StripIndexes(const ObjectPath& path);
+
+/// Resolves a path to the (first matching / indexed) element under root.
+Result<xml::NodePtr> ResolvePath(const xml::NodePtr& root,
+                                 const ObjectPath& path);
+
+/// One entry of an SDO change log (paper §6: "a serialized change log
+/// identifying the portions of the XML data that were changed and what
+/// their previous values were"). Write methods support modifying,
+/// inserting and deleting instances (paper §2.1), so the log records
+/// value modifications plus whole-row inserts and deletes.
+struct ChangeEntry {
+  enum class Kind { kModify, kInsertRow, kDeleteRow };
+
+  Kind kind = Kind::kModify;
+  ObjectPath path;
+  // kModify
+  xml::AtomicValue old_value;
+  xml::AtomicValue new_value;
+  // kInsertRow / kDeleteRow: the inserted element / the removed subtree
+  // as it was read (the delete's previous values).
+  xml::NodePtr subtree;
+};
+
+/// A Service Data Object: the XML result of a data service call plus a
+/// change log tracking modifications made by the client (paper §6 /
+/// Fig. 5). `original()` preserves the values as read, which the
+/// optimistic-concurrency policies compare against at submit time.
+class DataObject {
+ public:
+  /// Takes a deep copy of `root`; the object owns its tree.
+  explicit DataObject(const xml::NodePtr& root);
+
+  const xml::NodePtr& root() const { return root_; }
+  /// The unmodified tree as it was read.
+  const xml::NodePtr& original() const { return original_; }
+
+  /// Typed read of the element at `path` (its typed value).
+  Result<xml::AtomicValue> Get(const std::string& path) const;
+
+  /// Replaces the typed content of the element at `path`, recording the
+  /// change in the log. Setting the same value is a no-op.
+  Status Set(const std::string& path, xml::AtomicValue value);
+
+  /// Removes the element at `path` (a nested row such as
+  /// "ORDERS/ORDER[2]"), recording the removed subtree.
+  Status DeleteElement(const std::string& path);
+
+  /// Appends `element` under the element at `parent_path` ("" appends at
+  /// the root), recording the insertion.
+  Status InsertElement(const std::string& parent_path,
+                       const xml::NodePtr& element);
+
+  const std::vector<ChangeEntry>& change_log() const { return change_log_; }
+  bool modified() const { return !change_log_.empty(); }
+  void ClearChangeLog() { change_log_.clear(); }
+
+ private:
+  xml::NodePtr root_;
+  xml::NodePtr original_;
+  std::vector<ChangeEntry> change_log_;
+};
+
+}  // namespace aldsp::update
+
+#endif  // ALDSP_UPDATE_SDO_H_

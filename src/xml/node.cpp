@@ -1,0 +1,149 @@
+#include "xml/node.h"
+
+namespace aldsp::xml {
+
+NodePtr XNode::Document() { return NodePtr(new XNode(NodeKind::kDocument)); }
+
+NodePtr XNode::Element(std::string name) {
+  NodePtr n(new XNode(NodeKind::kElement));
+  n->name_ = std::move(name);
+  return n;
+}
+
+NodePtr XNode::Attribute(std::string name, AtomicValue value) {
+  NodePtr n(new XNode(NodeKind::kAttribute));
+  n->name_ = std::move(name);
+  n->value_ = std::move(value);
+  return n;
+}
+
+NodePtr XNode::Text(AtomicValue value) {
+  NodePtr n(new XNode(NodeKind::kText));
+  n->value_ = std::move(value);
+  return n;
+}
+
+NodePtr XNode::TypedElement(std::string name, AtomicValue value) {
+  NodePtr e = Element(std::move(name));
+  e->AddChild(Text(std::move(value)));
+  return e;
+}
+
+void XNode::AddAttribute(NodePtr attr) {
+  attr->parent_ = this;
+  attributes_.push_back(std::move(attr));
+}
+
+void XNode::AddChild(NodePtr child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+}
+
+void XNode::SetChildren(std::vector<NodePtr> children) {
+  children_ = std::move(children);
+  for (auto& c : children_) c->parent_ = this;
+}
+
+void XNode::RemoveChildAt(size_t index) {
+  if (index < children_.size()) {
+    children_[index]->parent_ = nullptr;
+    children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  }
+}
+
+std::vector<NodePtr> XNode::ChildrenNamed(const std::string& name) const {
+  std::vector<NodePtr> out;
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement && NameMatches(c->name(), name)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+NodePtr XNode::FirstChildNamed(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement && NameMatches(c->name(), name)) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+NodePtr XNode::AttributeNamed(const std::string& name) const {
+  for (const auto& a : attributes_) {
+    if (NameMatches(a->name(), name)) return a;
+  }
+  return nullptr;
+}
+
+std::string XNode::StringValue() const {
+  switch (kind_) {
+    case NodeKind::kText:
+    case NodeKind::kAttribute:
+      return value_.Lexical();
+    case NodeKind::kElement:
+    case NodeKind::kDocument: {
+      std::string out;
+      for (const auto& c : children_) out += c->StringValue();
+      return out;
+    }
+  }
+  return "";
+}
+
+AtomicValue XNode::TypedValue() const {
+  if (kind_ == NodeKind::kText || kind_ == NodeKind::kAttribute) return value_;
+  if (kind_ == NodeKind::kElement && children_.size() == 1 &&
+      children_[0]->kind() == NodeKind::kText) {
+    return children_[0]->value();
+  }
+  return AtomicValue::Untyped(StringValue());
+}
+
+NodePtr XNode::Clone() const {
+  NodePtr n(new XNode(kind_));
+  n->name_ = name_;
+  n->value_ = value_;
+  for (const auto& a : attributes_) n->AddAttribute(a->Clone());
+  for (const auto& c : children_) n->AddChild(c->Clone());
+  return n;
+}
+
+bool XNode::DeepEquals(const XNode& other) const {
+  if (kind_ != other.kind_ || name_ != other.name_) return false;
+  if ((kind_ == NodeKind::kText || kind_ == NodeKind::kAttribute) &&
+      !(value_ == other.value_)) {
+    return false;
+  }
+  if (attributes_.size() != other.attributes_.size() ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (!attributes_[i]->DeepEquals(*other.attributes_[i])) return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->DeepEquals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+size_t XNode::MemoryBytes() const {
+  size_t total = sizeof(XNode) + name_.capacity() + value_.MemoryBytes();
+  for (const auto& a : attributes_) total += a->MemoryBytes();
+  for (const auto& c : children_) total += c->MemoryBytes();
+  return total;
+}
+
+std::string LocalName(const std::string& name) {
+  size_t pos = name.find(':');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+bool NameMatches(const std::string& node_name, const std::string& test) {
+  if (node_name == test) return true;
+  return LocalName(node_name) == LocalName(test);
+}
+
+}  // namespace aldsp::xml

@@ -1,0 +1,90 @@
+#ifndef ALDSP_XML_NODE_H_
+#define ALDSP_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/value.h"
+
+namespace aldsp::xml {
+
+class XNode;
+using NodePtr = std::shared_ptr<XNode>;
+
+enum class NodeKind { kDocument, kElement, kAttribute, kText };
+
+/// A node of the XQuery Data Model tree. Element content is a sequence of
+/// child nodes; typed element content (the norm in ALDSP, where data enters
+/// already typed from sources) is represented as a single text child whose
+/// value carries the runtime type annotation (paper §3.1: runtime type
+/// annotations on content survive element construction).
+class XNode : public std::enable_shared_from_this<XNode> {
+ public:
+  static NodePtr Document();
+  /// Element with (possibly prefixed) name such as "tns:PROFILE".
+  static NodePtr Element(std::string name);
+  static NodePtr Attribute(std::string name, AtomicValue value);
+  static NodePtr Text(AtomicValue value);
+
+  /// Convenience: <name>typed-value</name>.
+  static NodePtr TypedElement(std::string name, AtomicValue value);
+
+  NodeKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  /// Atomic value of a text or attribute node.
+  const AtomicValue& value() const { return value_; }
+  void set_value(AtomicValue v) { value_ = std::move(v); }
+
+  const std::vector<NodePtr>& attributes() const { return attributes_; }
+  const std::vector<NodePtr>& children() const { return children_; }
+  XNode* parent() const { return parent_; }
+
+  void AddAttribute(NodePtr attr);
+  void AddChild(NodePtr child);
+  /// Replaces all children (used by update machinery).
+  void SetChildren(std::vector<NodePtr> children);
+  void RemoveChildAt(size_t index);
+
+  /// All child elements named `name` (no-namespace match also accepts a
+  /// prefixed name whose local part matches).
+  std::vector<NodePtr> ChildrenNamed(const std::string& name) const;
+  /// First child element named `name`, or nullptr.
+  NodePtr FirstChildNamed(const std::string& name) const;
+  /// Attribute node named `name`, or nullptr.
+  NodePtr AttributeNamed(const std::string& name) const;
+
+  /// String value per XDM: concatenation of descendant text.
+  std::string StringValue() const;
+  /// Typed value: the single typed text child if present, else the string
+  /// value as xs:untypedAtomic.
+  AtomicValue TypedValue() const;
+
+  /// Deep copy (detached from any parent).
+  NodePtr Clone() const;
+
+  /// Structural deep equality (names, attributes, typed values).
+  bool DeepEquals(const XNode& other) const;
+
+  /// Approximate heap footprint of the subtree in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  explicit XNode(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::string name_;
+  AtomicValue value_;
+  std::vector<NodePtr> attributes_;
+  std::vector<NodePtr> children_;
+  XNode* parent_ = nullptr;
+};
+
+/// Local part of a possibly prefixed name ("tns:PROFILE" -> "PROFILE").
+std::string LocalName(const std::string& name);
+/// True if names match, comparing local parts when either side has a prefix.
+bool NameMatches(const std::string& node_name, const std::string& test);
+
+}  // namespace aldsp::xml
+
+#endif  // ALDSP_XML_NODE_H_

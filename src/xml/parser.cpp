@@ -1,0 +1,221 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace aldsp::xml {
+
+namespace {
+
+class XmlTextParser {
+ public:
+  explicit XmlTextParser(const std::string& text) : text_(text) {}
+
+  Result<NodePtr> Parse() {
+    SkipMisc();
+    if (!SkipPrologIfPresent().ok()) {
+      return Status::ParseError("malformed XML declaration");
+    }
+    SkipMisc();
+    ALDSP_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing content after root element at offset " +
+                                std::to_string(pos_));
+    }
+    return root;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return Eof() ? '\0' : text_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off >= text_.size() ? '\0' : text_[pos_ + off];
+  }
+  void Advance() { ++pos_; }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+
+  // Skips whitespace and comments between markup.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Peek() == '<' && PeekAt(1) == '!' && PeekAt(2) == '-' &&
+          PeekAt(3) == '-') {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  Status SkipPrologIfPresent() {
+    if (Peek() == '<' && PeekAt(1) == '?') {
+      size_t end = text_.find("?>", pos_ + 2);
+      if (end == std::string::npos) {
+        return Status::ParseError("unterminated processing instruction");
+      }
+      pos_ = end + 2;
+    }
+    return Status::OK();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) Advance();
+    if (pos_ == start) {
+      return Status::ParseError("expected XML name at offset " +
+                                std::to_string(pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out += '&';
+      } else if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (!ent.empty() && ent[0] == '#') {
+        int code = std::atoi(std::string(ent.substr(1)).c_str());
+        out += static_cast<char>(code);
+      } else {
+        return Status::ParseError("unknown entity: &" + std::string(ent) + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (Peek() != '<') {
+      return Status::ParseError("expected '<' at offset " +
+                                std::to_string(pos_));
+    }
+    Advance();
+    ALDSP_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodePtr element = XNode::Element(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (Peek() == '/' && PeekAt(1) == '>') {
+        pos_ += 2;
+        return element;
+      }
+      if (Peek() == '>') {
+        Advance();
+        break;
+      }
+      ALDSP_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (Peek() != '=') {
+        return Status::ParseError("expected '=' after attribute name " +
+                                  attr_name);
+      }
+      Advance();
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        return Status::ParseError("expected quoted attribute value for " +
+                                  attr_name);
+      }
+      Advance();
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) Advance();
+      if (Eof()) {
+        return Status::ParseError("unterminated attribute value for " +
+                                  attr_name);
+      }
+      ALDSP_ASSIGN_OR_RETURN(
+          std::string value,
+          DecodeEntities(std::string_view(text_).substr(start, pos_ - start)));
+      Advance();
+      element->AddAttribute(
+          XNode::Attribute(attr_name, AtomicValue::Untyped(std::move(value))));
+    }
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      std::string_view trimmed = Trim(pending_text);
+      if (!trimmed.empty()) {
+        ALDSP_ASSIGN_OR_RETURN(std::string decoded, DecodeEntities(trimmed));
+        element->AddChild(XNode::Text(AtomicValue::Untyped(std::move(decoded))));
+      }
+      pending_text.clear();
+      return Status::OK();
+    };
+    while (true) {
+      if (Eof()) {
+        return Status::ParseError("unterminated element <" + name + ">");
+      }
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          ALDSP_RETURN_NOT_OK(flush_text());
+          pos_ += 2;
+          ALDSP_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+          if (end_name != name) {
+            return Status::ParseError("mismatched end tag </" + end_name +
+                                      "> for <" + name + ">");
+          }
+          SkipWhitespace();
+          if (Peek() != '>') {
+            return Status::ParseError("expected '>' after end tag name");
+          }
+          Advance();
+          return element;
+        }
+        if (PeekAt(1) == '!' && PeekAt(2) == '-' && PeekAt(3) == '-') {
+          size_t end = text_.find("-->", pos_ + 4);
+          if (end == std::string::npos) {
+            return Status::ParseError("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        ALDSP_RETURN_NOT_OK(flush_text());
+        ALDSP_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      pending_text += Peek();
+      Advance();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseXml(const std::string& text) {
+  XmlTextParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace aldsp::xml

@@ -1,0 +1,20 @@
+#ifndef ALDSP_XML_PARSER_H_
+#define ALDSP_XML_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace aldsp::xml {
+
+/// Parses an XML document (or fragment with a single root element) into a
+/// node tree. Supports elements, attributes, character data, entity
+/// references (&amp; &lt; &gt; &quot; &apos;), comments, and an optional
+/// XML declaration. Text content is parsed as xs:untypedAtomic; schema
+/// validation (typing) happens in the file adaptor per paper §5.3.
+Result<NodePtr> ParseXml(const std::string& text);
+
+}  // namespace aldsp::xml
+
+#endif  // ALDSP_XML_PARSER_H_

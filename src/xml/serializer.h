@@ -1,0 +1,25 @@
+#ifndef ALDSP_XML_SERIALIZER_H_
+#define ALDSP_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/item.h"
+
+namespace aldsp::xml {
+
+struct SerializeOptions {
+  /// Pretty-print with 2-space indentation; default is compact.
+  bool indent = false;
+};
+
+/// Serializes a node subtree to XML text.
+std::string SerializeNode(const XNode& node, const SerializeOptions& options = {});
+
+/// Serializes a sequence: nodes as XML, adjacent atomic values separated by
+/// single spaces, per the XQuery serialization rules.
+std::string SerializeSequence(const Sequence& seq,
+                              const SerializeOptions& options = {});
+
+}  // namespace aldsp::xml
+
+#endif  // ALDSP_XML_SERIALIZER_H_

@@ -1,0 +1,32 @@
+#ifndef ALDSP_XQUERY_PARSER_H_
+#define ALDSP_XQUERY_PARSER_H_
+
+#include <string>
+
+#include "common/diagnostics.h"
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace aldsp::xquery {
+
+/// Parses a complete data service file (prolog + function declarations).
+///
+/// In fail-fast mode (`recover` == false, the server runtime path) the
+/// first syntax error aborts the parse. In recovery mode (`recover` ==
+/// true, the design-time XQuery editor path of paper §4.1) a syntax error
+/// inside a declaration causes the parser to skip to the end of that
+/// declaration (the next ';') and continue, reporting the error in `bag`;
+/// functions whose signature parsed are retained even when their body did
+/// not.
+Result<Module> ParseModule(const std::string& text, DiagnosticBag* bag,
+                           bool recover);
+
+/// Fail-fast convenience wrapper.
+Result<Module> ParseModule(const std::string& text);
+
+/// Parses a standalone (ad hoc) query expression with no prolog.
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace aldsp::xquery
+
+#endif  // ALDSP_XQUERY_PARSER_H_

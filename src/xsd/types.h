@@ -1,0 +1,154 @@
+#ifndef ALDSP_XSD_TYPES_H_
+#define ALDSP_XSD_TYPES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/value.h"
+
+namespace aldsp::xsd {
+
+class XType;
+using TypePtr = std::shared_ptr<const XType>;
+
+/// Occurrence indicator of a sequence type.
+enum class Occurrence {
+  kOne,       // exactly one
+  kOptional,  // ? (zero or one)
+  kStar,      // * (zero or more)
+  kPlus,      // + (one or more)
+};
+
+/// A sequence type: item type + occurrence. kEmpty is encoded as a null
+/// item type with occurrence kOptional ("empty-sequence()").
+struct SequenceType {
+  TypePtr item;  // null => empty-sequence()
+  Occurrence occurrence = Occurrence::kOne;
+
+  bool is_empty_sequence() const { return item == nullptr; }
+  bool allows_empty() const {
+    return is_empty_sequence() || occurrence == Occurrence::kOptional ||
+           occurrence == Occurrence::kStar;
+  }
+  bool allows_many() const {
+    return !is_empty_sequence() && (occurrence == Occurrence::kStar ||
+                                    occurrence == Occurrence::kPlus);
+  }
+  std::string ToString() const;
+};
+
+/// A named child-element particle inside an element's content model.
+struct ElementField {
+  std::string name;
+  SequenceType type;
+};
+
+/// Item types. ALDSP applies STRUCTURAL typing (paper §3.1): an element
+/// type carries the structural type of its content, so constructing an
+/// element around typed data and later navigating into it loses no type
+/// information — the property that makes view unfolding effective.
+class XType {
+ public:
+  enum class Kind {
+    kAnyItem,     // item()
+    kAnyNode,     // node()
+    kAtomic,      // xs:string etc.
+    kElement,     // element(NAME) with structural content
+    kAttribute,   // attribute(NAME) with atomic content
+    kError,       // type-check error placeholder (design-time recovery)
+  };
+
+  static TypePtr AnyItem();
+  static TypePtr AnyNode();
+  static TypePtr Atomic(xml::AtomicType t);
+  /// Element with simple typed content (<CID>xs:string</CID>).
+  static TypePtr SimpleElement(std::string name, xml::AtomicType content);
+  /// Element with complex content: sequence of child-element particles.
+  static TypePtr ComplexElement(std::string name,
+                                std::vector<ElementField> fields,
+                                std::vector<ElementField> attributes = {});
+  /// Element with unconstrained content — element(NAME, ANYTYPE).
+  static TypePtr AnyElement(std::string name);
+  static TypePtr AttributeType(std::string name, xml::AtomicType content);
+  static TypePtr Error(std::string message);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  xml::AtomicType atomic_type() const { return atomic_; }
+  bool has_simple_content() const { return simple_content_; }
+  bool has_any_content() const { return any_content_; }
+  const std::vector<ElementField>& fields() const { return fields_; }
+  const std::vector<ElementField>& attributes() const { return attributes_; }
+  const std::string& error_message() const { return name_; }
+
+  /// Looks up a child particle by (local) name; nullptr if absent.
+  const ElementField* FindField(const std::string& name) const;
+  const ElementField* FindAttribute(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit XType(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;  // element/attribute name, or error message
+  xml::AtomicType atomic_ = xml::AtomicType::kUntyped;
+  bool simple_content_ = false;
+  bool any_content_ = false;
+  std::vector<ElementField> fields_;
+  std::vector<ElementField> attributes_;
+};
+
+/// Sequence-type helpers.
+SequenceType EmptySequenceType();
+SequenceType One(TypePtr t);
+SequenceType Opt(TypePtr t);
+SequenceType Star(TypePtr t);
+SequenceType Plus(TypePtr t);
+
+/// item()* — the maximally permissive type.
+SequenceType AnySequence();
+
+/// Subtype test on item types (structural for elements).
+bool IsItemSubtype(const TypePtr& sub, const TypePtr& super);
+/// Subtype test on sequence types (item subtype + occurrence containment).
+bool IsSubtype(const SequenceType& sub, const SequenceType& super);
+
+/// Non-empty intersection test used by ALDSP's optimistic static typing
+/// rule (paper §4.1): f($x) is statically valid iff type($x) intersects
+/// f's parameter type; a runtime typematch is inserted unless type($x) is
+/// a proper subtype.
+bool Intersects(const SequenceType& a, const SequenceType& b);
+bool ItemIntersects(const TypePtr& a, const TypePtr& b);
+
+/// Occurrence algebra used by type inference.
+Occurrence OccurrenceUnion(Occurrence a, Occurrence b);
+/// Occurrence of a `for`-body result iterated over a binding sequence.
+Occurrence OccurrenceProduct(Occurrence a, Occurrence b);
+/// Widens to include the empty sequence (e.g. result of a where clause).
+Occurrence MakeOptional(Occurrence o);
+
+/// Least common supertype of two sequence types (used for if/else and
+/// sequence concatenation inference). Falls back to item()* on mismatch.
+SequenceType CommonSupertype(const SequenceType& a, const SequenceType& b);
+
+/// Atomization type: the atomic type obtained by fn:data on the given
+/// sequence type (element simple content, attribute content, or the atomic
+/// type itself); untypedAtomic if unknown.
+xml::AtomicType AtomizedType(const SequenceType& t);
+
+/// Named-shape registry: maps schema element names ("ns0:PROFILE") to
+/// their (structural) element types. Used for data-service shapes.
+class SchemaRegistry {
+ public:
+  void Register(const std::string& name, TypePtr type);
+  TypePtr Lookup(const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, TypePtr>> entries_;
+};
+
+}  // namespace aldsp::xsd
+
+#endif  // ALDSP_XSD_TYPES_H_

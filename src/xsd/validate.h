@@ -1,0 +1,29 @@
+#ifndef ALDSP_XSD_VALIDATE_H_
+#define ALDSP_XSD_VALIDATE_H_
+
+#include "common/result.h"
+#include "xml/node.h"
+#include "xsd/types.h"
+
+namespace aldsp::xsd {
+
+/// Validates an (untyped) node tree against an element type, producing a
+/// typed copy: text content is cast to the declared atomic types, missing
+/// optional particles are accepted, missing required particles or
+/// uncastable values are errors. This is what the file and web-service
+/// adaptors do at the ALDSP boundary (paper §5.3: "data coming from Web
+/// services is validated according to the schema described in their WSDL
+/// in order to create typed token streams").
+Result<xml::NodePtr> ValidateAndType(const xml::XNode& node,
+                                     const TypePtr& type);
+
+/// Checks a (typed) node tree against a type without modifying it.
+Status CheckAgainst(const xml::XNode& node, const TypePtr& type);
+
+/// Infers the structural type of an existing typed node tree (used by
+/// tests and by SDO ingestion).
+TypePtr InferNodeType(const xml::XNode& node);
+
+}  // namespace aldsp::xsd
+
+#endif  // ALDSP_XSD_VALIDATE_H_

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "adaptors/file_adaptor.h"
+#include "adaptors/relational_adaptor.h"
+#include "adaptors/webservice_adaptor.h"
+#include "service/introspect.h"
+#include "tests/test_fixtures.h"
+#include "xml/serializer.h"
+
+namespace aldsp::adaptors {
+namespace {
+
+using aldsp::testing::MakeCustomerDb;
+using xml::AtomicType;
+
+TEST(FileAdaptorTest, XmlListDocument) {
+  FileAdaptor files("files");
+  xsd::TypePtr item = xsd::XType::ComplexElement(
+      "PRODUCT",
+      {{"SKU", xsd::One(xsd::XType::SimpleElement("SKU", AtomicType::kString))},
+       {"PRICE",
+        xsd::Opt(xsd::XType::SimpleElement("PRICE", AtomicType::kDouble))}});
+  Status st = files.RegisterXmlContent("f:products",
+                                       R"(<CATALOG>
+  <PRODUCT><SKU>A-1</SKU><PRICE>9.99</PRICE></PRODUCT>
+  <PRODUCT><SKU>B-2</SKU></PRODUCT>
+</CATALOG>)",
+                                       item);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto r = files.Invoke("f:products", {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  // Validation typed the content (paper §5.3: schemas are required at
+  // file registration time and used for typed processing).
+  EXPECT_EQ(
+      (*r)[0].node()->FirstChildNamed("PRICE")->TypedValue().type(),
+      AtomicType::kDouble);
+  EXPECT_EQ((*r)[1].node()->FirstChildNamed("PRICE"), nullptr);
+}
+
+TEST(FileAdaptorTest, XmlValidationFailureIsRegistrationError) {
+  FileAdaptor files("files");
+  xsd::TypePtr item = xsd::XType::ComplexElement(
+      "PRODUCT", {{"SKU", xsd::One(xsd::XType::SimpleElement(
+                              "SKU", AtomicType::kString))}});
+  EXPECT_FALSE(files
+                   .RegisterXmlContent("f:bad",
+                                       "<CATALOG><PRODUCT><WRONG>1</WRONG>"
+                                       "</PRODUCT></CATALOG>",
+                                       item)
+                   .ok());
+  EXPECT_FALSE(files.RegisterXmlContent("f:malformed", "<A><B></A>", item).ok());
+}
+
+TEST(FileAdaptorTest, CsvWithTypedColumnsAndNulls) {
+  FileAdaptor files("files");
+  Status st = files.RegisterCsvContent(
+      "f:rates",
+      "CODE,RATE,ACTIVE\n"
+      "USD,1.0,true\n"
+      "EUR,0.92,false\n"
+      "GBP,,true\n",
+      "RATE_ROW",
+      {AtomicType::kString, AtomicType::kDouble, AtomicType::kBoolean});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto r = files.Invoke("f:rates", {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].node()->name(), "RATE_ROW");
+  EXPECT_DOUBLE_EQ(
+      (*r)[1].node()->FirstChildNamed("RATE")->TypedValue().AsDouble(), 0.92);
+  // Empty field -> missing element (the CSV analogue of NULL).
+  EXPECT_EQ((*r)[2].node()->FirstChildNamed("RATE"), nullptr);
+  EXPECT_EQ((*r)[2].node()->FirstChildNamed("ACTIVE")->TypedValue().AsBoolean(),
+            true);
+}
+
+TEST(FileAdaptorTest, CsvErrors) {
+  FileAdaptor files("files");
+  // Wrong type count.
+  EXPECT_FALSE(files.RegisterCsvContent("f:x", "A,B\n1,2\n", "R",
+                                        {AtomicType::kInteger})
+                   .ok());
+  // Ragged record.
+  EXPECT_FALSE(files.RegisterCsvContent("f:y", "A,B\n1\n", "R",
+                                        {AtomicType::kInteger,
+                                         AtomicType::kInteger})
+                   .ok());
+  // Untypable value.
+  EXPECT_FALSE(files.RegisterCsvContent("f:z", "A\nnotanint\n", "R",
+                                        {AtomicType::kInteger})
+                   .ok());
+  // Unknown function.
+  EXPECT_FALSE(files.Invoke("f:missing", {}).ok());
+}
+
+TEST(RelationalAdaptorTest, InvokeErrors) {
+  auto db = std::shared_ptr<relational::Database>(MakeCustomerDb(2).release());
+  RelationalAdaptor adaptor("customer_db", db);
+  EXPECT_FALSE(adaptor.RegisterTableFunction("f:t", "NO_SUCH").ok());
+  EXPECT_FALSE(
+      adaptor.RegisterNavigationFunction("f:n", "ORDER", "NO_COL", "CID").ok());
+  EXPECT_EQ(adaptor.Invoke("f:unregistered", {}).status().code(),
+            StatusCode::kNotFound);
+  // Navigation functions demand a row-element argument.
+  ASSERT_TRUE(
+      adaptor.RegisterNavigationFunction("f:nav", "ORDER", "CID", "CID").ok());
+  EXPECT_FALSE(adaptor.Invoke("f:nav", {}).ok());
+  EXPECT_FALSE(
+      adaptor
+          .Invoke("f:nav", {xml::Sequence{xml::Item(
+                       xml::AtomicValue::String("CUST001"))}})
+          .ok());
+}
+
+TEST(WebServiceTest, SchemaValidationOfResults) {
+  SimulatedWebService ws("ws");
+  xsd::TypePtr schema = xsd::XType::ComplexElement(
+      "RESP", {{"N", xsd::One(xsd::XType::SimpleElement(
+                         "N", AtomicType::kInteger))}});
+  ws.RegisterOperation(
+      "ws:good",
+      [](const std::vector<xml::Sequence>&) -> Result<xml::Sequence> {
+        xml::NodePtr resp = xml::XNode::Element("RESP");
+        resp->AddChild(
+            xml::XNode::TypedElement("N", xml::AtomicValue::Untyped("42")));
+        return xml::Sequence{xml::Item(std::move(resp))};
+      },
+      0, schema);
+  ws.RegisterOperation(
+      "ws:bad",
+      [](const std::vector<xml::Sequence>&) -> Result<xml::Sequence> {
+        xml::NodePtr resp = xml::XNode::Element("RESP");
+        resp->AddChild(xml::XNode::TypedElement(
+            "N", xml::AtomicValue::String("not-an-int")));
+        return xml::Sequence{xml::Item(std::move(resp))};
+      },
+      0, schema);
+  auto good = ws.Invoke("ws:good", {});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->front().node()->FirstChildNamed("N")->TypedValue().type(),
+            AtomicType::kInteger);
+  EXPECT_FALSE(ws.Invoke("ws:bad", {}).ok());
+  EXPECT_EQ(ws.Invoke("ws:missing", {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(WebServiceTest, FaultInjectionCountsDown) {
+  SimulatedWebService ws("ws");
+  ws.RegisterOperation("ws:op",
+                       [](const std::vector<xml::Sequence>&) {
+                         return Result<xml::Sequence>(xml::Sequence{});
+                       });
+  ws.FailNextCalls(2);
+  EXPECT_FALSE(ws.Invoke("ws:op", {}).ok());
+  EXPECT_FALSE(ws.Invoke("ws:op", {}).ok());
+  EXPECT_TRUE(ws.Invoke("ws:op", {}).ok());
+  EXPECT_EQ(ws.invocation_count(), 3);
+}
+
+TEST(IntrospectionTest, RowTypesAndNavigationFunctions) {
+  auto db = std::shared_ptr<relational::Database>(MakeCustomerDb(3).release());
+  RelationalAdaptor adaptor("customer_db", db);
+  compiler::FunctionTable functions;
+  xsd::SchemaRegistry schemas;
+  ASSERT_TRUE(service::IntrospectRelationalSource("ns3", db, &adaptor,
+                                                  &functions, &schemas,
+                                                  "oracle")
+                  .ok());
+  // One read function per table (paper §2.1).
+  const auto* customer = functions.FindExternal("ns3:CUSTOMER");
+  ASSERT_NE(customer, nullptr);
+  EXPECT_EQ(customer->Property("primary_key"), "CID");
+  EXPECT_EQ(customer->Property("vendor"), "oracle");
+  ASSERT_NE(customer->return_type.item, nullptr);
+  // NOT NULL column -> required particle; nullable -> optional.
+  const xsd::ElementField* cid = customer->return_type.item->FindField("CID");
+  ASSERT_NE(cid, nullptr);
+  EXPECT_FALSE(cid->type.allows_empty());
+  const xsd::ElementField* ln =
+      customer->return_type.item->FindField("LAST_NAME");
+  ASSERT_NE(ln, nullptr);
+  EXPECT_TRUE(ln->type.allows_empty());
+  // A navigation function per foreign key.
+  const auto* nav = functions.FindExternal("ns3:getORDER");
+  ASSERT_NE(nav, nullptr);
+  EXPECT_EQ(nav->kind(), "relational-nav");
+  EXPECT_EQ(nav->Property("column"), "CID");
+  EXPECT_EQ(nav->Property("arg_table"), "CUSTOMER");
+  // Schema registry carries the row shapes.
+  EXPECT_NE(schemas.Lookup("CUSTOMER"), nullptr);
+  EXPECT_NE(schemas.Lookup("ORDER"), nullptr);
+}
+
+}  // namespace
+}  // namespace aldsp::adaptors

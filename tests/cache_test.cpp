@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "cache/persistent_store.h"
+#include "cache/typed_codec.h"
+#include "runtime/function_cache.h"
+#include "xml/serializer.h"
+
+namespace aldsp::cache {
+namespace {
+
+using runtime::FunctionCache;
+using xml::AtomicValue;
+using xml::Item;
+using xml::NodePtr;
+using xml::Sequence;
+using xml::XNode;
+
+Sequence SampleResult() {
+  NodePtr p = XNode::Element("PROFILE");
+  p->AddAttribute(XNode::Attribute("id", AtomicValue::String("C1")));
+  p->AddChild(XNode::TypedElement("RATING", AtomicValue::Integer(640)));
+  p->AddChild(XNode::TypedElement("SCORE", AtomicValue::Double(1.5)));
+  p->AddChild(XNode::TypedElement("WHEN", AtomicValue::DateTime(1000000000)));
+  Sequence seq;
+  seq.emplace_back(std::move(p));
+  seq.emplace_back(AtomicValue::String("done"));
+  return seq;
+}
+
+TEST(TypedCodecTest, RoundTripPreservesTypes) {
+  Sequence original = SampleResult();
+  std::string encoded = EncodeTypedSequence(original);
+  auto decoded = DecodeTypedSequence(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(xml::SequenceDeepEquals(original, *decoded));
+  // Type annotations survive, not just lexical forms.
+  EXPECT_EQ((*decoded)[0].node()->FirstChildNamed("RATING")->TypedValue().type(),
+            xml::AtomicType::kInteger);
+  EXPECT_EQ((*decoded)[0].node()->FirstChildNamed("WHEN")->TypedValue().type(),
+            xml::AtomicType::kDateTime);
+}
+
+TEST(TypedCodecTest, EscapesAwkwardStrings) {
+  Sequence original;
+  original.emplace_back(AtomicValue::String("line1\nline2 \\ backslash"));
+  auto decoded = DecodeTypedSequence(EncodeTypedSequence(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(xml::SequenceDeepEquals(original, *decoded));
+}
+
+TEST(TypedCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeTypedSequence("XX nonsense").ok());
+  EXPECT_FALSE(DecodeTypedSequence("TX resistance 42").ok());
+}
+
+TEST(PersistentStoreTest, PutGetExpiryPurge) {
+  auto db = PersistentCacheStore::MakeCacheDatabase();
+  auto store = PersistentCacheStore::Create(db);
+  ASSERT_TRUE(store.ok());
+  Sequence value = SampleResult();
+  ASSERT_TRUE((*store)->Put("k1", value, /*expires=*/1000).ok());
+  Sequence out;
+  auto hit = (*store)->Get("k1", /*now=*/500, &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  EXPECT_TRUE(xml::SequenceDeepEquals(value, out));
+  // Expired entries miss.
+  auto miss = (*store)->Get("k1", /*now=*/1500, &out);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss);
+  // Purge removes them physically.
+  EXPECT_EQ((*store)->EntryCount().value(), 1);
+  EXPECT_EQ((*store)->Purge(1500).value(), 1);
+  EXPECT_EQ((*store)->EntryCount().value(), 0);
+}
+
+TEST(PersistentStoreTest, UpsertReplaces) {
+  auto store = PersistentCacheStore::Create(
+      PersistentCacheStore::MakeCacheDatabase());
+  ASSERT_TRUE(store.ok());
+  Sequence v1{Item(AtomicValue::Integer(1))};
+  Sequence v2{Item(AtomicValue::Integer(2))};
+  ASSERT_TRUE((*store)->Put("k", v1, 10000).ok());
+  ASSERT_TRUE((*store)->Put("k", v2, 10000).ok());
+  EXPECT_EQ((*store)->EntryCount().value(), 1);
+  Sequence out;
+  ASSERT_TRUE((*store)->Get("k", 0, &out).value());
+  EXPECT_EQ(out.front().atomic().AsInteger(), 2);
+}
+
+TEST(PersistentStoreTest, ClusterSharingAcrossFunctionCaches) {
+  // Two "servers" (FunctionCache instances) share one relational store
+  // (paper §5.5: persistence and distribution in an ALDSP cluster).
+  auto store = PersistentCacheStore::Create(
+      PersistentCacheStore::MakeCacheDatabase());
+  ASSERT_TRUE(store.ok());
+  FunctionCache server_a;
+  FunctionCache server_b;
+  server_a.set_backing_store(*store);
+  server_b.set_backing_store(*store);
+
+  Sequence value = SampleResult();
+  server_a.Insert("fn|args", value, /*ttl=*/60000);
+  // Server B never saw the insert locally but hits through the store.
+  Sequence out;
+  EXPECT_TRUE(server_b.Lookup("fn|args", &out));
+  EXPECT_TRUE(xml::SequenceDeepEquals(value, out));
+  EXPECT_EQ(server_b.stats().hits.load(), 1);
+}
+
+TEST(FunctionCacheTest, LruEvictionAtCapacity) {
+  FunctionCache cache(/*max_entries=*/2);
+  Sequence v{Item(AtomicValue::Integer(1))};
+  cache.Insert("a", v, 60000);
+  cache.Insert("b", v, 60000);
+  Sequence out;
+  ASSERT_TRUE(cache.Lookup("a", &out));  // touch a: b becomes LRU
+  cache.Insert("c", v, 60000);
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FunctionCacheTest, EnablementAndKeying) {
+  FunctionCache cache;
+  EXPECT_FALSE(cache.IsEnabled("f"));
+  cache.EnableFor("f", 5000);
+  EXPECT_TRUE(cache.IsEnabled("f"));
+  EXPECT_EQ(cache.TtlFor("f"), 5000);
+  cache.DisableFor("f");
+  EXPECT_FALSE(cache.IsEnabled("f"));
+  // Keys distinguish functions and argument values.
+  Sequence a1{Item(AtomicValue::Integer(1))};
+  Sequence a2{Item(AtomicValue::Integer(2))};
+  EXPECT_NE(FunctionCache::MakeKey("f", {a1}), FunctionCache::MakeKey("f", {a2}));
+  EXPECT_NE(FunctionCache::MakeKey("f", {a1}), FunctionCache::MakeKey("g", {a1}));
+  EXPECT_EQ(FunctionCache::MakeKey("f", {a1}), FunctionCache::MakeKey("f", {a1}));
+}
+
+}  // namespace
+}  // namespace aldsp::cache

@@ -1,0 +1,127 @@
+// Tests the data-service model of paper §2.1/§6: method classification
+// by pragma kind, lineage-provider designation (isPrimary or first read
+// method), and the server's service-level submit path.
+
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+#include "tests/test_fixtures.h"
+#include "update/sdo.h"
+
+namespace aldsp::service {
+namespace {
+
+using aldsp::testing::MakeCustomerDb;
+using server::DataServicePlatform;
+
+class DataServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = std::shared_ptr<relational::Database>(
+        MakeCustomerDb(5, 3).release());
+    customer_db_ = db.get();
+    ASSERT_TRUE(platform_.RegisterRelationalSource("ns3", db, "oracle").ok());
+  }
+  DataServicePlatform platform_;
+  relational::Database* customer_db_ = nullptr;
+};
+
+constexpr const char* kService = R"(
+(::pragma function kind="read" ::)
+declare function tns:getAll() as element(P)* {
+  for $c in ns3:CUSTOMER()
+  return <P><CID>{fn:data($c/CID)}</CID>
+    <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME></P>
+};
+(::pragma function kind="read" ::)
+declare function tns:getByID($id as xs:string) as element(P)* {
+  tns:getAll()[CID eq $id]
+};
+(::pragma function kind="navigate" ::)
+declare function tns:getORDERS($p as element(P)) as element(ORDER)* {
+  ns3:ORDER()[CID eq $p/CID]
+};
+)";
+
+TEST_F(DataServiceTest, MethodsClassifiedByPragmaKind) {
+  ASSERT_TRUE(platform_.LoadDataService(kService).ok());
+  const DataService* svc = platform_.services().Find("tns");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->read_methods.size(), 2u);
+  EXPECT_EQ(svc->navigate_methods.size(), 1u);
+  EXPECT_EQ(svc->navigate_methods[0], "tns:getORDERS");
+  // Default lineage provider: the first read method (the "get all").
+  EXPECT_EQ(svc->lineage_provider, "tns:getAll");
+  // The shape comes from the provider's declared return type; without an
+  // imported schema for P it is element(P, ANYTYPE) (paper §3.1).
+  ASSERT_NE(svc->shape, nullptr);
+  EXPECT_TRUE(xml::NameMatches(svc->shape->name(), "P"));
+  EXPECT_TRUE(svc->shape->has_any_content());
+}
+
+TEST_F(DataServiceTest, IsPrimaryPragmaDesignatesProvider) {
+  ASSERT_TRUE(platform_
+                  .LoadDataService(R"(
+(::pragma function kind="read" ::)
+declare function svc2:first() as element(P)* {
+  for $c in ns3:CUSTOMER() return <P><CID>{fn:data($c/CID)}</CID></P>
+};
+(::pragma function kind="read" isPrimary="true" ::)
+declare function svc2:designated() as element(P)* {
+  for $c in ns3:CUSTOMER() return <P><CID>{fn:data($c/CID)}</CID></P>
+};
+)")
+                  .ok());
+  const DataService* svc = platform_.services().Find("svc2");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->lineage_provider, "svc2:designated");
+}
+
+TEST_F(DataServiceTest, ServerSubmitRoundTrip) {
+  ASSERT_TRUE(platform_.LoadDataService(kService).ok());
+  auto result = platform_.Execute("tns:getByID(\"CUST002\")");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  update::DataObject sdo(result->front().node());
+  ASSERT_TRUE(sdo.Set("LAST_NAME", xml::AtomicValue::String("Renamed")).ok());
+  auto report = platform_.Submit("tns", sdo);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->statements.size(), 1u);
+  auto rows = customer_db_->TableData("CUSTOMER");
+  EXPECT_EQ((*rows)[1][2].value.AsString(), "Renamed");
+  // The submit landed in the audit log.
+  EXPECT_EQ(platform_.audit_log().EventsInCategory("update").size(), 1u);
+}
+
+TEST_F(DataServiceTest, SubmitErrors) {
+  ASSERT_TRUE(platform_.LoadDataService(kService).ok());
+  auto r = platform_.LineageFor("nope");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  // A service with no read methods has no lineage provider.
+  ASSERT_TRUE(platform_
+                  .LoadDataService(
+                      "(::pragma function kind=\"navigate\" ::)\n"
+                      "declare function nav:only($p as element(CUSTOMER)) as "
+                      "element(ORDER)* { ns3:ORDER()[CID eq $p/CID] };")
+                  .ok());
+  EXPECT_EQ(platform_.LineageFor("nav").status().code(),
+            StatusCode::kUpdateError);
+}
+
+TEST_F(DataServiceTest, RedeploymentReplacesService) {
+  ASSERT_TRUE(platform_.LoadDataService(kService).ok());
+  ServiceCatalog catalog;
+  DataService v1;
+  v1.name = "x";
+  v1.read_methods = {"x:a"};
+  ASSERT_TRUE(catalog.Register(v1).ok());
+  DataService v2;
+  v2.name = "x";
+  v2.read_methods = {"x:a", "x:b"};
+  ASSERT_TRUE(catalog.Register(v2).ok());
+  EXPECT_EQ(catalog.Find("x")->read_methods.size(), 2u);
+  EXPECT_EQ(catalog.services().size(), 1u);
+}
+
+}  // namespace
+}  // namespace aldsp::service

@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include "tests/e2e_fixture.h"
+#include "xml/serializer.h"
+
+namespace aldsp::runtime {
+namespace {
+
+using aldsp::testing::RunningExample;
+using xml::Sequence;
+
+std::string RunToXml(RunningExample& env, const std::string& query) {
+  auto r = env.Run(query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << query;
+  return r.ok() ? xml::SerializeSequence(*r) : "<error>";
+}
+
+TEST(EvalTest, LiteralsAndArithmetic) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "1 + 2 * 3"), "7");
+  EXPECT_EQ(RunToXml(env, "10 idiv 3"), "3");
+  EXPECT_EQ(RunToXml(env, "10 mod 3"), "1");
+  EXPECT_EQ(RunToXml(env, "7 div 2"), "3.5");
+  EXPECT_EQ(RunToXml(env, "1.5 + 1"), "2.5");
+  EXPECT_EQ(RunToXml(env, "(1, 2, 3)"), "1 2 3");
+}
+
+TEST(EvalTest, ComparisonsAndLogic) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "3 gt 2"), "true");
+  EXPECT_EQ(RunToXml(env, "\"abc\" lt \"abd\""), "true");
+  EXPECT_EQ(RunToXml(env, "3 gt 2 and 1 eq 2"), "false");
+  EXPECT_EQ(RunToXml(env, "3 gt 2 or 1 eq 2"), "true");
+  // General comparison is existential.
+  EXPECT_EQ(RunToXml(env, "(1, 2, 3) = 2"), "true");
+  EXPECT_EQ(RunToXml(env, "(1, 2, 3) = 9"), "false");
+}
+
+TEST(EvalTest, IfAndQuantified) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "if (2 gt 1) then \"yes\" else \"no\""), "yes");
+  EXPECT_EQ(RunToXml(env, "some $x in (1, 2, 3) satisfies $x gt 2"), "true");
+  EXPECT_EQ(RunToXml(env, "every $x in (1, 2, 3) satisfies $x gt 2"), "false");
+}
+
+TEST(EvalTest, SourceFunctionReturnsTypedRows) {
+  RunningExample env(3);
+  auto r = env.Run("ns3:CUSTOMER()");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  const auto& first = r->front().node();
+  EXPECT_EQ(first->name(), "CUSTOMER");
+  EXPECT_EQ(first->FirstChildNamed("CID")->TypedValue().AsString(), "CUST001");
+  // SINCE is BIGINT -> xs:integer.
+  EXPECT_EQ(first->FirstChildNamed("SINCE")->TypedValue().type(),
+            xml::AtomicType::kInteger);
+}
+
+TEST(EvalTest, SimpleFLWOROverSource) {
+  RunningExample env(5);
+  EXPECT_EQ(RunToXml(env,
+                     "for $c in ns3:CUSTOMER() where $c/CID eq \"CUST002\" "
+                     "return fn:data($c/LAST_NAME)"),
+            "Lee");
+}
+
+TEST(EvalTest, FilterPredicateOnSource) {
+  RunningExample env(5);
+  EXPECT_EQ(
+      RunToXml(env, "fn:data(ns3:CUSTOMER()[CID eq \"CUST003\"]/FIRST_NAME)"),
+      "Dan");
+  // Positional predicate.
+  EXPECT_EQ(RunToXml(env, "fn:data(ns3:CUSTOMER()[2]/CID)"), "CUST002");
+}
+
+TEST(EvalTest, ElementConstructionPreservesTypes) {
+  RunningExample env(2);
+  auto r = env.Run(
+      "for $c in ns3:CUSTOMER() where $c/CID eq \"CUST001\" "
+      "return <OUT><N>{fn:data($c/SINCE)}</N></OUT>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  // Runtime type annotation on content survives construction (§3.1).
+  EXPECT_EQ(r->front().node()->FirstChildNamed("N")->TypedValue().type(),
+            xml::AtomicType::kInteger);
+}
+
+TEST(EvalTest, ConditionalConstructionOmitsEmpty) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "let $x := () return <A?>{$x}</A>"), "");
+  EXPECT_EQ(RunToXml(env, "let $x := 1 return <A?>{$x}</A>"), "<A>1</A>");
+  EXPECT_EQ(RunToXml(env, "let $v := () return <E a?=\"{$v}\">x</E>"),
+            "<E>x</E>");
+  EXPECT_EQ(RunToXml(env, "let $v := 9 return <E a?=\"{$v}\">x</E>"),
+            "<E a=\"9\">x</E>");
+}
+
+TEST(EvalTest, GroupByPaperExample) {
+  // Paper §3.1 FLWGOR example: customer ids per last name.
+  RunningExample env(8);
+  auto r = env.Run(
+      "for $c in ns3:CUSTOMER() "
+      "let $cid := $c/CID "
+      "group $cid as $ids by $c/LAST_NAME as $name "
+      "order by $name "
+      "return <CUSTOMER_IDS name=\"{$name}\">{ fn:count($ids) }</CUSTOMER_IDS>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 4 distinct last names among 8 customers.
+  EXPECT_EQ(r->size(), 4u);
+  int64_t total = 0;
+  for (const auto& item : *r) {
+    total += item.node()->TypedValue().AsInteger();
+  }
+  EXPECT_EQ(total, 8);
+}
+
+TEST(EvalTest, GroupByAsDistinct) {
+  RunningExample env(8);
+  auto r = env.Run(
+      "for $c in ns3:CUSTOMER() group by $c/LAST_NAME as $l "
+      "order by $l return $l");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(EvalTest, NavigationFunctionFollowsForeignKey) {
+  RunningExample env(5, 3);
+  // Customer 3 has 3 orders.
+  EXPECT_EQ(RunToXml(env,
+                     "fn:count(ns3:getORDER(ns3:CUSTOMER()[CID eq "
+                     "\"CUST003\"]))"),
+            "3");
+  // Customer 4 has none.
+  EXPECT_EQ(RunToXml(env,
+                     "fn:count(ns3:getORDER(ns3:CUSTOMER()[CID eq "
+                     "\"CUST004\"]))"),
+            "0");
+}
+
+TEST(EvalTest, CrossSourceQuery) {
+  RunningExample env(5);
+  // CREDIT_CARD lives in the second database.
+  EXPECT_EQ(RunToXml(env,
+                     "fn:count(for $cc in ns2:CREDIT_CARD() return $cc)"),
+            "4");  // customers 1,3,5 have cards; customer 1 has two
+}
+
+TEST(EvalTest, WebServiceCall) {
+  RunningExample env(2);
+  auto r = env.Run(
+      "fn:data(ns4:getRating(<ns5:getRating>"
+      "<ns5:lName>Smith</ns5:lName><ns5:ssn>123</ns5:ssn>"
+      "</ns5:getRating>)/ns5:getRatingResult)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->front().atomic().AsInteger(), 650);  // 600 + 10*5
+}
+
+TEST(EvalTest, ExternalFunctionInt2Date) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "ns1:int2date(86400)"), "1970-01-02T00:00:00Z");
+  EXPECT_EQ(RunToXml(env,
+                     "ns1:date2int(ns1:int2date(1000000000))"),
+            "1000000000");
+}
+
+TEST(EvalTest, Figure3GetProfileEndToEnd) {
+  RunningExample env(4, 3);
+  const char* module = R"(
+declare namespace tns="urn:profile";
+(::pragma function kind="read" ::)
+declare function tns:getProfile() as element(PROFILE)* {
+  for $CUSTOMER in ns3:CUSTOMER()
+  return
+    <PROFILE>
+      <CID>{fn:data($CUSTOMER/CID)}</CID>
+      <LAST_NAME>{ fn:data($CUSTOMER/LAST_NAME) }</LAST_NAME>
+      <ORDERS>{ ns3:getORDER($CUSTOMER) }</ORDERS>
+      <CREDIT_CARDS>{ ns2:CREDIT_CARD()[CID eq $CUSTOMER/CID] }</CREDIT_CARDS>
+      <RATING>{
+        fn:data(ns4:getRating(
+          <ns5:getRating>
+            <ns5:lName>{ fn:data($CUSTOMER/LAST_NAME) }</ns5:lName>
+            <ns5:ssn>{ fn:data($CUSTOMER/SSN) }</ns5:ssn>
+          </ns5:getRating>)/ns5:getRatingResult)
+      }</RATING>
+    </PROFILE>
+};
+(::pragma function kind="read" ::)
+declare function tns:getProfileByID($id as xs:string) as element(PROFILE)* {
+  tns:getProfile()[CID eq $id]
+};
+)";
+  ASSERT_TRUE(env.LoadModule(module).ok());
+  auto r = env.Run("tns:getProfile()");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 4u);
+  // Customer 1: 1 order, 2 credit cards.
+  const auto& p1 = r->front().node();
+  EXPECT_EQ(p1->FirstChildNamed("CID")->TypedValue().AsString(), "CUST001");
+  EXPECT_EQ(p1->FirstChildNamed("ORDERS")->children().size(), 1u);
+  EXPECT_EQ(p1->FirstChildNamed("CREDIT_CARDS")->children().size(), 2u);
+  EXPECT_GT(p1->FirstChildNamed("RATING")->TypedValue().AsInteger(), 600);
+
+  // View reuse: getProfileByID filters the view.
+  auto one = env.Run("tns:getProfileByID(\"CUST002\")");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0].node()->FirstChildNamed("CID")->TypedValue().AsString(),
+            "CUST002");
+}
+
+TEST(EvalTest, SubsequencePaging) {
+  RunningExample env(10);
+  EXPECT_EQ(RunToXml(env,
+                     "for $c in subsequence(ns3:CUSTOMER(), 3, 2) "
+                     "return fn:data($c/CID)"),
+            "CUST003 CUST004");
+}
+
+TEST(EvalTest, StringBuiltins) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "fn:concat(\"a\", \"b\", \"c\")"), "abc");
+  EXPECT_EQ(RunToXml(env, "fn:upper-case(\"MixEd\")"), "MIXED");
+  EXPECT_EQ(RunToXml(env, "fn:substring(\"hello\", 2, 3)"), "ell");
+  EXPECT_EQ(RunToXml(env, "fn:contains(\"hello\", \"ell\")"), "true");
+  EXPECT_EQ(RunToXml(env, "fn:starts-with(\"hello\", \"he\")"), "true");
+  EXPECT_EQ(RunToXml(env, "fn:string-length(\"hello\")"), "5");
+  EXPECT_EQ(RunToXml(env, "fn:string-join((\"a\",\"b\"), \"-\")"), "a-b");
+}
+
+TEST(EvalTest, AggregateBuiltins) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "fn:sum((1, 2, 3))"), "6");
+  EXPECT_EQ(RunToXml(env, "fn:sum(())"), "0");
+  EXPECT_EQ(RunToXml(env, "fn:avg((1, 2, 3))"), "2.0");
+  EXPECT_EQ(RunToXml(env, "fn:min((3, 1, 2))"), "1");
+  EXPECT_EQ(RunToXml(env, "fn:max((\"a\", \"c\", \"b\"))"), "c");
+  EXPECT_EQ(RunToXml(env, "fn:count(())"), "0");
+  EXPECT_EQ(RunToXml(env, "fn:distinct-values((1, 2, 1, 3, 2))"), "1 2 3");
+}
+
+TEST(EvalTest, CastAndInstanceOf) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "\"42\" cast as xs:integer"), "42");
+  EXPECT_EQ(RunToXml(env, "5 instance of xs:integer"), "true");
+  EXPECT_EQ(RunToXml(env, "\"x\" instance of xs:integer"), "false");
+}
+
+TEST(EvalTest, CastableAs) {
+  RunningExample env;
+  EXPECT_EQ(RunToXml(env, "\"42\" castable as xs:integer"), "true");
+  EXPECT_EQ(RunToXml(env, "\"4x2\" castable as xs:integer"), "false");
+  EXPECT_EQ(RunToXml(env, "\"2006-09-12T00:00:00\" castable as xs:dateTime"),
+            "true");
+  EXPECT_EQ(RunToXml(env, "\"not a date\" castable as xs:dateTime"), "false");
+  EXPECT_EQ(RunToXml(env, "() castable as xs:integer?"), "true");
+  EXPECT_EQ(RunToXml(env, "() castable as xs:integer"), "false");
+  // Guarding a cast with castable: the idiomatic safe-conversion pattern.
+  EXPECT_EQ(RunToXml(env,
+                     "for $v in (\"12\", \"x\", \"7\") return "
+                     "if ($v castable as xs:integer) "
+                     "then $v cast as xs:integer else -1"),
+            "12 -1 7");
+}
+
+TEST(EvalTest, TypematchEnforcesRuntimeTypes) {
+  // getProfileByID($id as xs:string) called with an integer-typed value
+  // whose static type merely intersects: the analyzer rejects it
+  // statically here (no intersection), so test with untyped data instead.
+  RunningExample env;
+  ASSERT_TRUE(env
+                  .LoadModule(
+                      "declare function tns:needsInt($x as xs:integer) as "
+                      "xs:integer { $x + 1 };")
+                  .ok());
+  // Untyped intersects integer -> typematch inserted -> runtime failure
+  // when the value is not an integer.
+  auto bad = env.Run(
+      "for $d in (<X>notanint</X>) return tns:needsInt(fn:data($d))");
+  EXPECT_FALSE(bad.ok());
+  auto good =
+      env.Run("for $d in (<X>41</X>) return tns:needsInt(fn:data($d) cast as xs:integer)");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->front().atomic().AsInteger(), 42);
+}
+
+TEST(EvalTest, StaticTypeErrorsAreCaught) {
+  RunningExample env;
+  // Structural typing catches misspelled child elements at compile time.
+  auto r = env.Run("for $c in ns3:CUSTOMER() return $c/LASTNAME_TYPO");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  // Comparing a string column to an integer is a static type error.
+  auto r2 = env.Run("for $c in ns3:CUSTOMER() where $c/CID eq 42 return $c");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kTypeError);
+}
+
+TEST(EvalTest, FailOverToAlternate) {
+  RunningExample env(2);
+  env.rating_ws->FailNextCalls(1);
+  auto r = env.Run(
+      "fn-bea:fail-over("
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>X</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult), -1)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->front().atomic().AsInteger(), -1);
+  EXPECT_EQ(env.stats.failovers_fired.load(), 1);
+  // Without failure the primary result comes through.
+  auto r2 = env.Run(
+      "fn-bea:fail-over("
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>X</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult), -1)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->front().atomic().AsInteger(), 610);
+}
+
+TEST(EvalTest, TimeoutFallsBackOnSlowSource) {
+  RunningExample env(2);
+  env.rating_ws->SetLatency("ns4:getRating", 200);
+  auto r = env.Run(
+      "fn-bea:timeout("
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>X</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult), 30, 0)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->front().atomic().AsInteger(), 0);
+  EXPECT_EQ(env.stats.timeouts_fired.load(), 1);
+  // A generous deadline lets the primary finish.
+  env.rating_ws->SetLatency("ns4:getRating", 1);
+  auto r2 = env.Run(
+      "fn-bea:timeout("
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>X</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult), 5000, 0)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->front().atomic().AsInteger(), 610);
+}
+
+TEST(EvalTest, AsyncProducesSameResultsAsSync) {
+  RunningExample env(3);
+  std::string body =
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>Smith</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult)";
+  std::string sync = RunToXml(env, "<R><A>{" + body + "}</A><B>{" + body +
+                                       "}</B></R>");
+  std::string async = RunToXml(env, "<R><A>{fn-bea:async(" + body +
+                                        ")}</A><B>{fn-bea:async(" + body +
+                                        ")}</B></R>");
+  EXPECT_EQ(sync, async);
+  EXPECT_EQ(env.stats.async_tasks.load(), 2);
+}
+
+TEST(EvalTest, AsyncOverlapsLatency) {
+  RunningExample env(2);
+  env.rating_ws->SetLatency("ns4:getRating", 60);
+  std::string body =
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>X</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult)";
+  std::string q = "<R>";
+  for (int i = 0; i < 4; ++i) q += "<V>{fn-bea:async(" + body + ")}</V>";
+  q += "</R>";
+  auto start = std::chrono::steady_clock::now();
+  auto r = env.Run(q);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Four 60ms calls in parallel should take well under 4 * 60ms.
+  EXPECT_LT(elapsed, 200);
+}
+
+TEST(EvalTest, FunctionCacheServesRepeatInvocations) {
+  RunningExample env(2);
+  env.cache.EnableFor("ns4:getRating", /*ttl_millis=*/60000);
+  std::string q =
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>A</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult)";
+  ASSERT_TRUE(env.Run(q).ok());
+  ASSERT_TRUE(env.Run(q).ok());
+  EXPECT_EQ(env.rating_ws->invocation_count(), 1);
+  EXPECT_EQ(env.cache.stats().hits.load(), 1);
+  // Different arguments miss.
+  std::string q2 =
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>B</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult)";
+  ASSERT_TRUE(env.Run(q2).ok());
+  EXPECT_EQ(env.rating_ws->invocation_count(), 2);
+}
+
+TEST(EvalTest, FunctionCacheTtlExpires) {
+  RunningExample env(2);
+  env.cache.EnableFor("ns4:getRating", /*ttl_millis=*/1000);
+  std::string q =
+      "fn:data(ns4:getRating(<ns5:getRating><ns5:lName>A</ns5:lName>"
+      "<ns5:ssn>1</ns5:ssn></ns5:getRating>)/ns5:getRatingResult)";
+  ASSERT_TRUE(env.Run(q).ok());
+  env.cache.AdvanceClockForTest(2000);
+  ASSERT_TRUE(env.Run(q).ok());
+  EXPECT_EQ(env.rating_ws->invocation_count(), 2);
+  EXPECT_EQ(env.cache.stats().expirations.load(), 1);
+}
+
+TEST(EvalTest, StreamingDeliversIncrementally) {
+  // The server-side streaming API (paper §2.2): items reach the consumer
+  // as they are produced. Proof of incrementality: each result item costs
+  // one web-service call, and aborting after the first item means only
+  // one call was ever made (a materializing implementation would have
+  // made all five).
+  RunningExample env(5, 0);
+  auto parsed = xquery::ParseExpression(
+      "for $c in ns3:CUSTOMER() return <R>{"
+      "fn:data(ns4:getRating(<ns5:getRating>"
+      "<ns5:lName>{fn:data($c/LAST_NAME)}</ns5:lName>"
+      "<ns5:ssn>{fn:data($c/SSN)}</ns5:ssn>"
+      "</ns5:getRating>)/ns5:getRatingResult)}</R>");
+  ASSERT_TRUE(parsed.ok());
+  xquery::ExprPtr plan = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  ASSERT_TRUE(analyzer.Analyze(plan, {}).ok());
+
+  int delivered = 0;
+  Status st = EvaluateStream(*plan, env.ctx, [&](const xml::Item&) -> Status {
+    ++delivered;
+    if (delivered == 1) return Status::InvalidArgument("stop early");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());  // the sink aborted
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(env.rating_ws->invocation_count(), 1);  // not 5
+
+  // A full streaming pass delivers everything.
+  delivered = 0;
+  ASSERT_TRUE(EvaluateStream(*plan, env.ctx, [&](const xml::Item&) {
+                ++delivered;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(delivered, 5);
+}
+
+TEST(EvalTest, RecursionGuard) {
+  RunningExample env;
+  ASSERT_TRUE(env
+                  .LoadModule(
+                      "declare function tns:loop($x as xs:integer) as "
+                      "xs:integer { tns:loop($x) };")
+                  .ok());
+  auto r = env.Run("tns:loop(1)");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace aldsp::runtime

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "security/security.h"
+#include "server/server.h"
+#include "tests/test_fixtures.h"
+#include "xml/serializer.h"
+
+namespace aldsp::security {
+namespace {
+
+using aldsp::testing::MakeCustomerDb;
+using server::DataServicePlatform;
+
+Principal Admin() { return {"alice", {"admin", "analyst"}}; }
+Principal Clerk() { return {"bob", {"clerk"}}; }
+
+TEST(AccessControlTest, FunctionAclAllowsAndDenies) {
+  AccessControl ac;
+  AuditLog audit;
+  ac.AddFunctionAcl({"tns:getProfile", {"admin"}});
+  EXPECT_TRUE(ac.CheckFunctionAccess(Admin(), {"tns:getProfile"}, &audit).ok());
+  Status denied = ac.CheckFunctionAccess(Clerk(), {"tns:getProfile"}, &audit);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), StatusCode::kSecurityError);
+  // Unlisted functions are open.
+  EXPECT_TRUE(ac.CheckFunctionAccess(Clerk(), {"tns:other"}, &audit).ok());
+  EXPECT_EQ(audit.EventsInCategory("access-denied").size(), 1u);
+}
+
+xml::Sequence MakeProfiles() {
+  xml::Sequence seq;
+  for (int i = 0; i < 2; ++i) {
+    xml::NodePtr p = xml::XNode::Element("PROFILE");
+    p->AddChild(xml::XNode::TypedElement(
+        "CID", xml::AtomicValue::String("C" + std::to_string(i))));
+    p->AddChild(xml::XNode::TypedElement(
+        "SSN", xml::AtomicValue::String("123-45-678" + std::to_string(i))));
+    p->AddChild(xml::XNode::TypedElement("RATING",
+                                         xml::AtomicValue::Integer(700 + i)));
+    seq.emplace_back(std::move(p));
+  }
+  return seq;
+}
+
+TEST(AccessControlTest, ElementRemovalPolicy) {
+  AccessControl ac;
+  ac.AddElementPolicy({"PROFILE/SSN", {"admin"}, RedactionAction::kRemove, {}});
+  xml::Sequence in = MakeProfiles();
+  xml::Sequence admin_view = ac.FilterResult(Admin(), in);
+  EXPECT_NE(xml::SerializeSequence(admin_view).find("SSN"), std::string::npos);
+  xml::Sequence clerk_view = ac.FilterResult(Clerk(), in);
+  EXPECT_EQ(xml::SerializeSequence(clerk_view).find("SSN"), std::string::npos);
+  // The input was not mutated (copy-on-filter).
+  EXPECT_NE(xml::SerializeSequence(in).find("SSN"), std::string::npos);
+}
+
+TEST(AccessControlTest, ElementReplacementPolicy) {
+  AccessControl ac;
+  ac.AddElementPolicy({"PROFILE/RATING",
+                       {"analyst"},
+                       RedactionAction::kReplace,
+                       xml::AtomicValue::Integer(-1)});
+  xml::Sequence clerk_view = ac.FilterResult(Clerk(), MakeProfiles());
+  for (const auto& item : clerk_view) {
+    EXPECT_EQ(
+        item.node()->FirstChildNamed("RATING")->TypedValue().AsInteger(), -1);
+  }
+  xml::Sequence analyst_view = ac.FilterResult(Admin(), MakeProfiles());
+  EXPECT_EQ(
+      analyst_view[0].node()->FirstChildNamed("RATING")->TypedValue().AsInteger(),
+      700);
+}
+
+TEST(AccessControlTest, WholeItemRemoval) {
+  AccessControl ac;
+  ac.AddElementPolicy({"PROFILE", {"admin"}, RedactionAction::kRemove, {}});
+  EXPECT_EQ(ac.FilterResult(Clerk(), MakeProfiles()).size(), 0u);
+  EXPECT_EQ(ac.FilterResult(Admin(), MakeProfiles()).size(), 2u);
+}
+
+TEST(AuditLogTest, RecordsSequencedEvents) {
+  AuditLog audit;
+  audit.Record("query", "alice", "q1");
+  audit.Record("redaction", "bob", "PROFILE/SSN");
+  audit.Record("query", "bob", "q2");
+  EXPECT_EQ(audit.size(), 3u);
+  auto queries = audit.EventsInCategory("query");
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_LT(queries[0].sequence, queries[1].sequence);
+  audit.Clear();
+  EXPECT_EQ(audit.size(), 0u);
+}
+
+class ServerSecurityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db =
+        std::shared_ptr<relational::Database>(MakeCustomerDb(4).release());
+    ASSERT_TRUE(platform_.RegisterRelationalSource("ns3", db, "oracle").ok());
+    ASSERT_TRUE(platform_
+                    .LoadDataService(R"(
+declare function tns:profiles() as element(P)* {
+  for $c in ns3:CUSTOMER()
+  return <P><CID>{fn:data($c/CID)}</CID><SSN>{fn:data($c/SSN)}</SSN></P>
+};)")
+                    .ok());
+  }
+  DataServicePlatform platform_;
+};
+
+TEST_F(ServerSecurityTest, FunctionAclEnforcedDespiteViewUnfolding) {
+  // The optimizer inlines tns:profiles away; the ACL must still apply to
+  // the function the query named (paper §7).
+  platform_.access_control().AddFunctionAcl({"tns:profiles", {"admin"}});
+  auto denied = platform_.ExecuteAs("tns:profiles()", Clerk());
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kSecurityError);
+  auto allowed = platform_.ExecuteAs("tns:profiles()", Admin());
+  ASSERT_TRUE(allowed.ok()) << allowed.status().ToString();
+  EXPECT_EQ(allowed->size(), 4u);
+}
+
+TEST_F(ServerSecurityTest, LateFilteringKeepsPlansShared) {
+  platform_.access_control().AddElementPolicy(
+      {"P/SSN", {"admin"}, RedactionAction::kRemove, {}});
+  auto admin_view = platform_.ExecuteAs("tns:profiles()", Admin());
+  ASSERT_TRUE(admin_view.ok());
+  EXPECT_NE(xml::SerializeSequence(*admin_view).find("SSN"),
+            std::string::npos);
+  auto clerk_view = platform_.ExecuteAs("tns:profiles()", Clerk());
+  ASSERT_TRUE(clerk_view.ok());
+  EXPECT_EQ(xml::SerializeSequence(*clerk_view).find("SSN"),
+            std::string::npos);
+  // One compile served both users: the plan cache stayed user-agnostic.
+  EXPECT_EQ(platform_.plan_cache_misses(), 1);
+  EXPECT_GE(platform_.plan_cache_hits(), 1);
+  EXPECT_GE(platform_.audit_log().EventsInCategory("redaction").size(), 4u);
+}
+
+}  // namespace
+}  // namespace aldsp::security

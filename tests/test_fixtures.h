@@ -1,0 +1,91 @@
+#ifndef ALDSP_TESTS_TEST_FIXTURES_H_
+#define ALDSP_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/engine.h"
+
+namespace aldsp::testing {
+
+/// Builds the paper's running-example customer database (paper §3.4):
+/// CUSTOMER(CID, FIRST_NAME, LAST_NAME, SSN, SINCE) and
+/// ORDER(OID, CID, AMOUNT) with a foreign key ORDER.CID -> CUSTOMER.CID.
+/// `customers` rows are CUST001..CUSTnnn; each customer i has
+/// (i % (max_orders+1)) orders so order counts vary deterministically.
+inline std::unique_ptr<relational::Database> MakeCustomerDb(
+    int customers = 5, int max_orders = 3) {
+  using namespace relational;
+  auto db = std::make_unique<Database>("customer_db");
+  TableDef customer;
+  customer.name = "CUSTOMER";
+  customer.columns = {{"CID", ColumnType::kVarchar, false},
+                      {"FIRST_NAME", ColumnType::kVarchar, true},
+                      {"LAST_NAME", ColumnType::kVarchar, true},
+                      {"SSN", ColumnType::kVarchar, true},
+                      {"SINCE", ColumnType::kBigInt, true}};
+  customer.primary_key = {"CID"};
+  (void)db->CreateTable(customer);
+
+  TableDef order;
+  order.name = "ORDER";
+  order.columns = {{"OID", ColumnType::kInteger, false},
+                   {"CID", ColumnType::kVarchar, false},
+                   {"AMOUNT", ColumnType::kDouble, true}};
+  order.primary_key = {"OID"};
+  order.foreign_keys = {{{"CID"}, "CUSTOMER", {"CID"}}};
+  (void)db->CreateTable(order);
+
+  static const char* kFirst[] = {"Ann", "Bob", "Carol", "Dan", "Eve"};
+  static const char* kLast[] = {"Jones", "Smith", "Lee", "Kim"};
+  int oid = 1;
+  for (int i = 1; i <= customers; ++i) {
+    char cid[16];
+    std::snprintf(cid, sizeof(cid), "CUST%03d", i);
+    (void)db->InsertRow(
+        "CUSTOMER",
+        {Cell::Str(cid), Cell::Str(kFirst[i % 5]), Cell::Str(kLast[i % 4]),
+         Cell::Str("SSN-" + std::to_string(i)),
+         Cell::Int(1000000000LL + i * 86400LL)});
+    int norders = i % (max_orders + 1);
+    for (int j = 0; j < norders; ++j) {
+      (void)db->InsertRow("ORDER", {Cell::Int(oid++), Cell::Str(cid),
+                                    Cell::Dbl(10.0 * (j + 1))});
+    }
+  }
+  return db;
+}
+
+/// Builds the second database of the running example holding
+/// CREDIT_CARD(CCN, CID, LIMIT_AMT).
+inline std::unique_ptr<relational::Database> MakeCreditCardDb(
+    int customers = 5) {
+  using namespace relational;
+  auto db = std::make_unique<Database>("billing_db");
+  TableDef cc;
+  cc.name = "CREDIT_CARD";
+  cc.columns = {{"CCN", ColumnType::kVarchar, false},
+                {"CID", ColumnType::kVarchar, false},
+                {"LIMIT_AMT", ColumnType::kDouble, true}};
+  cc.primary_key = {"CCN"};
+  (void)db->CreateTable(cc);
+  for (int i = 1; i <= customers; ++i) {
+    char cid[16];
+    std::snprintf(cid, sizeof(cid), "CUST%03d", i);
+    // Every second customer has a card; first customer has two.
+    if (i % 2 == 1) {
+      (void)db->InsertRow("CREDIT_CARD",
+                          {Cell::Str("CC-" + std::to_string(i)), Cell::Str(cid),
+                           Cell::Dbl(1000.0 * i)});
+    }
+    if (i == 1) {
+      (void)db->InsertRow("CREDIT_CARD",
+                          {Cell::Str("CC-1b"), Cell::Str(cid), Cell::Dbl(500.0)});
+    }
+  }
+  return db;
+}
+
+}  // namespace aldsp::testing
+
+#endif  // ALDSP_TESTS_TEST_FIXTURES_H_

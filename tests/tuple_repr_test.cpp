@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "runtime/tuple_repr.h"
+#include "xml/node.h"
+
+namespace aldsp::runtime {
+namespace {
+
+using xml::AtomicValue;
+using xml::Item;
+using xml::Sequence;
+using xml::XNode;
+
+std::vector<Sequence> SampleTuple(int i) {
+  // Field 0: integer; field 1: string; field 2: a small element subtree.
+  xml::NodePtr order = XNode::Element("ORDER");
+  order->AddChild(XNode::TypedElement("OID", AtomicValue::Integer(i)));
+  order->AddChild(XNode::TypedElement("AMOUNT", AtomicValue::Double(i * 1.5)));
+  return {Sequence{Item(AtomicValue::Integer(100 + i))},
+          Sequence{Item(AtomicValue::String("name-" + std::to_string(i)))},
+          Sequence{Item(xml::NodePtr(std::move(order)))}};
+}
+
+class TupleReprTest : public ::testing::TestWithParam<TupleRepr> {};
+
+TEST_P(TupleReprTest, AppendAndReadBack) {
+  TupleBuffer buffer(GetParam(), 3);
+  for (int i = 0; i < 10; ++i) buffer.Append(SampleTuple(i));
+  ASSERT_EQ(buffer.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto expected = SampleTuple(i);
+    for (size_t f = 0; f < 3; ++f) {
+      auto got = buffer.GetField(static_cast<size_t>(i), f);
+      ASSERT_TRUE(got.ok()) << got.status().ToString() << " repr="
+                            << TupleReprName(GetParam());
+      EXPECT_TRUE(xml::SequenceDeepEquals(expected[f], *got))
+          << "row " << i << " field " << f;
+    }
+    auto tuple = buffer.GetTuple(static_cast<size_t>(i));
+    ASSERT_TRUE(tuple.ok());
+    EXPECT_EQ(tuple->size(), 3u);
+  }
+}
+
+TEST_P(TupleReprTest, EmptyFieldsRoundTrip) {
+  TupleBuffer buffer(GetParam(), 2);
+  buffer.Append({Sequence{}, Sequence{Item(AtomicValue::String("x"))}});
+  buffer.Append({Sequence{Item(AtomicValue::Integer(1))}, Sequence{}});
+  auto f00 = buffer.GetField(0, 0);
+  ASSERT_TRUE(f00.ok());
+  EXPECT_TRUE(f00->empty());
+  auto f11 = buffer.GetField(1, 1);
+  ASSERT_TRUE(f11.ok());
+  EXPECT_TRUE(f11->empty());
+  EXPECT_EQ(buffer.GetField(0, 1)->front().atomic().AsString(), "x");
+}
+
+TEST_P(TupleReprTest, MultiItemFields) {
+  TupleBuffer buffer(GetParam(), 1);
+  Sequence multi{Item(AtomicValue::Integer(1)), Item(AtomicValue::Integer(2)),
+                 Item(AtomicValue::Integer(3))};
+  buffer.Append({multi});
+  auto got = buffer.GetField(0, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(xml::SequenceDeepEquals(multi, *got));
+}
+
+TEST_P(TupleReprTest, OutOfRangeIsError) {
+  TupleBuffer buffer(GetParam(), 2);
+  buffer.Append(
+      {Sequence{Item(AtomicValue::Integer(1))}, Sequence{}});
+  EXPECT_FALSE(buffer.GetField(1, 0).ok());
+  EXPECT_FALSE(buffer.GetField(0, 2).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRepresentations, TupleReprTest,
+                         ::testing::Values(TupleRepr::kStream,
+                                           TupleRepr::kSingleToken,
+                                           TupleRepr::kArray),
+                         [](const auto& info) {
+                           return std::string(TupleReprName(info.param)) ==
+                                          "single-token"
+                                      ? "SingleToken"
+                                      : std::string(TupleReprName(info.param)) ==
+                                                "stream"
+                                            ? "Stream"
+                                            : "Array";
+                         });
+
+TEST(TupleReprMemoryTest, Figure4MemoryOrdering) {
+  // Fig. 4's tradeoff: the framed stream is the most compact encoding;
+  // the array-of-fields form trades memory for O(1) field access. Use
+  // flat single-token fields (the relational case) and many columns.
+  constexpr size_t kFields = 16;
+  constexpr int kRows = 200;
+  TupleBuffer stream(TupleRepr::kStream, kFields);
+  TupleBuffer single(TupleRepr::kSingleToken, kFields);
+  TupleBuffer array(TupleRepr::kArray, kFields);
+  for (int i = 0; i < kRows; ++i) {
+    std::vector<Sequence> fields;
+    for (size_t f = 0; f < kFields; ++f) {
+      fields.push_back(Sequence{
+          Item(AtomicValue::Integer(static_cast<int64_t>(i * kFields + f)))});
+    }
+    stream.Append(fields);
+    single.Append(fields);
+    array.Append(fields);
+  }
+  EXPECT_LT(stream.MemoryBytes(), array.MemoryBytes());
+  EXPECT_GT(stream.MemoryBytes(), 0u);
+  EXPECT_GT(single.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace aldsp::runtime

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "tests/e2e_fixture.h"
+#include "update/engine.h"
+#include "update/lineage.h"
+#include "update/sdo.h"
+
+namespace aldsp::update {
+namespace {
+
+using aldsp::testing::RunningExample;
+using xml::AtomicValue;
+
+constexpr const char* kProfileModule = R"(
+declare namespace tns="urn:profile";
+(::pragma function kind="read" isPrimary="true" ::)
+declare function tns:getProfile() as element(PROFILE)* {
+  for $CUSTOMER in ns3:CUSTOMER()
+  return
+    <PROFILE>
+      <CID>{fn:data($CUSTOMER/CID)}</CID>
+      <LAST_NAME>{fn:data($CUSTOMER/LAST_NAME)}</LAST_NAME>
+      <SINCE>{ns1:int2date($CUSTOMER/SINCE)}</SINCE>
+      <ORDERS>{ns3:getORDER($CUSTOMER)}</ORDERS>
+      <CREDIT_CARDS>{ns2:CREDIT_CARD()[CID eq $CUSTOMER/CID]}</CREDIT_CARDS>
+      <RATING>{
+        fn:data(ns4:getRating(
+          <ns5:getRating>
+            <ns5:lName>{fn:data($CUSTOMER/LAST_NAME)}</ns5:lName>
+            <ns5:ssn>{fn:data($CUSTOMER/SSN)}</ns5:ssn>
+          </ns5:getRating>)/ns5:getRatingResult)
+      }</RATING>
+    </PROFILE>
+};
+)";
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<RunningExample>(5, 3);
+    ASSERT_TRUE(env_->LoadModule(kProfileModule).ok());
+    auto lineage = ComputeLineage("tns:getProfile", env_->functions);
+    ASSERT_TRUE(lineage.ok()) << lineage.status().ToString();
+    lineage_ = std::move(lineage).value();
+  }
+
+  Result<DataObject> ReadProfile(const std::string& cid) {
+    ALDSP_ASSIGN_OR_RETURN(xml::Sequence all, env_->Run("tns:getProfile()"));
+    for (const auto& item : all) {
+      if (item.node()->FirstChildNamed("CID")->TypedValue().AsString() == cid) {
+        return DataObject(item.node());
+      }
+    }
+    return Status::NotFound("no profile " + cid);
+  }
+
+  std::unique_ptr<RunningExample> env_;
+  LineageMap lineage_;
+};
+
+TEST(SdoPathTest, ParseAndPrint) {
+  auto p = ParseObjectPath("ORDERS/ORDER[2]/AMOUNT");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->size(), 3u);
+  EXPECT_EQ((*p)[1].name, "ORDER");
+  EXPECT_EQ((*p)[1].index, 2);
+  EXPECT_TRUE((*p)[1].has_index);
+  EXPECT_EQ(ObjectPathToString(*p), "ORDERS/ORDER[2]/AMOUNT");
+  EXPECT_EQ(StripIndexes(*p), "ORDERS/ORDER/AMOUNT");
+  EXPECT_FALSE(ParseObjectPath("A//B").ok());
+  EXPECT_FALSE(ParseObjectPath("A[0]").ok());
+  EXPECT_FALSE(ParseObjectPath("A[2").ok());
+}
+
+TEST(SdoTest, SetRecordsChangeLogAndPreservesOriginal) {
+  xml::NodePtr root = xml::XNode::Element("P");
+  root->AddChild(xml::XNode::TypedElement("N", AtomicValue::String("old")));
+  DataObject obj(root);
+  EXPECT_FALSE(obj.modified());
+  ASSERT_TRUE(obj.Set("N", AtomicValue::String("new")).ok());
+  EXPECT_TRUE(obj.modified());
+  ASSERT_EQ(obj.change_log().size(), 1u);
+  EXPECT_EQ(obj.change_log()[0].old_value.AsString(), "old");
+  EXPECT_EQ(obj.change_log()[0].new_value.AsString(), "new");
+  EXPECT_EQ(obj.Get("N")->AsString(), "new");
+  EXPECT_EQ(obj.original()->FirstChildNamed("N")->TypedValue().AsString(),
+            "old");
+  // Setting the same value again is a no-op.
+  ASSERT_TRUE(obj.Set("N", AtomicValue::String("new")).ok());
+  EXPECT_EQ(obj.change_log().size(), 1u);
+  // Unknown paths fail.
+  EXPECT_FALSE(obj.Set("MISSING", AtomicValue::String("x")).ok());
+}
+
+TEST_F(UpdateTest, LineageMapsShapeToSources) {
+  const FieldLineage* last = lineage_.Find("LAST_NAME");
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->source_id, "customer_db");
+  EXPECT_EQ(last->table, "CUSTOMER");
+  EXPECT_EQ(last->column, "LAST_NAME");
+  EXPECT_EQ(last->key_column, "CID");
+  EXPECT_EQ(last->key_shape_path, "CID");
+  EXPECT_TRUE(last->updatable);
+
+  const FieldLineage* since = lineage_.Find("SINCE");
+  ASSERT_NE(since, nullptr);
+  ASSERT_EQ(since->transforms.size(), 1u);
+  EXPECT_EQ(since->transforms[0], "ns1:int2date");
+  EXPECT_TRUE(since->updatable);  // inverse registered
+
+  const FieldLineage* amount = lineage_.Find("ORDERS/ORDER/AMOUNT");
+  ASSERT_NE(amount, nullptr);
+  EXPECT_EQ(amount->table, "ORDER");
+  EXPECT_EQ(amount->key_column, "OID");
+  EXPECT_EQ(amount->key_shape_path, "ORDERS/ORDER/OID");
+
+  const FieldLineage* limit = lineage_.Find("CREDIT_CARDS/CREDIT_CARD/LIMIT_AMT");
+  ASSERT_NE(limit, nullptr);
+  EXPECT_EQ(limit->source_id, "billing_db");
+
+  // The web-service-derived rating has no lineage.
+  EXPECT_EQ(lineage_.Find("RATING"), nullptr);
+}
+
+TEST_F(UpdateTest, Figure5LastNameUpdateTouchesOnlyCustomerSource) {
+  // Paper Fig. 5: read a profile, set LAST_NAME, submit.
+  auto obj = ReadProfile("CUST002");
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  ASSERT_TRUE(obj->Set("LAST_NAME", AtomicValue::String("Smith")).ok());
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto report = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Only the customer source participates (paper §6: "the other sources
+  // ... are unaffected and will not participate in this update at all").
+  ASSERT_EQ(report->sources_touched.size(), 1u);
+  EXPECT_EQ(report->sources_touched[0], "customer_db");
+  ASSERT_EQ(report->statements.size(), 1u);
+  EXPECT_NE(report->statements[0].sql.find("UPDATE \"CUSTOMER\""),
+            std::string::npos);
+  // The database reflects the change.
+  auto rows = env_->customer_db->TableData("CUSTOMER");
+  EXPECT_EQ((*rows)[1][2].value.AsString(), "Smith");
+}
+
+TEST_F(UpdateTest, NestedOrderUpdateByRowKey) {
+  auto obj = ReadProfile("CUST003");  // has 3 orders
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(
+      obj->Set("ORDERS/ORDER[2]/AMOUNT", AtomicValue::Double(99.5)).ok());
+  int64_t oid = obj->Get("ORDERS/ORDER[2]/OID")->AsInteger();
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto report = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto rows = env_->customer_db->TableData("ORDER");
+  bool found = false;
+  for (const auto& row : *rows) {
+    if (row[0].value.AsInteger() == oid) {
+      EXPECT_DOUBLE_EQ(row[2].value.AsDouble(), 99.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(UpdateTest, InverseTransformAppliedOnWriteback) {
+  // SINCE is xs:dateTime in the shape but an integer column at the
+  // source; the registered inverse date2int converts on the way back
+  // (paper §4.5: "inverse functions are important ... for making updates
+  // possible in the presence of such transformations").
+  auto obj = ReadProfile("CUST001");
+  ASSERT_TRUE(obj.ok());
+  auto since = obj->Get("SINCE");
+  ASSERT_TRUE(since.ok());
+  EXPECT_EQ(since->type(), xml::AtomicType::kDateTime);
+  ASSERT_TRUE(obj->Set("SINCE", AtomicValue::DateTime(1234567890)).ok());
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto report = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto rows = env_->customer_db->TableData("CUSTOMER");
+  EXPECT_EQ((*rows)[0][4].value.AsInteger(), 1234567890);
+}
+
+TEST_F(UpdateTest, CrossSourceSubmitIsAtomic) {
+  auto obj = ReadProfile("CUST001");  // has credit cards
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(obj->Set("LAST_NAME", AtomicValue::String("Atomic")).ok());
+  ASSERT_TRUE(obj->Set("CREDIT_CARDS/CREDIT_CARD[1]/LIMIT_AMT",
+                       AtomicValue::Double(777.0))
+                  .ok());
+  // Make the billing source fail at prepare: the whole submit must roll
+  // back, leaving the customer change unapplied too.
+  env_->billing_db->FailNextPrepare(true);
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto report = engine.Submit(*obj, lineage_);
+  EXPECT_FALSE(report.ok());
+  auto rows = env_->customer_db->TableData("CUSTOMER");
+  EXPECT_NE((*rows)[0][2].value.AsString(), "Atomic");
+
+  // Without the injected failure both sources commit.
+  auto report2 = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report2.ok()) << report2.status().ToString();
+  EXPECT_EQ(report2->sources_touched.size(), 2u);
+  rows = env_->customer_db->TableData("CUSTOMER");
+  EXPECT_EQ((*rows)[0][2].value.AsString(), "Atomic");
+  auto cc = env_->billing_db->TableData("CREDIT_CARD");
+  EXPECT_DOUBLE_EQ((*cc)[0][2].value.AsDouble(), 777.0);
+}
+
+TEST_F(UpdateTest, OptimisticConcurrencyDetectsConflict) {
+  auto obj = ReadProfile("CUST002");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(obj->Set("LAST_NAME", AtomicValue::String("Mine")).ok());
+
+  // A competing writer changes the same row between read and submit.
+  relational::UpdateStmt intruder;
+  intruder.table_name = "CUSTOMER";
+  intruder.assignments = {
+      {"LAST_NAME", relational::SqlExpr::Literal(relational::Cell::Str("Theirs"))}};
+  intruder.where = relational::SqlExpr::Binary(
+      "=", relational::SqlExpr::Column("CUSTOMER", "CID"),
+      relational::SqlExpr::Literal(relational::Cell::Str("CUST002")));
+  ASSERT_TRUE(env_->customer_db->ExecuteUpdate(intruder).ok());
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  SubmitOptions options;
+  options.policy = ConcurrencyPolicy::kUpdatedValues;
+  auto report = engine.Submit(*obj, lineage_, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kConcurrencyError);
+  // The competing value survives.
+  auto rows = env_->customer_db->TableData("CUSTOMER");
+  EXPECT_EQ((*rows)[1][2].value.AsString(), "Theirs");
+}
+
+// Perturbs the SINCE column of a customer row out from under a reader.
+void PerturbSince(RunningExample& env, const std::string& cid) {
+  relational::UpdateStmt intruder;
+  intruder.table_name = "CUSTOMER";
+  intruder.assignments = {
+      {"SINCE", relational::SqlExpr::Literal(relational::Cell::Int(42))}};
+  intruder.where = relational::SqlExpr::Binary(
+      "=", relational::SqlExpr::Column("CUSTOMER", "CID"),
+      relational::SqlExpr::Literal(relational::Cell::Str(cid)));
+  ASSERT_TRUE(env.customer_db->ExecuteUpdate(intruder).ok());
+}
+
+TEST_F(UpdateTest, AllReadValuesPolicyIsStricter) {
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  // A shape column other than the one being written (SINCE) changes
+  // concurrently. kUpdatedValues does not care...
+  auto obj = ReadProfile("CUST002");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(obj->Set("LAST_NAME", AtomicValue::String("Mine")).ok());
+  PerturbSince(*env_, "CUST002");
+  SubmitOptions lenient;
+  lenient.policy = ConcurrencyPolicy::kUpdatedValues;
+  EXPECT_TRUE(engine.Submit(*obj, lineage_, lenient).ok());
+  // ...but kAllReadValues rejects: every value read must be unchanged.
+  auto obj2 = ReadProfile("CUST003");
+  ASSERT_TRUE(obj2.ok());
+  ASSERT_TRUE(obj2->Set("LAST_NAME", AtomicValue::String("Mine2")).ok());
+  PerturbSince(*env_, "CUST003");
+  SubmitOptions strict;
+  strict.policy = ConcurrencyPolicy::kAllReadValues;
+  auto r = engine.Submit(*obj2, lineage_, strict);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConcurrencyError);
+}
+
+TEST_F(UpdateTest, DesignatedFieldPolicy) {
+  // SINCE acts as the designated "version" field (paper §6: "requiring a
+  // designated subset of the data (e.g., a timestamp element) to still
+  // be the same").
+  auto obj = ReadProfile("CUST002");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(obj->Set("LAST_NAME", AtomicValue::String("Mine")).ok());
+  PerturbSince(*env_, "CUST002");
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  SubmitOptions options;
+  options.policy = ConcurrencyPolicy::kDesignatedFields;
+  options.designated_paths = {"SINCE"};
+  auto r = engine.Submit(*obj, lineage_, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConcurrencyError);
+}
+
+TEST_F(UpdateTest, ReadOnlyFieldsRejectUpdates) {
+  auto obj = ReadProfile("CUST001");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(obj->Set("RATING", AtomicValue::Integer(1)).ok());
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto r = engine.Submit(*obj, lineage_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUpdateError);
+}
+
+TEST_F(UpdateTest, DeleteNestedRow) {
+  auto obj = ReadProfile("CUST003");  // 3 orders
+  ASSERT_TRUE(obj.ok());
+  int64_t deleted_oid = obj->Get("ORDERS/ORDER[2]/OID")->AsInteger();
+  ASSERT_TRUE(obj->DeleteElement("ORDERS/ORDER[2]").ok());
+  ASSERT_EQ(obj->change_log().size(), 1u);
+  EXPECT_EQ(obj->change_log()[0].kind, ChangeEntry::Kind::kDeleteRow);
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto report = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->statements.size(), 1u);
+  EXPECT_NE(report->statements[0].sql.find("DELETE FROM \"ORDER\""),
+            std::string::npos);
+  auto rows = env_->customer_db->TableData("ORDER");
+  for (const auto& row : *rows) {
+    EXPECT_NE(row[0].value.AsInteger(), deleted_oid);
+  }
+}
+
+TEST_F(UpdateTest, InsertNestedRow) {
+  auto obj = ReadProfile("CUST004");  // no orders
+  ASSERT_TRUE(obj.ok());
+  xml::NodePtr order = xml::XNode::Element("ORDER");
+  order->AddChild(xml::XNode::TypedElement("OID", AtomicValue::Integer(999)));
+  order->AddChild(
+      xml::XNode::TypedElement("CID", AtomicValue::String("CUST004")));
+  order->AddChild(
+      xml::XNode::TypedElement("AMOUNT", AtomicValue::Double(123.0)));
+  ASSERT_TRUE(obj->InsertElement("ORDERS", order).ok());
+  EXPECT_EQ(obj->change_log()[0].kind, ChangeEntry::Kind::kInsertRow);
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto report = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->statements.size(), 1u);
+  EXPECT_NE(report->statements[0].sql.find("INSERT INTO \"ORDER\""),
+            std::string::npos);
+  auto rows = env_->customer_db->TableData("ORDER");
+  bool found = false;
+  for (const auto& row : *rows) {
+    if (row[0].value.AsInteger() == 999) {
+      EXPECT_EQ(row[1].value.AsString(), "CUST004");
+      EXPECT_DOUBLE_EQ(row[2].value.AsDouble(), 123.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(UpdateTest, MixedCrudSubmitIsOneTransaction) {
+  auto obj = ReadProfile("CUST003");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(obj->Set("LAST_NAME", AtomicValue::String("Mixed")).ok());
+  ASSERT_TRUE(obj->DeleteElement("ORDERS/ORDER[1]").ok());
+  xml::NodePtr order = xml::XNode::Element("ORDER");
+  order->AddChild(xml::XNode::TypedElement("OID", AtomicValue::Integer(777)));
+  order->AddChild(
+      xml::XNode::TypedElement("CID", AtomicValue::String("CUST003")));
+  ASSERT_TRUE(obj->InsertElement("ORDERS", order).ok());
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  // Injected prepare failure rolls back the whole mixed submit.
+  env_->customer_db->FailNextPrepare(true);
+  size_t orders_before = env_->customer_db->TableData("ORDER")->size();
+  EXPECT_FALSE(engine.Submit(*obj, lineage_).ok());
+  EXPECT_EQ(env_->customer_db->TableData("ORDER")->size(), orders_before);
+  // Second attempt commits all three statements.
+  auto report = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->statements.size(), 3u);
+  EXPECT_EQ(env_->customer_db->TableData("ORDER")->size(), orders_before);
+  auto rows = env_->customer_db->TableData("CUSTOMER");
+  EXPECT_EQ((*rows)[2][2].value.AsString(), "Mixed");
+}
+
+TEST_F(UpdateTest, DeleteConflictUnderAllReadValues) {
+  auto obj = ReadProfile("CUST003");
+  ASSERT_TRUE(obj.ok());
+  int64_t oid = obj->Get("ORDERS/ORDER[1]/OID")->AsInteger();
+  ASSERT_TRUE(obj->DeleteElement("ORDERS/ORDER[1]").ok());
+  // The row's AMOUNT changes out from under the reader.
+  relational::UpdateStmt intruder;
+  intruder.table_name = "ORDER";
+  intruder.assignments = {
+      {"AMOUNT", relational::SqlExpr::Literal(relational::Cell::Dbl(1.25))}};
+  intruder.where = relational::SqlExpr::Binary(
+      "=", relational::SqlExpr::Column("ORDER", "OID"),
+      relational::SqlExpr::Literal(relational::Cell::Int(oid)));
+  ASSERT_TRUE(env_->customer_db->ExecuteUpdate(intruder).ok());
+
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  SubmitOptions strict;
+  strict.policy = ConcurrencyPolicy::kAllReadValues;
+  auto r = engine.Submit(*obj, lineage_, strict);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConcurrencyError);
+  // Lenient policy deletes by key regardless.
+  SubmitOptions lenient;
+  lenient.policy = ConcurrencyPolicy::kUpdatedValues;
+  EXPECT_TRUE(engine.Submit(*obj, lineage_, lenient).ok());
+}
+
+TEST_F(UpdateTest, InsertWithoutKeyIsRejected) {
+  auto obj = ReadProfile("CUST004");
+  ASSERT_TRUE(obj.ok());
+  xml::NodePtr order = xml::XNode::Element("ORDER");
+  order->AddChild(
+      xml::XNode::TypedElement("AMOUNT", AtomicValue::Double(5.0)));
+  ASSERT_TRUE(obj->InsertElement("ORDERS", order).ok());
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto r = engine.Submit(*obj, lineage_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUpdateError);
+}
+
+TEST_F(UpdateTest, UnmodifiedSubmitIsNoOp) {
+  auto obj = ReadProfile("CUST001");
+  ASSERT_TRUE(obj.ok());
+  UpdateEngine engine(&env_->functions, &env_->adaptor_registry);
+  auto r = engine.Submit(*obj, lineage_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->statements.empty());
+  EXPECT_TRUE(r->sources_touched.empty());
+}
+
+}  // namespace
+}  // namespace aldsp::update

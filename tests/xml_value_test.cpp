@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "xml/value.h"
+
+namespace aldsp::xml {
+namespace {
+
+TEST(AtomicValueTest, LexicalForms) {
+  EXPECT_EQ(AtomicValue::String("abc").Lexical(), "abc");
+  EXPECT_EQ(AtomicValue::Integer(-42).Lexical(), "-42");
+  EXPECT_EQ(AtomicValue::Boolean(true).Lexical(), "true");
+  EXPECT_EQ(AtomicValue::Boolean(false).Lexical(), "false");
+  EXPECT_EQ(AtomicValue::Double(2.5).Lexical(), "2.5");
+  EXPECT_EQ(AtomicValue::Double(3.0).Lexical(), "3.0");
+}
+
+TEST(AtomicValueTest, DateTimeRoundTrip) {
+  // 2006-09-12 is the VLDB'06 conference date.
+  auto parsed = ParseDateTime("2006-09-12T00:00:00");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(FormatDateTime(parsed.value()), "2006-09-12T00:00:00Z");
+  EXPECT_EQ(FormatDateTime(0), "1970-01-01T00:00:00Z");
+  auto epoch = ParseDateTime("1970-01-01T00:00:00Z");
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 0);
+}
+
+TEST(AtomicValueTest, DateTimeLeapYear) {
+  auto parsed = ParseDateTime("2004-02-29T12:00:00");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(FormatDateTime(parsed.value()), "2004-02-29T12:00:00Z");
+  EXPECT_FALSE(ParseDateTime("2005-02-29T12:00:00").ok());
+}
+
+TEST(AtomicValueTest, DateTimeRoundTripSweep) {
+  for (int64_t t = -100000000; t <= 2000000000; t += 123456789) {
+    auto parsed = ParseDateTime(FormatDateTime(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+}
+
+TEST(AtomicValueTest, NumericComparisonPromotes) {
+  auto c = AtomicValue::Integer(3).Compare(AtomicValue::Double(3.5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(c.value(), 0);
+  EXPECT_TRUE(AtomicValue::Integer(2).Equals(AtomicValue::Decimal(2.0)));
+}
+
+TEST(AtomicValueTest, IncomparableTypesError) {
+  auto c = AtomicValue::Integer(3).Compare(AtomicValue::String("3"));
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST(AtomicValueTest, CastStringToInteger) {
+  auto v = AtomicValue::String("123").CastTo(AtomicType::kInteger);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInteger(), 123);
+  EXPECT_FALSE(AtomicValue::String("12x").CastTo(AtomicType::kInteger).ok());
+}
+
+TEST(AtomicValueTest, CastIntegerToDateTime) {
+  // The paper's int2date example: SINCE stored as seconds since 1970.
+  auto v = AtomicValue::Integer(86400).CastTo(AtomicType::kDateTime);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Lexical(), "1970-01-02T00:00:00Z");
+}
+
+TEST(AtomicValueTest, CastBooleanLexicals) {
+  EXPECT_TRUE(AtomicValue::String("true").CastTo(AtomicType::kBoolean)->AsBoolean());
+  EXPECT_FALSE(AtomicValue::String("0").CastTo(AtomicType::kBoolean)->AsBoolean());
+  EXPECT_FALSE(AtomicValue::String("yes").CastTo(AtomicType::kBoolean).ok());
+}
+
+TEST(AtomicValueTest, UntypedComparesAsString) {
+  auto c = AtomicValue::Untyped("abc").Compare(AtomicValue::String("abd"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(c.value(), 0);
+}
+
+}  // namespace
+}  // namespace aldsp::xml

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xsd/types.h"
+#include "xsd/validate.h"
+
+namespace aldsp::xsd {
+namespace {
+
+using xml::AtomicType;
+
+TypePtr CustomerType() {
+  return XType::ComplexElement(
+      "CUSTOMER",
+      {{"CID", One(XType::SimpleElement("CID", AtomicType::kString))},
+       {"LAST_NAME", One(XType::SimpleElement("LAST_NAME", AtomicType::kString))},
+       {"SINCE", Opt(XType::SimpleElement("SINCE", AtomicType::kInteger))}});
+}
+
+TEST(TypesTest, ToStringForms) {
+  EXPECT_EQ(Star(XType::AnyItem()).ToString(), "item()*");
+  EXPECT_EQ(One(XType::Atomic(AtomicType::kString)).ToString(), "xs:string");
+  EXPECT_EQ(Opt(XType::SimpleElement("CID", AtomicType::kString)).ToString(),
+            "element(CID, xs:string)?");
+  EXPECT_EQ(EmptySequenceType().ToString(), "empty-sequence()");
+}
+
+TEST(TypesTest, AtomicSubtyping) {
+  EXPECT_TRUE(IsItemSubtype(XType::Atomic(AtomicType::kInteger),
+                            XType::Atomic(AtomicType::kDecimal)));
+  EXPECT_FALSE(IsItemSubtype(XType::Atomic(AtomicType::kDecimal),
+                             XType::Atomic(AtomicType::kInteger)));
+  EXPECT_TRUE(IsItemSubtype(XType::Atomic(AtomicType::kString), XType::AnyItem()));
+  EXPECT_FALSE(IsItemSubtype(XType::Atomic(AtomicType::kString), XType::AnyNode()));
+}
+
+TEST(TypesTest, StructuralElementSubtyping) {
+  // A customer with all fields is a subtype of one whose SINCE is optional.
+  TypePtr full = XType::ComplexElement(
+      "CUSTOMER",
+      {{"CID", One(XType::SimpleElement("CID", AtomicType::kString))},
+       {"LAST_NAME", One(XType::SimpleElement("LAST_NAME", AtomicType::kString))},
+       {"SINCE", One(XType::SimpleElement("SINCE", AtomicType::kInteger))}});
+  EXPECT_TRUE(IsItemSubtype(full, CustomerType()));
+  // Missing a required particle breaks subtyping.
+  TypePtr missing = XType::ComplexElement(
+      "CUSTOMER",
+      {{"CID", One(XType::SimpleElement("CID", AtomicType::kString))}});
+  EXPECT_FALSE(IsItemSubtype(missing, CustomerType()));
+  // element(CUSTOMER) with ANYTYPE content accepts any CUSTOMER.
+  EXPECT_TRUE(IsItemSubtype(full, XType::AnyElement("CUSTOMER")));
+  EXPECT_FALSE(IsItemSubtype(full, XType::AnyElement("ORDER")));
+}
+
+TEST(TypesTest, OptimisticIntersection) {
+  // The paper's rule: f($x) is valid iff type($x) intersects the parameter
+  // type. integer? and integer intersect; string and integer don't.
+  EXPECT_TRUE(Intersects(Opt(XType::Atomic(AtomicType::kInteger)),
+                         One(XType::Atomic(AtomicType::kInteger))));
+  EXPECT_FALSE(Intersects(One(XType::Atomic(AtomicType::kString)),
+                          One(XType::Atomic(AtomicType::kInteger))));
+  // Untyped intersects everything atomic (castable at runtime).
+  EXPECT_TRUE(Intersects(One(XType::Atomic(AtomicType::kUntyped)),
+                         One(XType::Atomic(AtomicType::kDateTime))));
+  // Two optional types intersect via the empty sequence.
+  EXPECT_TRUE(Intersects(Opt(XType::Atomic(AtomicType::kString)),
+                         Opt(XType::Atomic(AtomicType::kInteger))));
+}
+
+TEST(TypesTest, OccurrenceAlgebra) {
+  EXPECT_EQ(OccurrenceUnion(Occurrence::kOne, Occurrence::kOptional),
+            Occurrence::kOptional);
+  EXPECT_EQ(OccurrenceUnion(Occurrence::kOne, Occurrence::kPlus),
+            Occurrence::kPlus);
+  EXPECT_EQ(OccurrenceProduct(Occurrence::kStar, Occurrence::kOne),
+            Occurrence::kStar);
+  EXPECT_EQ(OccurrenceProduct(Occurrence::kPlus, Occurrence::kPlus),
+            Occurrence::kPlus);
+  EXPECT_EQ(MakeOptional(Occurrence::kPlus), Occurrence::kStar);
+}
+
+TEST(TypesTest, SequenceSubtyping) {
+  auto s = One(XType::Atomic(AtomicType::kInteger));
+  EXPECT_TRUE(IsSubtype(s, Star(XType::Atomic(AtomicType::kDecimal))));
+  EXPECT_FALSE(IsSubtype(Star(XType::Atomic(AtomicType::kInteger)), s));
+  EXPECT_TRUE(IsSubtype(EmptySequenceType(), Star(XType::AnyItem())));
+  EXPECT_FALSE(IsSubtype(EmptySequenceType(), One(XType::AnyItem())));
+}
+
+TEST(TypesTest, CommonSupertype) {
+  auto t = CommonSupertype(One(XType::Atomic(AtomicType::kInteger)),
+                           One(XType::Atomic(AtomicType::kDouble)));
+  EXPECT_EQ(t.item->atomic_type(), AtomicType::kDouble);
+  auto u = CommonSupertype(One(XType::Atomic(AtomicType::kString)),
+                           EmptySequenceType());
+  EXPECT_EQ(u.occurrence, Occurrence::kOptional);
+}
+
+TEST(TypesTest, AtomizedType) {
+  EXPECT_EQ(AtomizedType(One(XType::SimpleElement("CID", AtomicType::kString))),
+            AtomicType::kString);
+  EXPECT_EQ(AtomizedType(One(CustomerType())), AtomicType::kUntyped);
+}
+
+TEST(ValidateTest, TypesUntypedInput) {
+  auto doc = xml::ParseXml(
+      "<CUSTOMER><CID>C1</CID><LAST_NAME>Jones</LAST_NAME>"
+      "<SINCE>12345</SINCE></CUSTOMER>");
+  ASSERT_TRUE(doc.ok());
+  auto typed = ValidateAndType(**doc, CustomerType());
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  EXPECT_EQ((*typed)->FirstChildNamed("SINCE")->TypedValue().type(),
+            AtomicType::kInteger);
+  EXPECT_EQ((*typed)->FirstChildNamed("SINCE")->TypedValue().AsInteger(), 12345);
+}
+
+TEST(ValidateTest, OptionalParticleMayBeMissing) {
+  auto doc = xml::ParseXml(
+      "<CUSTOMER><CID>C1</CID><LAST_NAME>Jones</LAST_NAME></CUSTOMER>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ValidateAndType(**doc, CustomerType()).ok());
+}
+
+TEST(ValidateTest, MissingRequiredParticleFails) {
+  auto doc = xml::ParseXml("<CUSTOMER><CID>C1</CID></CUSTOMER>");
+  ASSERT_TRUE(doc.ok());
+  auto r = ValidateAndType(**doc, CustomerType());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ValidateTest, BadContentFails) {
+  auto doc = xml::ParseXml(
+      "<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME>"
+      "<SINCE>notanumber</SINCE></CUSTOMER>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateAndType(**doc, CustomerType()).ok());
+}
+
+TEST(ValidateTest, UndeclaredElementFails) {
+  auto doc = xml::ParseXml(
+      "<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME><X>1</X></CUSTOMER>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateAndType(**doc, CustomerType()).ok());
+}
+
+TEST(ValidateTest, InferredTypeValidatesOriginal) {
+  auto doc = xml::ParseXml(
+      "<CUSTOMER><CID>C1</CID><ORDERS><OID>1</OID><OID>2</OID></ORDERS>"
+      "</CUSTOMER>");
+  ASSERT_TRUE(doc.ok());
+  TypePtr t = InferNodeType(**doc);
+  EXPECT_TRUE(CheckAgainst(**doc, t).ok());
+}
+
+TEST(SchemaRegistryTest, RegisterAndLookup) {
+  SchemaRegistry reg;
+  reg.Register("ns0:PROFILE", CustomerType());
+  EXPECT_NE(reg.Lookup("ns0:PROFILE"), nullptr);
+  EXPECT_NE(reg.Lookup("PROFILE"), nullptr);
+  EXPECT_EQ(reg.Lookup("ORDER"), nullptr);
+}
+
+}  // namespace
+}  // namespace aldsp::xsd
