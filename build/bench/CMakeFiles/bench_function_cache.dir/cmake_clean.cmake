@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_function_cache.dir/bench_function_cache.cpp.o"
+  "CMakeFiles/bench_function_cache.dir/bench_function_cache.cpp.o.d"
+  "bench_function_cache"
+  "bench_function_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_function_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

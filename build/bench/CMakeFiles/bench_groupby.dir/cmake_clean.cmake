@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groupby.dir/bench_groupby.cpp.o"
+  "CMakeFiles/bench_groupby.dir/bench_groupby.cpp.o.d"
+  "bench_groupby"
+  "bench_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inverse_functions.dir/bench_inverse_functions.cpp.o"
+  "CMakeFiles/bench_inverse_functions.dir/bench_inverse_functions.cpp.o.d"
+  "bench_inverse_functions"
+  "bench_inverse_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inverse_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

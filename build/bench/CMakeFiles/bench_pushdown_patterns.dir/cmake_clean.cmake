@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pushdown_patterns.dir/bench_pushdown_patterns.cpp.o"
+  "CMakeFiles/bench_pushdown_patterns.dir/bench_pushdown_patterns.cpp.o.d"
+  "bench_pushdown_patterns"
+  "bench_pushdown_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pushdown_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuple_repr.dir/bench_tuple_repr.cpp.o"
+  "CMakeFiles/bench_tuple_repr.dir/bench_tuple_repr.cpp.o.d"
+  "bench_tuple_repr"
+  "bench_tuple_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuple_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

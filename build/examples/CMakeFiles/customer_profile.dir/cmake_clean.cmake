@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customer_profile.dir/customer_profile.cpp.o"
+  "CMakeFiles/customer_profile.dir/customer_profile.cpp.o.d"
+  "customer_profile"
+  "customer_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

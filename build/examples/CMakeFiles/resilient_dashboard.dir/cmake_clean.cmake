@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_dashboard.dir/resilient_dashboard.cpp.o"
+  "CMakeFiles/resilient_dashboard.dir/resilient_dashboard.cpp.o.d"
+  "resilient_dashboard"
+  "resilient_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

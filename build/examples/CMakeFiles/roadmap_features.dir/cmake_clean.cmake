@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmap_features.dir/roadmap_features.cpp.o"
+  "CMakeFiles/roadmap_features.dir/roadmap_features.cpp.o.d"
+  "roadmap_features"
+  "roadmap_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmap_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_views.dir/secure_views.cpp.o"
+  "CMakeFiles/secure_views.dir/secure_views.cpp.o.d"
+  "secure_views"
+  "secure_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

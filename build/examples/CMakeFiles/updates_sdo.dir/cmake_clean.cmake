@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_sdo.dir/updates_sdo.cpp.o"
+  "CMakeFiles/updates_sdo.dir/updates_sdo.cpp.o.d"
+  "updates_sdo"
+  "updates_sdo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_sdo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

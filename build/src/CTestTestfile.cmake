@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("xsd")
+subdirs("relational")
+subdirs("xquery")
+subdirs("compiler")
+subdirs("runtime")
+subdirs("optimizer")
+subdirs("sql")
+subdirs("adaptors")
+subdirs("cache")
+subdirs("service")
+subdirs("update")
+subdirs("security")
+subdirs("server")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_adaptors.dir/directory_adaptor.cpp.o"
+  "CMakeFiles/aldsp_adaptors.dir/directory_adaptor.cpp.o.d"
+  "CMakeFiles/aldsp_adaptors.dir/external_function_adaptor.cpp.o"
+  "CMakeFiles/aldsp_adaptors.dir/external_function_adaptor.cpp.o.d"
+  "CMakeFiles/aldsp_adaptors.dir/file_adaptor.cpp.o"
+  "CMakeFiles/aldsp_adaptors.dir/file_adaptor.cpp.o.d"
+  "CMakeFiles/aldsp_adaptors.dir/relational_adaptor.cpp.o"
+  "CMakeFiles/aldsp_adaptors.dir/relational_adaptor.cpp.o.d"
+  "CMakeFiles/aldsp_adaptors.dir/webservice_adaptor.cpp.o"
+  "CMakeFiles/aldsp_adaptors.dir/webservice_adaptor.cpp.o.d"
+  "libaldsp_adaptors.a"
+  "libaldsp_adaptors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_adaptors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

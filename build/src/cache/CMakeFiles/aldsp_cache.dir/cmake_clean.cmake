@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_cache.dir/persistent_store.cpp.o"
+  "CMakeFiles/aldsp_cache.dir/persistent_store.cpp.o.d"
+  "CMakeFiles/aldsp_cache.dir/typed_codec.cpp.o"
+  "CMakeFiles/aldsp_cache.dir/typed_codec.cpp.o.d"
+  "libaldsp_cache.a"
+  "libaldsp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_common.dir/diagnostics.cpp.o"
+  "CMakeFiles/aldsp_common.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/aldsp_common.dir/status.cpp.o"
+  "CMakeFiles/aldsp_common.dir/status.cpp.o.d"
+  "CMakeFiles/aldsp_common.dir/string_util.cpp.o"
+  "CMakeFiles/aldsp_common.dir/string_util.cpp.o.d"
+  "libaldsp_common.a"
+  "libaldsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analyzer.cpp" "src/compiler/CMakeFiles/aldsp_compiler.dir/analyzer.cpp.o" "gcc" "src/compiler/CMakeFiles/aldsp_compiler.dir/analyzer.cpp.o.d"
+  "/root/repo/src/compiler/builtins.cpp" "src/compiler/CMakeFiles/aldsp_compiler.dir/builtins.cpp.o" "gcc" "src/compiler/CMakeFiles/aldsp_compiler.dir/builtins.cpp.o.d"
+  "/root/repo/src/compiler/function_table.cpp" "src/compiler/CMakeFiles/aldsp_compiler.dir/function_table.cpp.o" "gcc" "src/compiler/CMakeFiles/aldsp_compiler.dir/function_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xquery/CMakeFiles/aldsp_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/aldsp_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aldsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aldsp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/aldsp_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_compiler.dir/analyzer.cpp.o"
+  "CMakeFiles/aldsp_compiler.dir/analyzer.cpp.o.d"
+  "CMakeFiles/aldsp_compiler.dir/builtins.cpp.o"
+  "CMakeFiles/aldsp_compiler.dir/builtins.cpp.o.d"
+  "CMakeFiles/aldsp_compiler.dir/function_table.cpp.o"
+  "CMakeFiles/aldsp_compiler.dir/function_table.cpp.o.d"
+  "libaldsp_compiler.a"
+  "libaldsp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

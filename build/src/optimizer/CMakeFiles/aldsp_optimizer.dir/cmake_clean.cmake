@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_optimizer.dir/expr_utils.cpp.o"
+  "CMakeFiles/aldsp_optimizer.dir/expr_utils.cpp.o.d"
+  "CMakeFiles/aldsp_optimizer.dir/optimizer.cpp.o"
+  "CMakeFiles/aldsp_optimizer.dir/optimizer.cpp.o.d"
+  "libaldsp_optimizer.a"
+  "libaldsp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

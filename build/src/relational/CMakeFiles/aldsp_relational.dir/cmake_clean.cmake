@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_relational.dir/catalog.cpp.o"
+  "CMakeFiles/aldsp_relational.dir/catalog.cpp.o.d"
+  "CMakeFiles/aldsp_relational.dir/cell.cpp.o"
+  "CMakeFiles/aldsp_relational.dir/cell.cpp.o.d"
+  "CMakeFiles/aldsp_relational.dir/engine.cpp.o"
+  "CMakeFiles/aldsp_relational.dir/engine.cpp.o.d"
+  "CMakeFiles/aldsp_relational.dir/sql_ast.cpp.o"
+  "CMakeFiles/aldsp_relational.dir/sql_ast.cpp.o.d"
+  "libaldsp_relational.a"
+  "libaldsp_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/adaptor.cpp" "src/runtime/CMakeFiles/aldsp_runtime.dir/adaptor.cpp.o" "gcc" "src/runtime/CMakeFiles/aldsp_runtime.dir/adaptor.cpp.o.d"
+  "/root/repo/src/runtime/evaluator.cpp" "src/runtime/CMakeFiles/aldsp_runtime.dir/evaluator.cpp.o" "gcc" "src/runtime/CMakeFiles/aldsp_runtime.dir/evaluator.cpp.o.d"
+  "/root/repo/src/runtime/function_cache.cpp" "src/runtime/CMakeFiles/aldsp_runtime.dir/function_cache.cpp.o" "gcc" "src/runtime/CMakeFiles/aldsp_runtime.dir/function_cache.cpp.o.d"
+  "/root/repo/src/runtime/observed_cost.cpp" "src/runtime/CMakeFiles/aldsp_runtime.dir/observed_cost.cpp.o" "gcc" "src/runtime/CMakeFiles/aldsp_runtime.dir/observed_cost.cpp.o.d"
+  "/root/repo/src/runtime/tuple_repr.cpp" "src/runtime/CMakeFiles/aldsp_runtime.dir/tuple_repr.cpp.o" "gcc" "src/runtime/CMakeFiles/aldsp_runtime.dir/tuple_repr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/aldsp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/aldsp_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aldsp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/aldsp_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aldsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/aldsp_xsd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

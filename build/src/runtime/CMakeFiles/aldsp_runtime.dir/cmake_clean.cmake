@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_runtime.dir/adaptor.cpp.o"
+  "CMakeFiles/aldsp_runtime.dir/adaptor.cpp.o.d"
+  "CMakeFiles/aldsp_runtime.dir/evaluator.cpp.o"
+  "CMakeFiles/aldsp_runtime.dir/evaluator.cpp.o.d"
+  "CMakeFiles/aldsp_runtime.dir/function_cache.cpp.o"
+  "CMakeFiles/aldsp_runtime.dir/function_cache.cpp.o.d"
+  "CMakeFiles/aldsp_runtime.dir/observed_cost.cpp.o"
+  "CMakeFiles/aldsp_runtime.dir/observed_cost.cpp.o.d"
+  "CMakeFiles/aldsp_runtime.dir/tuple_repr.cpp.o"
+  "CMakeFiles/aldsp_runtime.dir/tuple_repr.cpp.o.d"
+  "libaldsp_runtime.a"
+  "libaldsp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_security.dir/security.cpp.o"
+  "CMakeFiles/aldsp_security.dir/security.cpp.o.d"
+  "libaldsp_security.a"
+  "libaldsp_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

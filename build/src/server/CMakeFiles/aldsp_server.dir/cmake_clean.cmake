@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_server.dir/server.cpp.o"
+  "CMakeFiles/aldsp_server.dir/server.cpp.o.d"
+  "libaldsp_server.a"
+  "libaldsp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

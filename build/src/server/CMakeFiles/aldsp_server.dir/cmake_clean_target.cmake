@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaldsp_server.a"
+)

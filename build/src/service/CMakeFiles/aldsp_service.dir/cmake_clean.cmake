@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_service.dir/data_service.cpp.o"
+  "CMakeFiles/aldsp_service.dir/data_service.cpp.o.d"
+  "CMakeFiles/aldsp_service.dir/introspect.cpp.o"
+  "CMakeFiles/aldsp_service.dir/introspect.cpp.o.d"
+  "libaldsp_service.a"
+  "libaldsp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_sql.dir/dialect.cpp.o"
+  "CMakeFiles/aldsp_sql.dir/dialect.cpp.o.d"
+  "CMakeFiles/aldsp_sql.dir/pushdown.cpp.o"
+  "CMakeFiles/aldsp_sql.dir/pushdown.cpp.o.d"
+  "libaldsp_sql.a"
+  "libaldsp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

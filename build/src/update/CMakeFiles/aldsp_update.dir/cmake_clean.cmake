@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_update.dir/engine.cpp.o"
+  "CMakeFiles/aldsp_update.dir/engine.cpp.o.d"
+  "CMakeFiles/aldsp_update.dir/lineage.cpp.o"
+  "CMakeFiles/aldsp_update.dir/lineage.cpp.o.d"
+  "CMakeFiles/aldsp_update.dir/sdo.cpp.o"
+  "CMakeFiles/aldsp_update.dir/sdo.cpp.o.d"
+  "libaldsp_update.a"
+  "libaldsp_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

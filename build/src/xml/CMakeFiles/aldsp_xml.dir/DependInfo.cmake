@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/item.cpp" "src/xml/CMakeFiles/aldsp_xml.dir/item.cpp.o" "gcc" "src/xml/CMakeFiles/aldsp_xml.dir/item.cpp.o.d"
+  "/root/repo/src/xml/node.cpp" "src/xml/CMakeFiles/aldsp_xml.dir/node.cpp.o" "gcc" "src/xml/CMakeFiles/aldsp_xml.dir/node.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/xml/CMakeFiles/aldsp_xml.dir/parser.cpp.o" "gcc" "src/xml/CMakeFiles/aldsp_xml.dir/parser.cpp.o.d"
+  "/root/repo/src/xml/serializer.cpp" "src/xml/CMakeFiles/aldsp_xml.dir/serializer.cpp.o" "gcc" "src/xml/CMakeFiles/aldsp_xml.dir/serializer.cpp.o.d"
+  "/root/repo/src/xml/token.cpp" "src/xml/CMakeFiles/aldsp_xml.dir/token.cpp.o" "gcc" "src/xml/CMakeFiles/aldsp_xml.dir/token.cpp.o.d"
+  "/root/repo/src/xml/value.cpp" "src/xml/CMakeFiles/aldsp_xml.dir/value.cpp.o" "gcc" "src/xml/CMakeFiles/aldsp_xml.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aldsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

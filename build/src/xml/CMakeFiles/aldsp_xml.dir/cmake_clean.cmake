@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_xml.dir/item.cpp.o"
+  "CMakeFiles/aldsp_xml.dir/item.cpp.o.d"
+  "CMakeFiles/aldsp_xml.dir/node.cpp.o"
+  "CMakeFiles/aldsp_xml.dir/node.cpp.o.d"
+  "CMakeFiles/aldsp_xml.dir/parser.cpp.o"
+  "CMakeFiles/aldsp_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/aldsp_xml.dir/serializer.cpp.o"
+  "CMakeFiles/aldsp_xml.dir/serializer.cpp.o.d"
+  "CMakeFiles/aldsp_xml.dir/token.cpp.o"
+  "CMakeFiles/aldsp_xml.dir/token.cpp.o.d"
+  "CMakeFiles/aldsp_xml.dir/value.cpp.o"
+  "CMakeFiles/aldsp_xml.dir/value.cpp.o.d"
+  "libaldsp_xml.a"
+  "libaldsp_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/ast.cpp" "src/xquery/CMakeFiles/aldsp_xquery.dir/ast.cpp.o" "gcc" "src/xquery/CMakeFiles/aldsp_xquery.dir/ast.cpp.o.d"
+  "/root/repo/src/xquery/parser.cpp" "src/xquery/CMakeFiles/aldsp_xquery.dir/parser.cpp.o" "gcc" "src/xquery/CMakeFiles/aldsp_xquery.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/aldsp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/aldsp_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/aldsp_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aldsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_xquery.dir/ast.cpp.o"
+  "CMakeFiles/aldsp_xquery.dir/ast.cpp.o.d"
+  "CMakeFiles/aldsp_xquery.dir/parser.cpp.o"
+  "CMakeFiles/aldsp_xquery.dir/parser.cpp.o.d"
+  "libaldsp_xquery.a"
+  "libaldsp_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aldsp_xsd.dir/types.cpp.o"
+  "CMakeFiles/aldsp_xsd.dir/types.cpp.o.d"
+  "CMakeFiles/aldsp_xsd.dir/validate.cpp.o"
+  "CMakeFiles/aldsp_xsd.dir/validate.cpp.o.d"
+  "libaldsp_xsd.a"
+  "libaldsp_xsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aldsp_xsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

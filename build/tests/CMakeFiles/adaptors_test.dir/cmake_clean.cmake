@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptors_test.dir/adaptors_test.cpp.o"
+  "CMakeFiles/adaptors_test.dir/adaptors_test.cpp.o.d"
+  "adaptors_test"
+  "adaptors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

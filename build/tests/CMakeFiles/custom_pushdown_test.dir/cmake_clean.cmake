@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pushdown_test.dir/custom_pushdown_test.cpp.o"
+  "CMakeFiles/custom_pushdown_test.dir/custom_pushdown_test.cpp.o.d"
+  "custom_pushdown_test"
+  "custom_pushdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/join_methods_test.cpp" "tests/CMakeFiles/join_methods_test.dir/join_methods_test.cpp.o" "gcc" "tests/CMakeFiles/join_methods_test.dir/join_methods_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/aldsp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/aldsp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/aldsp_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/aldsp_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/aldsp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptors/CMakeFiles/aldsp_adaptors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/aldsp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/aldsp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aldsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/aldsp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/aldsp_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aldsp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/aldsp_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/aldsp_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aldsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observed_cost_test.dir/observed_cost_test.cpp.o"
+  "CMakeFiles/observed_cost_test.dir/observed_cost_test.cpp.o.d"
+  "observed_cost_test"
+  "observed_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observed_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_equivalence_test.dir/property_equivalence_test.cpp.o"
+  "CMakeFiles/property_equivalence_test.dir/property_equivalence_test.cpp.o.d"
+  "property_equivalence_test"
+  "property_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

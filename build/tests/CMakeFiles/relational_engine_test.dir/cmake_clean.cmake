@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_engine_test.dir/relational_engine_test.cpp.o"
+  "CMakeFiles/relational_engine_test.dir/relational_engine_test.cpp.o.d"
+  "relational_engine_test"
+  "relational_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_patterns_test.dir/sql_patterns_test.cpp.o"
+  "CMakeFiles/sql_patterns_test.dir/sql_patterns_test.cpp.o.d"
+  "sql_patterns_test"
+  "sql_patterns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

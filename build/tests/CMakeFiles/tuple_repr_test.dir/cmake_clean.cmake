@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_repr_test.dir/tuple_repr_test.cpp.o"
+  "CMakeFiles/tuple_repr_test.dir/tuple_repr_test.cpp.o.d"
+  "tuple_repr_test"
+  "tuple_repr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_repr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

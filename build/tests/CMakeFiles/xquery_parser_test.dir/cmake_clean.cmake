@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_parser_test.dir/xquery_parser_test.cpp.o"
+  "CMakeFiles/xquery_parser_test.dir/xquery_parser_test.cpp.o.d"
+  "xquery_parser_test"
+  "xquery_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

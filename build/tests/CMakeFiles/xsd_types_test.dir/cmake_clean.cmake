@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_types_test.dir/xsd_types_test.cpp.o"
+  "CMakeFiles/xsd_types_test.dir/xsd_types_test.cpp.o.d"
+  "xsd_types_test"
+  "xsd_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
