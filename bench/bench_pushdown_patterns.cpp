@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "server/server.h"
 #include "sql/dialect.h"
 #include "tests/test_fixtures.h"
@@ -144,5 +145,16 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // One pushed run of every pattern through a shared platform, exported
+  // as a machine-readable metrics artifact.
+  auto platform = MakePlatform(true);
+  for (const Pattern& p : kPatterns) {
+    auto r = platform->Execute(p.query);
+    if (!r.ok()) {
+      std::printf("[%s] EXEC ERROR: %s\n", p.id,
+                  r.status().ToString().c_str());
+    }
+  }
+  bench::WriteBenchMetrics(*platform, "pushdown_patterns");
   return 0;
 }

@@ -1,6 +1,7 @@
 #ifndef ALDSP_BENCH_BENCH_UTIL_H_
 #define ALDSP_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -29,6 +30,24 @@ inline std::unique_ptr<server::DataServicePlatform> MakePlatform(
 
 inline relational::Database* CustomerDb(server::DataServicePlatform& p) {
   return p.adaptors().FindDatabase("customer_db");
+}
+
+/// Writes the platform's metrics snapshot (counters + per-source latency
+/// histograms) to BENCH_<name>.json in the working directory, so bench
+/// runs leave a machine-readable artifact next to the console output.
+inline void WriteBenchMetrics(server::DataServicePlatform& platform,
+                              const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = platform.MetricsJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("metrics snapshot written to %s\n", path.c_str());
 }
 
 }  // namespace aldsp::bench

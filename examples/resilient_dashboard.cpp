@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "examples/example_env.h"
+#include "server/explain.h"
 #include "xml/serializer.h"
 
 using namespace aldsp;
@@ -89,5 +90,22 @@ int main() {
               static_cast<long long>(rating_ws->invocation_count()),
               static_cast<long long>(
                   aldsp.function_cache().stats().hits.load()));
+
+  // --- 5. EXPLAIN / PROFILE / metrics ----------------------------------
+  std::printf("\n== EXPLAIN and PROFILE of a dashboard join ==\n");
+  std::string dashboard =
+      "for $c in ns3:CUSTOMER(), $cc in ns2:CREDIT_CARD() "
+      "where $c/CID eq $cc/CID "
+      "return <ROW>{ $c/LAST_NAME, $cc/CCN }</ROW>";
+  auto plan_text = aldsp.Explain(dashboard);
+  if (plan_text.ok()) std::printf("%s", plan_text->c_str());
+  auto profiled = aldsp.ExecuteProfiled(dashboard);
+  if (profiled.ok()) {
+    std::printf("%s", server::RenderProfileText(*profiled->plan,
+                                                *profiled->trace)
+                          .c_str());
+  }
+  std::printf("\n== server metrics snapshot ==\n%s",
+              aldsp.MetricsText().c_str());
   return 0;
 }

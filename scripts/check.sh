@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest in the default build tree, then
+# repeat the test suite under AddressSanitizer/UndefinedBehaviorSanitizer
+# in a separate build tree. Run from anywhere; paths resolve to the repo.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: release build + ctest =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== tier-1: ASan/UBSan build + ctest =="
+cmake -B "$repo/build-asan" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build "$repo/build-asan" -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

@@ -7,7 +7,9 @@
 #include "compiler/function_table.h"
 #include "runtime/adaptor.h"
 #include "runtime/function_cache.h"
+#include "runtime/metrics.h"
 #include "runtime/observed_cost.h"
+#include "runtime/query_trace.h"
 #include "runtime/tuple_repr.h"
 
 namespace aldsp::runtime {
@@ -28,17 +30,23 @@ struct RuntimeStats {
   /// grouping and PP-k experiments.
   std::atomic<int64_t> peak_operator_bytes{0};
 
+  /// Zeroes every counter with explicit relaxed stores: counters are
+  /// independent, so readers racing a Reset see each counter either
+  /// before or after its store, never a torn value. Reset must NOT race
+  /// with a running query's NotePeakBytes — its CAS loop can re-publish
+  /// a pre-reset maximum it already loaded — so call it only between
+  /// queries (benchmarks and tests do).
   void Reset() {
-    source_invocations = 0;
-    sql_pushdowns = 0;
-    join_probe_rows = 0;
-    ppk_blocks = 0;
-    async_tasks = 0;
-    timeouts_fired = 0;
-    failovers_fired = 0;
-    group_sort_fallbacks = 0;
-    streaming_groups = 0;
-    peak_operator_bytes = 0;
+    source_invocations.store(0, std::memory_order_relaxed);
+    sql_pushdowns.store(0, std::memory_order_relaxed);
+    join_probe_rows.store(0, std::memory_order_relaxed);
+    ppk_blocks.store(0, std::memory_order_relaxed);
+    async_tasks.store(0, std::memory_order_relaxed);
+    timeouts_fired.store(0, std::memory_order_relaxed);
+    failovers_fired.store(0, std::memory_order_relaxed);
+    group_sort_fallbacks.store(0, std::memory_order_relaxed);
+    streaming_groups.store(0, std::memory_order_relaxed);
+    peak_operator_bytes.store(0, std::memory_order_relaxed);
   }
 
   void NotePeakBytes(int64_t bytes) {
@@ -58,6 +66,13 @@ struct RuntimeContext {
   FunctionCache* function_cache = nullptr;   // optional
   RuntimeStats* stats = nullptr;             // optional
   ObservedCostModel* observed = nullptr;     // optional (§9 roadmap)
+  /// Server-wide metrics export (optional): per-source latency samples.
+  MetricsRegistry* metrics = nullptr;
+  /// Per-execution profile (optional). Null for ordinary Execute calls:
+  /// every instrumentation branch in the evaluator is guarded by this
+  /// pointer, so disabled profiling costs nothing. ExecuteProfiled runs
+  /// with a context copy pointing at a fresh trace.
+  QueryTrace* trace = nullptr;
 
   /// Maximum user-function call depth (recursion guard).
   int max_call_depth = 64;

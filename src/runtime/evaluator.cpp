@@ -5,11 +5,13 @@
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "common/string_util.h"
 #include "compiler/builtins.h"
+#include "relational/sql_ast.h"
 #include "runtime/tuple_repr.h"
 #include "xml/node.h"
 
@@ -86,6 +88,25 @@ xml::Sequence RowsToItems(const relational::ResultSet& rs,
 namespace {
 
 Cell AtomicToCell(const AtomicValue& v) { return Cell::Of(v); }
+
+int64_t MicrosSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Snapshot of a source's simulated-latency clock: when the LatencyModel
+// runs in virtual time (sleep == false) the wall clock misses the
+// modeled round trips, so trace events fold in the clock's growth.
+int64_t VirtualLatencyMark(relational::Database* db) {
+  if (db == nullptr || db->latency_model().sleep) return -1;
+  return db->stats().simulated_latency_micros.load();
+}
+
+int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
+  if (mark < 0) return 0;
+  return db->stats().simulated_latency_micros.load() - mark;
+}
 
 // Orders two atomized singleton-or-empty sequences; empty sorts first.
 int OrderCompareKeys(const Sequence& a, const Sequence& b) {
@@ -254,23 +275,42 @@ class Evaluator {
     std::vector<std::future<Result<Sequence>>> futures(children.size());
     std::vector<Sequence> results(children.size());
     std::vector<bool> is_async(children.size(), false);
+    // Worker threads have an empty scope stack; capture the launching
+    // thread's innermost span so the async subtree's events attach there.
+    int parent_span = QueryTrace::CurrentSpan(ctx_.trace);
     for (size_t i = 0; i < children.size(); ++i) {
       const ExprPtr& c = children[i];
       if (IsAsyncCall(*c) && !c->children.empty()) {
         is_async[i] = true;
         if (ctx_.stats != nullptr) ctx_.stats->async_tasks += 1;
+        if (ctx_.trace != nullptr) {
+          ctx_.trace->AddEvent(QueryTrace::EventKind::kAsyncTask, "",
+                               "fn-bea:async", 0, 0);
+        }
         ExprPtr body = c->children[0];
         Tuple env_copy = env;
         futures[i] = std::async(std::launch::async,
-                                [this, body, env_copy, depth]() {
+                                [this, body, env_copy, depth, parent_span]() {
+                                  std::optional<QueryTrace::Scope> scope;
+                                  if (ctx_.trace != nullptr) {
+                                    scope.emplace(ctx_.trace, parent_span);
+                                  }
                                   return Eval(*body, env_copy, depth + 1);
                                 });
       } else if (ContainsHoistableAsync(*c)) {
         is_async[i] = true;
+        if (ctx_.trace != nullptr) {
+          ctx_.trace->AddEvent(QueryTrace::EventKind::kAsyncTask, "",
+                               "hoisted async subtree", 0, 0);
+        }
         ExprPtr body = c;
         Tuple env_copy = env;
         futures[i] = std::async(std::launch::async,
-                                [this, body, env_copy, depth]() {
+                                [this, body, env_copy, depth, parent_span]() {
+                                  std::optional<QueryTrace::Scope> scope;
+                                  if (ctx_.trace != nullptr) {
+                                    scope.emplace(ctx_.trace, parent_span);
+                                  }
                                   return Eval(*body, env_copy, depth + 1);
                                 });
       }
@@ -666,6 +706,37 @@ class Evaluator {
     int depth_;
   };
 
+  // Wraps one pipeline stage when a QueryTrace is attached: every Next()
+  // is timed (inclusive of the input chain, EXPLAIN ANALYZE style),
+  // produced tuples are counted, and the stage's span becomes the calling
+  // thread's scope so source events fired inside Next() attach to it.
+  // Metrics flush in the destructor, which also covers early termination
+  // (a failed Next or an abandoned stream still reports partial counts).
+  class TracedStream : public TupleStream {
+   public:
+    TracedStream(std::unique_ptr<TupleStream> in, QueryTrace* trace, int span)
+        : in_(std::move(in)), trace_(trace), span_(span) {}
+    ~TracedStream() override {
+      trace_->AddSpanMetrics(span_, rows_, micros_);
+      trace_->EndSpan(span_);
+    }
+    Result<bool> Next(Tuple* out) override {
+      QueryTrace::Scope scope(trace_, span_);
+      auto t0 = std::chrono::steady_clock::now();
+      Result<bool> r = in_->Next(out);
+      micros_ += MicrosSince(t0);
+      if (r.ok() && r.value()) ++rows_;
+      return r;
+    }
+
+   private:
+    std::unique_ptr<TupleStream> in_;
+    QueryTrace* trace_;
+    int span_;
+    int64_t rows_ = 0;
+    int64_t micros_ = 0;
+  };
+
   class JoinStream;   // defined below (needs Evaluator internals)
   class GroupStream;  // defined below
   class OrderStream;  // defined below
@@ -675,15 +746,29 @@ class Evaluator {
                                                      int depth);
 
   Result<Sequence> EvalFLWOR(const Expr& e, const Tuple& env, int depth) {
-    ALDSP_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
-                           BuildPipeline(e, env, depth));
+    int span = -1;
+    std::optional<QueryTrace::Scope> scope;
+    auto t0 = std::chrono::steady_clock::now();
+    if (ctx_.trace != nullptr) {
+      span = ctx_.trace->BeginSpan("flwor");
+      scope.emplace(ctx_.trace, span);
+    }
     Sequence out;
-    Tuple t;
-    while (true) {
-      ALDSP_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
-      if (!more) break;
-      ALDSP_ASSIGN_OR_RETURN(Sequence v, Eval(*e.children[0], t, depth));
-      xml::AppendSequence(out, v);
+    {
+      ALDSP_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
+                             BuildPipeline(e, env, depth));
+      Tuple t;
+      while (true) {
+        ALDSP_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
+        if (!more) break;
+        ALDSP_ASSIGN_OR_RETURN(Sequence v, Eval(*e.children[0], t, depth));
+        xml::AppendSequence(out, v);
+      }
+    }
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->AddSpanMetrics(span, static_cast<int64_t>(out.size()),
+                                 MicrosSince(t0));
+      ctx_.trace->EndSpan(span);
     }
     return out;
   }
@@ -692,17 +777,33 @@ class Evaluator {
   // Streaming FLWOR: one tuple at a time, items delivered as produced.
   Status StreamFLWOR(const Expr& e, const Tuple& env,
                      const std::function<Status(const Item&)>& sink) {
-    ALDSP_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
-                           BuildPipeline(e, env, 0));
-    Tuple t;
-    while (true) {
-      ALDSP_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
-      if (!more) return Status::OK();
-      ALDSP_ASSIGN_OR_RETURN(Sequence v, Eval(*e.children[0], t, 0));
-      for (const auto& item : v) {
-        ALDSP_RETURN_NOT_OK(sink(item));
-      }
+    int span = -1;
+    std::optional<QueryTrace::Scope> scope;
+    auto t0 = std::chrono::steady_clock::now();
+    if (ctx_.trace != nullptr) {
+      span = ctx_.trace->BeginSpan("flwor", "streaming");
+      scope.emplace(ctx_.trace, span);
     }
+    int64_t produced = 0;
+    Status result = [&]() -> Status {
+      ALDSP_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
+                             BuildPipeline(e, env, 0));
+      Tuple t;
+      while (true) {
+        ALDSP_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
+        if (!more) return Status::OK();
+        ALDSP_ASSIGN_OR_RETURN(Sequence v, Eval(*e.children[0], t, 0));
+        for (const auto& item : v) {
+          ALDSP_RETURN_NOT_OK(sink(item));
+          ++produced;
+        }
+      }
+    }();
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->AddSpanMetrics(span, produced, MicrosSince(t0));
+      ctx_.trace->EndSpan(span);
+    }
+    return result;
   }
 
  private:
@@ -750,7 +851,18 @@ class Evaluator {
     if (cacheable) {
       cache_key = FunctionCache::MakeKey(fn.name, args);
       Sequence cached;
-      if (ctx_.function_cache->Lookup(cache_key, &cached)) return cached;
+      if (ctx_.function_cache->Lookup(cache_key, &cached)) {
+        if (ctx_.trace != nullptr) {
+          ctx_.trace->AddEvent(QueryTrace::EventKind::kCacheHit,
+                               fn.Property("source"), fn.name,
+                               static_cast<int64_t>(cached.size()), 0);
+        }
+        return cached;
+      }
+      if (ctx_.trace != nullptr) {
+        ctx_.trace->AddEvent(QueryTrace::EventKind::kCacheMiss,
+                             fn.Property("source"), fn.name, 0, 0);
+      }
     }
     if (ctx_.adaptors == nullptr) {
       return Status::SourceError("no adaptor registry in runtime context");
@@ -762,12 +874,25 @@ class Evaluator {
                                  fn.name + ")");
     }
     if (ctx_.stats != nullptr) ctx_.stats->source_invocations += 1;
+    relational::Database* db =
+        fn.is_relational()
+            ? ctx_.adaptors->FindDatabase(fn.Property("source"))
+            : nullptr;
+    int64_t sim_mark = VirtualLatencyMark(db);
     auto t0 = std::chrono::steady_clock::now();
     ALDSP_ASSIGN_OR_RETURN(Sequence result, adaptor->Invoke(fn.name, args));
-    if (ctx_.observed != nullptr && fn.is_relational()) {
-      int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
+    int64_t micros = MicrosSince(t0) + VirtualLatencyDelta(db, sim_mark);
+    if (ctx_.metrics != nullptr) {
+      ctx_.metrics->RecordSourceLatency(fn.Property("source"), micros);
+    }
+    if (ctx_.trace != nullptr) {
+      // FeedObservedCost replays this event into the observed-cost model
+      // at completion, so the inline recording below stays disabled.
+      ctx_.trace->AddEvent(QueryTrace::EventKind::kSourceInvoke,
+                           fn.Property("source"), fn.name,
+                           static_cast<int64_t>(result.size()), micros,
+                           fn.is_relational() ? fn.Property("table") : "");
+    } else if (ctx_.observed != nullptr && fn.is_relational()) {
       ctx_.observed->RecordTableScan(fn.Property("source"),
                                      fn.Property("table"),
                                      static_cast<int64_t>(result.size()),
@@ -803,18 +928,28 @@ class Evaluator {
       return Status::SourceError("no relational source '" + spec->source + "'");
     }
     if (ctx_.stats != nullptr) ctx_.stats->sql_pushdowns += 1;
+    int64_t sim_mark = VirtualLatencyMark(db);
     auto t0 = std::chrono::steady_clock::now();
     ALDSP_ASSIGN_OR_RETURN(relational::ResultSet rs,
                            db->ExecuteSelect(*spec->select, params));
-    if (ctx_.observed != nullptr) {
-      int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
+    int64_t micros = MicrosSince(t0) + VirtualLatencyDelta(db, sim_mark);
+    // A bare single-table scan observes the table's cardinality.
+    const relational::SelectStmt& s = *spec->select;
+    bool bare_scan = s.joins.empty() && s.where == nullptr &&
+                     s.group_by.empty() && !s.distinct && s.range_start < 0 &&
+                     !s.from.table_name.empty();
+    if (ctx_.metrics != nullptr) {
+      ctx_.metrics->RecordSourceLatency(spec->source, micros);
+    }
+    if (ctx_.trace != nullptr) {
+      // The trace replays into the observed-cost model at completion.
+      ctx_.trace->AddEvent(QueryTrace::EventKind::kSql, spec->source,
+                           relational::DebugString(*spec->select),
+                           static_cast<int64_t>(rs.rows.size()), micros,
+                           bare_scan ? s.from.table_name : "");
+    } else if (ctx_.observed != nullptr) {
       ctx_.observed->RecordStatement(spec->source, micros);
-      // A bare single-table scan observes the table's cardinality.
-      const relational::SelectStmt& s = *spec->select;
-      if (s.joins.empty() && s.where == nullptr && s.group_by.empty() &&
-          !s.distinct && s.range_start < 0 && !s.from.table_name.empty()) {
+      if (bare_scan) {
         ctx_.observed->RecordTableScan(spec->source, s.from.table_name,
                                        static_cast<int64_t>(rs.rows.size()),
                                        micros);
@@ -848,7 +983,23 @@ class Evaluator {
                                  e.custom->source + "'");
     }
     if (ctx_.stats != nullptr) ctx_.stats->source_invocations += 1;
-    return adaptor->InvokeFiltered(*e.custom, params);
+    auto t0 = std::chrono::steady_clock::now();
+    ALDSP_ASSIGN_OR_RETURN(Sequence result,
+                           adaptor->InvokeFiltered(*e.custom, params));
+    int64_t micros = MicrosSince(t0);
+    if (ctx_.metrics != nullptr) {
+      ctx_.metrics->RecordSourceLatency(e.custom->source, micros);
+    }
+    if (ctx_.trace != nullptr) {
+      std::string detail = e.custom->function;
+      for (const auto& c : e.custom->conjuncts) {
+        detail += " [" + c.attribute + " " + c.op + " ?]";
+      }
+      ctx_.trace->AddEvent(QueryTrace::EventKind::kCustomPushdown,
+                           e.custom->source, detail,
+                           static_cast<int64_t>(result.size()), micros);
+    }
+    return result;
   }
 
   // ----- Builtins ---------------------------------------------------------

@@ -1,0 +1,147 @@
+#include "runtime/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace aldsp::runtime {
+
+const int64_t MetricsRegistry::Histogram::kUpperMicros[] = {
+    100, 1000, 10000, 100000, 1000000, 10000000};
+
+const char* MetricsRegistry::Histogram::BucketLabel(int i) {
+  static const char* kLabels[kBuckets] = {
+      "le_100us", "le_1ms", "le_10ms", "le_100ms",
+      "le_1s",    "le_10s", "inf"};
+  return (i >= 0 && i < kBuckets) ? kLabels[i] : "?";
+}
+
+void MetricsRegistry::Histogram::Record(int64_t micros) {
+  int bucket = kBuckets - 1;
+  for (int i = 0; i < kBuckets - 1; ++i) {
+    if (micros <= kUpperMicros[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts[bucket] += 1;
+  if (count == 0 || micros < min_micros) min_micros = micros;
+  if (micros > max_micros) max_micros = micros;
+  count += 1;
+  sum_micros += micros;
+}
+
+void MetricsRegistry::RecordSourceLatency(const std::string& source,
+                                          int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  source_latency_[source].Record(micros);
+}
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetCounter(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] = value;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters = counters_;
+  snap.source_latency = source_latency_;
+  return snap;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  source_latency_.clear();
+}
+
+std::string MetricsRegistry::RenderText(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "=== metrics ===\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [source, h] : snapshot.source_latency) {
+    os << "source_latency{" << source << "} count=" << h.count
+       << " mean_us=" << static_cast<int64_t>(h.MeanMicros())
+       << " min_us=" << h.min_micros << " max_us=" << h.max_micros << "\n";
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.counts[i] == 0) continue;
+      os << "  " << Histogram::BucketLabel(i) << " " << h.counts[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderJson(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ",";
+    first = false;
+    AppendJsonString(os, name);
+    os << ":" << value;
+  }
+  os << "},\"source_latency\":{";
+  first = true;
+  for (const auto& [source, h] : snapshot.source_latency) {
+    if (!first) os << ",";
+    first = false;
+    AppendJsonString(os, source);
+    os << ":{\"count\":" << h.count << ",\"sum_micros\":" << h.sum_micros
+       << ",\"min_micros\":" << h.min_micros
+       << ",\"max_micros\":" << h.max_micros << ",\"buckets\":{";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (!bfirst) os << ",";
+      bfirst = false;
+      AppendJsonString(os, Histogram::BucketLabel(i));
+      os << ":" << h.counts[i];
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace aldsp::runtime

@@ -1,0 +1,68 @@
+#ifndef ALDSP_RUNTIME_METRICS_H_
+#define ALDSP_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace aldsp::runtime {
+
+/// Server-wide metrics for export: named counters plus a per-source
+/// round-trip latency histogram. The runtime records one histogram
+/// sample per source interaction (pushed SQL statement, PP-k block
+/// fetch, adaptor invocation); the server folds its cache and runtime
+/// counters into the snapshot at export time so steady-state execution
+/// only pays the histogram update.
+class MetricsRegistry {
+ public:
+  /// Fixed log-scale latency histogram (bucket bounds in microseconds:
+  /// 100us, 1ms, 10ms, 100ms, 1s, 10s, +inf). Fixed buckets keep
+  /// recording allocation-free and snapshots mergeable across servers.
+  struct Histogram {
+    static constexpr int kBuckets = 7;
+    static const int64_t kUpperMicros[kBuckets - 1];
+    static const char* BucketLabel(int i);
+
+    int64_t counts[kBuckets] = {};
+    int64_t count = 0;
+    int64_t sum_micros = 0;
+    int64_t min_micros = 0;
+    int64_t max_micros = 0;
+
+    void Record(int64_t micros);
+    double MeanMicros() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum_micros) /
+                              static_cast<double>(count);
+    }
+  };
+
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, Histogram> source_latency;
+  };
+
+  void RecordSourceLatency(const std::string& source, int64_t micros);
+  void IncrementCounter(const std::string& name, int64_t delta = 1);
+  /// Overwrites a counter (used for gauges folded in at snapshot time).
+  void SetCounter(const std::string& name, int64_t value);
+
+  Snapshot GetSnapshot() const;
+  void Clear();
+
+  /// Human-readable snapshot (one counter per line, one histogram block
+  /// per source).
+  static std::string RenderText(const Snapshot& snapshot);
+  /// Machine-readable snapshot for export / BENCH_*.json artifacts.
+  static std::string RenderJson(const Snapshot& snapshot);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> source_latency_;
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_METRICS_H_

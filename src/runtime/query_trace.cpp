@@ -1,0 +1,153 @@
+#include "runtime/query_trace.h"
+
+#include "runtime/observed_cost.h"
+
+namespace aldsp::runtime {
+
+namespace {
+
+// Per-thread stack of (trace, span) scopes. Keyed by trace instance so
+// concurrent traced executions on the same thread pool cannot observe
+// each other's parents.
+thread_local std::vector<std::pair<const QueryTrace*, int>> tls_scope_stack;
+
+}  // namespace
+
+const char* QueryTrace::EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSql:
+      return "sql";
+    case EventKind::kPPkFetch:
+      return "ppk-fetch";
+    case EventKind::kSourceInvoke:
+      return "invoke";
+    case EventKind::kCustomPushdown:
+      return "custom-pushdown";
+    case EventKind::kCacheHit:
+      return "cache-hit";
+    case EventKind::kCacheMiss:
+      return "cache-miss";
+    case EventKind::kAsyncTask:
+      return "async-task";
+    case EventKind::kTimeout:
+      return "timeout";
+    case EventKind::kFailOver:
+      return "fail-over";
+  }
+  return "?";
+}
+
+QueryTrace::Scope::Scope(const QueryTrace* trace, int span) : trace_(trace) {
+  tls_scope_stack.emplace_back(trace, span);
+}
+
+QueryTrace::Scope::~Scope() {
+  // Scopes nest strictly, so the matching entry is on top.
+  for (auto it = tls_scope_stack.rbegin(); it != tls_scope_stack.rend();
+       ++it) {
+    if (it->first == trace_) {
+      tls_scope_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+int QueryTrace::CurrentSpan(const QueryTrace* trace) {
+  for (auto it = tls_scope_stack.rbegin(); it != tls_scope_stack.rend();
+       ++it) {
+    if (it->first == trace) return it->second;
+  }
+  return -1;
+}
+
+int QueryTrace::BeginSpan(const std::string& kind,
+                          const std::string& detail) {
+  int parent = CurrentSpan(this);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = parent;
+  span.kind = kind;
+  span.detail = detail;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void QueryTrace::AddSpanMetrics(int id, int64_t rows, int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[id].rows += rows;
+  spans_[id].micros += micros;
+}
+
+void QueryTrace::AddSpanBytes(int id, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  if (bytes > spans_[id].bytes) spans_[id].bytes = bytes;
+}
+
+void QueryTrace::EndSpan(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[id].finished = true;
+}
+
+void QueryTrace::AddEvent(EventKind kind, const std::string& source,
+                          const std::string& detail, int64_t rows,
+                          int64_t micros, const std::string& table) {
+  int span = CurrentSpan(this);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event event;
+  event.kind = kind;
+  event.span = span;
+  event.source = source;
+  event.detail = detail;
+  event.table = table;
+  event.rows = rows;
+  event.micros = micros;
+  events_.push_back(std::move(event));
+}
+
+std::vector<QueryTrace::Span> QueryTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<QueryTrace::Event> QueryTrace::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+int64_t QueryTrace::CountEvents(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void QueryTrace::FeedObservedCost(ObservedCostModel* model) const {
+  if (model == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case EventKind::kSql:
+      case EventKind::kPPkFetch:
+        model->RecordStatement(e.source, e.micros);
+        if (!e.table.empty()) {
+          model->RecordTableScan(e.source, e.table, e.rows, e.micros);
+        }
+        break;
+      case EventKind::kSourceInvoke:
+        if (!e.table.empty()) {
+          model->RecordTableScan(e.source, e.table, e.rows, e.micros);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace aldsp::runtime

@@ -1,0 +1,125 @@
+#ifndef ALDSP_RUNTIME_QUERY_TRACE_H_
+#define ALDSP_RUNTIME_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aldsp::runtime {
+
+class ObservedCostModel;
+
+/// Per-execution profile of one query run (the paper's §9 "instrumenting
+/// the system" roadmap item, and the observability counterpart of the
+/// §4.1 query-plan view). A trace records
+///
+///  - one *span* per plan-operator instance (FLWOR clause streams, the
+///    enclosing FLWOR, the root query): operator kind, rows produced,
+///    cumulative wall micros spent inside the operator (inclusive of its
+///    inputs, EXPLAIN ANALYZE style), and bytes materialized by blocking
+///    operators (join build sides, group-by, order-by);
+///  - one *event* per source interaction: the SQL text pushed to a
+///    relational source, PP-k block fetches, adaptor invocations,
+///    function-cache hits/misses, async task launches, timeout and
+///    fail-over firings. Events carry the rows transferred and the
+///    round-trip micros (including a source's simulated latency when its
+///    LatencyModel runs in virtual time).
+///
+/// Tracing is strictly opt-in: the evaluator consults the trace pointer
+/// in RuntimeContext and a null pointer skips every instrumentation
+/// branch, so ordinary Execute pays nothing. A trace must be thread-safe
+/// because fn-bea:async and fn-bea:timeout evaluate subtrees on worker
+/// threads that share the RuntimeContext.
+///
+/// Spans form a tree. Parentage is tracked per thread: a Scope pushes a
+/// span onto the calling thread's stack, and spans/events created while
+/// it is open attach to it. Worker threads re-establish the launching
+/// thread's innermost span via the span id captured at launch.
+class QueryTrace {
+ public:
+  struct Span {
+    int id = -1;
+    int parent = -1;       // -1 = attached to the root listing
+    std::string kind;      // "query", "flwor", "for $c", "join[ppk-inl] $o"
+    std::string detail;    // method parameters, query text, ...
+    int64_t rows = 0;      // tuples / items produced
+    int64_t micros = 0;    // cumulative wall time (inclusive of inputs)
+    int64_t bytes = 0;     // peak bytes materialized by this operator
+    bool finished = false;
+  };
+
+  enum class EventKind {
+    kSql,             // pushed-down SQL statement (detail = SQL text)
+    kPPkFetch,        // PP-k parameterized block fetch (detail = SQL text)
+    kSourceInvoke,    // adaptor invocation (detail = function name)
+    kCustomPushdown,  // pushed filter on a custom queryable source
+    kCacheHit,        // function cache hit (no source round trip)
+    kCacheMiss,       // function cache miss (invocation follows)
+    kAsyncTask,       // fn-bea:async subtree hoisted to a worker thread
+    kTimeout,         // fn-bea:timeout abandoned the primary
+    kFailOver,        // fn-bea:fail-over / timeout took the alternate
+  };
+  static const char* EventKindName(EventKind kind);
+
+  struct Event {
+    EventKind kind = EventKind::kSourceInvoke;
+    int span = -1;       // operator span the event occurred under
+    std::string source;  // source id ("customer_db", "ratingWS", ...)
+    std::string detail;  // SQL text / function name / message
+    std::string table;   // non-empty when the event observed a table scan
+    int64_t rows = 0;    // rows / items transferred
+    int64_t micros = 0;  // round-trip time (virtual latency folded in)
+  };
+
+  /// Opens a span whose parent is the calling thread's innermost open
+  /// scope (or the root). Returns the span id.
+  int BeginSpan(const std::string& kind, const std::string& detail = "");
+  /// Accumulates rows/micros onto a span (operators flush incrementally).
+  void AddSpanMetrics(int id, int64_t rows, int64_t micros);
+  /// Raises the span's materialized-bytes high-water mark.
+  void AddSpanBytes(int id, int64_t bytes);
+  void EndSpan(int id);
+
+  /// Records a source-interaction event under the calling thread's
+  /// innermost open span.
+  void AddEvent(EventKind kind, const std::string& source,
+                const std::string& detail, int64_t rows, int64_t micros,
+                const std::string& table = "");
+
+  std::vector<Span> spans() const;
+  std::vector<Event> events() const;
+  int64_t CountEvents(EventKind kind) const;
+
+  /// Replays the trace's source observations into the observed-cost
+  /// model: SQL statements feed round-trip averages, and events that
+  /// observed a full table scan feed cardinalities. This closes the §9
+  /// observe -> optimize loop without any manual Record* calls: the next
+  /// compilation of the same query consults these values.
+  void FeedObservedCost(ObservedCostModel* model) const;
+
+  /// RAII parent marker for the calling thread. Pass the span id that
+  /// nested spans and events should attach to; -1 re-establishes the
+  /// root (used by worker threads with an empty stack).
+  class Scope {
+   public:
+    Scope(const QueryTrace* trace, int span);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const QueryTrace* trace_;
+  };
+  /// The calling thread's innermost open span for `trace`, or -1.
+  static int CurrentSpan(const QueryTrace* trace);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::vector<Event> events_;
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_QUERY_TRACE_H_

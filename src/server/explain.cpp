@@ -1,0 +1,386 @@
+#include "server/explain.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "relational/sql_ast.h"
+#include "xquery/ast.h"
+
+namespace aldsp::server {
+
+namespace {
+
+using runtime::QueryTrace;
+using xquery::Clause;
+using xquery::Expr;
+using xquery::ExprKind;
+
+void AppendJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string ClauseLabel(const Clause& cl) {
+  switch (cl.kind) {
+    case Clause::Kind::kFor:
+      return "for $" + cl.var +
+             (cl.positional_var.empty() ? "" : " at $" + cl.positional_var);
+    case Clause::Kind::kLet:
+      return "let $" + cl.var;
+    case Clause::Kind::kWhere:
+      return "where";
+    case Clause::Kind::kJoin: {
+      std::string label = std::string("join[") +
+                          xquery::JoinMethodName(cl.method) + "] $" + cl.var;
+      if (cl.method == xquery::JoinMethod::kPPkNestedLoop ||
+          cl.method == xquery::JoinMethod::kPPkIndexNestedLoop) {
+        label += " k=" + std::to_string(cl.ppk_block_size);
+      }
+      if (cl.left_outer) label += " left-outer";
+      return label;
+    }
+    case Clause::Kind::kGroupBy:
+      return cl.pre_clustered ? "group-by[streaming]" : "group-by";
+    case Clause::Kind::kOrderBy:
+      return "order-by";
+  }
+  return "?";
+}
+
+std::string ExprLabel(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kSqlQuery:
+      return "sql[" + e.sql->source + "] " +
+             relational::DebugString(*e.sql->select);
+    case ExprKind::kCustomQuery: {
+      std::string label =
+          "custom-pushdown[" + e.custom->source + "] " + e.custom->function;
+      for (const auto& c : e.custom->conjuncts) {
+        label += " [" + c.attribute + " " + c.op + " ?]";
+      }
+      return label;
+    }
+    case ExprKind::kFunctionCall:
+      return "call " + e.fn_name;
+    case ExprKind::kVarRef:
+      return "$" + e.var_name;
+    case ExprKind::kLiteral:
+      return "literal " + e.literal.Lexical();
+    case ExprKind::kElementCtor:
+      return "element <" + e.ctor_name + ">";
+    case ExprKind::kAttributeCtor:
+      return "attribute " + e.ctor_name;
+    case ExprKind::kPathStep:
+      return std::string("step ") + (e.is_attribute_step ? "@" : "") +
+             e.step_name;
+    case ExprKind::kComparison:
+    case ExprKind::kArith:
+    case ExprKind::kLogical:
+      return std::string(xquery::ExprKindName(e.kind)) + " " + e.op;
+    default:
+      return xquery::ExprKindName(e.kind);
+  }
+}
+
+void RenderExprText(const Expr& e, const std::string& indent,
+                    std::ostream& os) {
+  os << indent << ExprLabel(e) << "\n";
+  if (e.kind == ExprKind::kFLWOR) {
+    for (const auto& cl : e.clauses) {
+      os << indent << "  " << ClauseLabel(cl) << "\n";
+      if (cl.expr) RenderExprText(*cl.expr, indent + "    ", os);
+      if (cl.kind == Clause::Kind::kJoin && cl.condition) {
+        os << indent << "    on\n";
+        RenderExprText(*cl.condition, indent + "      ", os);
+      }
+      if (cl.kind == Clause::Kind::kJoin && cl.ppk_fetch) {
+        os << indent << "    ppk-fetch[" << cl.ppk_fetch->source << "] "
+           << relational::DebugString(*cl.ppk_fetch->select_template)
+           << " + " << cl.ppk_fetch->in_alias << "."
+           << cl.ppk_fetch->in_column << " IN (...)\n";
+      }
+    }
+    if (!e.children.empty() && e.children[0]) {
+      os << indent << "  return\n";
+      RenderExprText(*e.children[0], indent + "    ", os);
+    }
+    return;
+  }
+  for (const auto& c : e.children) {
+    if (c) RenderExprText(*c, indent + "  ", os);
+  }
+}
+
+void RenderExprJson(const Expr& e, std::ostream& os) {
+  os << "{\"label\":";
+  AppendJsonString(os, ExprLabel(e));
+  os << ",\"kind\":";
+  AppendJsonString(os, xquery::ExprKindName(e.kind));
+  os << ",\"children\":[";
+  bool first = true;
+  auto emit_labeled = [&](const std::string& label, const Expr* child) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"label\":";
+    AppendJsonString(os, label);
+    os << ",\"children\":[";
+    if (child != nullptr) RenderExprJson(*child, os);
+    os << "]}";
+  };
+  if (e.kind == ExprKind::kFLWOR) {
+    for (const auto& cl : e.clauses) {
+      emit_labeled(ClauseLabel(cl), cl.expr.get());
+    }
+    emit_labeled("return",
+                 e.children.empty() ? nullptr : e.children[0].get());
+  } else {
+    for (const auto& c : e.children) {
+      if (!c) continue;
+      if (!first) os << ",";
+      first = false;
+      RenderExprJson(*c, os);
+    }
+  }
+  os << "]}";
+}
+
+void RenderCompileHeader(const CompiledPlan& plan, std::ostream& os) {
+  os << "compile: parse=" << plan.parse_micros
+     << "us analyze=" << plan.analyze_micros
+     << "us optimize=" << plan.optimize_micros
+     << "us pushdown=" << plan.pushdown_micros << "us\n";
+  os << "pushdown: " << plan.pushdown.regions_pushed << " region(s), "
+     << plan.pushdown.bare_scans_pushed << " bare scan(s), "
+     << plan.pushdown.outer_joins_pushed << " outer join(s), "
+     << plan.pushdown.custom_filters_pushed << " custom filter(s)\n";
+  if (!plan.called_functions.empty()) {
+    os << "calls:";
+    for (const auto& f : plan.called_functions) os << " " << f;
+    os << "\n";
+  }
+}
+
+void RenderCompileJson(const CompiledPlan& plan, std::ostream& os) {
+  os << "\"compile\":{\"parse_micros\":" << plan.parse_micros
+     << ",\"analyze_micros\":" << plan.analyze_micros
+     << ",\"optimize_micros\":" << plan.optimize_micros
+     << ",\"pushdown_micros\":" << plan.pushdown_micros
+     << "},\"pushdown\":{\"regions\":" << plan.pushdown.regions_pushed
+     << ",\"bare_scans\":" << plan.pushdown.bare_scans_pushed
+     << ",\"outer_joins\":" << plan.pushdown.outer_joins_pushed
+     << ",\"exists\":" << plan.pushdown.exists_pushed
+     << ",\"ranges\":" << plan.pushdown.ranges_pushed
+     << ",\"custom_filters\":" << plan.pushdown.custom_filters_pushed
+     << "}";
+}
+
+// ----- Profile rendering -------------------------------------------------
+
+std::string SpanLine(const QueryTrace::Span& span) {
+  std::ostringstream os;
+  os << span.kind;
+  if (!span.detail.empty()) os << " (" << span.detail << ")";
+  os << "  rows=" << span.rows << " time=" << span.micros << "us";
+  if (span.bytes > 0) os << " bytes=" << span.bytes;
+  if (!span.finished) os << " [unfinished]";
+  return os.str();
+}
+
+std::string EventLine(const QueryTrace::Event& event) {
+  std::ostringstream os;
+  os << "* " << QueryTrace::EventKindName(event.kind);
+  if (!event.source.empty()) os << "[" << event.source << "]";
+  if (!event.detail.empty()) os << " " << event.detail;
+  os << "  rows=" << event.rows << " time=" << event.micros << "us";
+  return os.str();
+}
+
+struct ProfileIndex {
+  std::map<int, std::vector<int>> span_children;   // parent -> span ids
+  std::map<int, std::vector<size_t>> span_events;  // span id -> event idx
+  std::vector<QueryTrace::Span> spans;
+  std::vector<QueryTrace::Event> events;
+
+  explicit ProfileIndex(const QueryTrace& trace)
+      : spans(trace.spans()), events(trace.events()) {
+    for (const auto& span : spans) {
+      span_children[span.parent].push_back(span.id);
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+      span_events[events[i].span].push_back(i);
+    }
+  }
+};
+
+void RenderSpanText(const ProfileIndex& index, int id,
+                    const std::string& indent, std::ostream& os) {
+  os << indent << SpanLine(index.spans[id]) << "\n";
+  auto ev = index.span_events.find(id);
+  if (ev != index.span_events.end()) {
+    for (size_t i : ev->second) {
+      os << indent << "  " << EventLine(index.events[i]) << "\n";
+    }
+  }
+  auto children = index.span_children.find(id);
+  if (children != index.span_children.end()) {
+    for (int child : children->second) {
+      RenderSpanText(index, child, indent + "  ", os);
+    }
+  }
+}
+
+void RenderEventJson(const QueryTrace::Event& event, std::ostream& os) {
+  os << "{\"kind\":";
+  AppendJsonString(os, QueryTrace::EventKindName(event.kind));
+  os << ",\"source\":";
+  AppendJsonString(os, event.source);
+  os << ",\"detail\":";
+  AppendJsonString(os, event.detail);
+  if (!event.table.empty()) {
+    os << ",\"table\":";
+    AppendJsonString(os, event.table);
+  }
+  os << ",\"rows\":" << event.rows << ",\"micros\":" << event.micros << "}";
+}
+
+void RenderSpanJson(const ProfileIndex& index, int id, std::ostream& os) {
+  const QueryTrace::Span& span = index.spans[id];
+  os << "{\"kind\":";
+  AppendJsonString(os, span.kind);
+  os << ",\"detail\":";
+  AppendJsonString(os, span.detail);
+  os << ",\"rows\":" << span.rows << ",\"micros\":" << span.micros
+     << ",\"bytes\":" << span.bytes
+     << ",\"finished\":" << (span.finished ? "true" : "false")
+     << ",\"events\":[";
+  bool first = true;
+  auto ev = index.span_events.find(id);
+  if (ev != index.span_events.end()) {
+    for (size_t i : ev->second) {
+      if (!first) os << ",";
+      first = false;
+      RenderEventJson(index.events[i], os);
+    }
+  }
+  os << "],\"children\":[";
+  first = true;
+  auto children = index.span_children.find(id);
+  if (children != index.span_children.end()) {
+    for (int child : children->second) {
+      if (!first) os << ",";
+      first = false;
+      RenderSpanJson(index, child, os);
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string RenderPlanText(const CompiledPlan& plan) {
+  std::ostringstream os;
+  os << "=== plan ===\n";
+  os << "query: " << plan.text << "\n";
+  RenderCompileHeader(plan, os);
+  if (plan.plan != nullptr) RenderExprText(*plan.plan, "", os);
+  return os.str();
+}
+
+std::string RenderPlanJson(const CompiledPlan& plan) {
+  std::ostringstream os;
+  os << "{\"query\":";
+  AppendJsonString(os, plan.text);
+  os << ",";
+  RenderCompileJson(plan, os);
+  os << ",\"plan\":";
+  if (plan.plan != nullptr) {
+    RenderExprJson(*plan.plan, os);
+  } else {
+    os << "null";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string RenderProfileText(const CompiledPlan& plan,
+                              const runtime::QueryTrace& trace) {
+  std::ostringstream os;
+  os << "=== profile ===\n";
+  os << "query: " << plan.text << "\n";
+  RenderCompileHeader(plan, os);
+  ProfileIndex index(trace);
+  auto roots = index.span_children.find(-1);
+  if (roots != index.span_children.end()) {
+    for (int id : roots->second) {
+      RenderSpanText(index, id, "", os);
+    }
+  }
+  // Events fired outside any span (e.g. from a plan without a FLWOR).
+  auto loose = index.span_events.find(-1);
+  if (loose != index.span_events.end()) {
+    for (size_t i : loose->second) {
+      os << EventLine(index.events[i]) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderProfileJson(const CompiledPlan& plan,
+                              const runtime::QueryTrace& trace) {
+  std::ostringstream os;
+  os << "{\"query\":";
+  AppendJsonString(os, plan.text);
+  os << ",";
+  RenderCompileJson(plan, os);
+  ProfileIndex index(trace);
+  os << ",\"spans\":[";
+  bool first = true;
+  auto roots = index.span_children.find(-1);
+  if (roots != index.span_children.end()) {
+    for (int id : roots->second) {
+      if (!first) os << ",";
+      first = false;
+      RenderSpanJson(index, id, os);
+    }
+  }
+  os << "],\"unattached_events\":[";
+  first = true;
+  auto loose = index.span_events.find(-1);
+  if (loose != index.span_events.end()) {
+    for (size_t i : loose->second) {
+      if (!first) os << ",";
+      first = false;
+      RenderEventJson(index.events[i], os);
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace aldsp::server

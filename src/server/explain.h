@@ -1,0 +1,30 @@
+#ifndef ALDSP_SERVER_EXPLAIN_H_
+#define ALDSP_SERVER_EXPLAIN_H_
+
+#include <string>
+
+#include "runtime/query_trace.h"
+#include "server/server.h"
+
+namespace aldsp::server {
+
+/// EXPLAIN: the compiled operator tree annotated with everything the
+/// compiler knows — per-phase compile micros, pushdown statistics, called
+/// functions, join methods with their PP-k parameters, and the SQL text
+/// of every pushed-down region (the paper's §4.1 query-plan view).
+std::string RenderPlanText(const CompiledPlan& plan);
+std::string RenderPlanJson(const CompiledPlan& plan);
+
+/// EXPLAIN ANALYZE: the executed span tree of one profiled run — rows,
+/// inclusive wall micros and materialized bytes per operator instance —
+/// with every source interaction (SQL issued, PP-k fetches, invocations,
+/// cache hits, timeouts, fail-overs) nested under the operator it fired
+/// in.
+std::string RenderProfileText(const CompiledPlan& plan,
+                              const runtime::QueryTrace& trace);
+std::string RenderProfileJson(const CompiledPlan& plan,
+                              const runtime::QueryTrace& trace);
+
+}  // namespace aldsp::server
+
+#endif  // ALDSP_SERVER_EXPLAIN_H_

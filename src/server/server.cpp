@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "server/explain.h"
+
 namespace aldsp::server {
 
 namespace {
@@ -51,6 +53,7 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
   // Observed-cost feedback loop (§9 roadmap): the runtime records source
   // behaviour; the optimizer consults it on the next compilation.
   ctx_.observed = &observed_;
+  ctx_.metrics = &metrics_;
   options_.optimizer.observed = &observed_;
 }
 
@@ -319,6 +322,95 @@ Status DataServicePlatform::ExecuteStream(
   // server-side streaming API; remote client APIs stay materialized to
   // keep them stateless).
   return runtime::EvaluateStream(*plan->plan, ctx_, sink);
+}
+
+Result<std::string> DataServicePlatform::Explain(const std::string& query) {
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Prepare(query));
+  return RenderPlanText(*plan);
+}
+
+Result<std::string> DataServicePlatform::ExplainJson(const std::string& query) {
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Prepare(query));
+  return RenderPlanJson(*plan);
+}
+
+Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
+    const std::string& query) {
+  ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
+                         Prepare(query));
+  ProfiledExecution out;
+  out.plan = plan;
+  out.trace = std::make_shared<runtime::QueryTrace>();
+  // A context copy carries the trace so concurrent unprofiled executions
+  // through ctx_ stay untraced.
+  runtime::RuntimeContext ctx = ctx_;
+  ctx.trace = out.trace.get();
+  int root = out.trace->BeginSpan("query", plan->text);
+  auto t0 = std::chrono::steady_clock::now();
+  Result<xml::Sequence> result = [&]() {
+    runtime::QueryTrace::Scope scope(out.trace.get(), root);
+    return runtime::Evaluate(*plan->plan, ctx);
+  }();
+  int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  out.trace->AddSpanMetrics(
+      root, result.ok() ? static_cast<int64_t>(result->size()) : 0, micros);
+  out.trace->EndSpan(root);
+  // Even a failed run made real source observations worth keeping.
+  out.trace->FeedObservedCost(&observed_);
+  if (!result.ok()) return result.status();
+  out.result = std::move(result).value();
+  return out;
+}
+
+runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
+  metrics_.SetCounter("runtime.source_invocations",
+                      stats_.source_invocations.load());
+  metrics_.SetCounter("runtime.sql_pushdowns", stats_.sql_pushdowns.load());
+  metrics_.SetCounter("runtime.join_probe_rows",
+                      stats_.join_probe_rows.load());
+  metrics_.SetCounter("runtime.ppk_blocks", stats_.ppk_blocks.load());
+  metrics_.SetCounter("runtime.async_tasks", stats_.async_tasks.load());
+  metrics_.SetCounter("runtime.timeouts_fired", stats_.timeouts_fired.load());
+  metrics_.SetCounter("runtime.failovers_fired",
+                      stats_.failovers_fired.load());
+  metrics_.SetCounter("runtime.group_sort_fallbacks",
+                      stats_.group_sort_fallbacks.load());
+  metrics_.SetCounter("runtime.streaming_groups",
+                      stats_.streaming_groups.load());
+  metrics_.SetCounter("runtime.peak_operator_bytes",
+                      stats_.peak_operator_bytes.load());
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+    metrics_.SetCounter("plan_cache.hits", plan_cache_hits_);
+    metrics_.SetCounter("plan_cache.misses", plan_cache_misses_);
+    metrics_.SetCounter("plan_cache.entries",
+                        static_cast<int64_t>(plan_cache_.size()));
+  }
+  metrics_.SetCounter("view_plan_cache.hits", view_cache_.hits());
+  metrics_.SetCounter("view_plan_cache.misses", view_cache_.misses());
+  metrics_.SetCounter("view_plan_cache.entries",
+                      static_cast<int64_t>(view_cache_.size()));
+  metrics_.SetCounter("function_cache.hits",
+                      function_cache_.stats().hits.load());
+  metrics_.SetCounter("function_cache.misses",
+                      function_cache_.stats().misses.load());
+  metrics_.SetCounter("function_cache.expirations",
+                      function_cache_.stats().expirations.load());
+  metrics_.SetCounter("function_cache.entries",
+                      static_cast<int64_t>(function_cache_.size()));
+  return metrics_.GetSnapshot();
+}
+
+std::string DataServicePlatform::MetricsText() {
+  return runtime::MetricsRegistry::RenderText(MetricsSnapshot());
+}
+
+std::string DataServicePlatform::MetricsJson() {
+  return runtime::MetricsRegistry::RenderJson(MetricsSnapshot());
 }
 
 void DataServicePlatform::ClearPlanCache() {

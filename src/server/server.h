@@ -49,6 +49,16 @@ struct ServerOptions {
   size_t view_plan_cache_size = 256;
 };
 
+/// The result of ExecuteProfiled: the materialized result plus the plan
+/// and the per-execution trace that RenderProfileText/Json merge into an
+/// EXPLAIN ANALYZE-style tree. The trace must outlive any evaluation a
+/// fn-bea:timeout abandoned (holding this struct does).
+struct ProfiledExecution {
+  xml::Sequence result;
+  std::shared_ptr<const CompiledPlan> plan;
+  std::shared_ptr<runtime::QueryTrace> trace;
+};
+
 /// The ALDSP server (paper Fig. 2): data service metadata, the query
 /// compiler (analysis, optimization, SQL pushdown), the plan cache, the
 /// runtime with its adaptor framework, and the mid-tier function cache.
@@ -169,6 +179,27 @@ class DataServicePlatform {
   Status ExecuteStream(const std::string& query,
                        const std::function<Status(const xml::Item&)>& sink);
 
+  // ----- Observability (EXPLAIN / PROFILE / metrics) -------------------
+
+  /// Compiles (or reuses) the plan and renders the annotated operator
+  /// tree: compile-phase micros, pushdown SQL, join methods. No execution.
+  Result<std::string> Explain(const std::string& query);
+  Result<std::string> ExplainJson(const std::string& query);
+
+  /// Executes with a per-execution QueryTrace attached: every operator
+  /// instance gets a span (rows, micros, bytes) and every source
+  /// interaction an event. The completed trace feeds the observed-cost
+  /// model, closing the §9 observe -> optimize loop; ordinary Execute
+  /// runs with a null trace and pays no instrumentation cost.
+  Result<ProfiledExecution> ExecuteProfiled(const std::string& query);
+
+  /// Server-wide metrics: per-source latency histograms recorded by the
+  /// runtime, with runtime/cache counters folded in at snapshot time.
+  runtime::MetricsRegistry& metrics() { return metrics_; }
+  runtime::MetricsRegistry::Snapshot MetricsSnapshot();
+  std::string MetricsText();
+  std::string MetricsJson();
+
   // ----- Introspection of internals (tests, benchmarks, console) ------
 
   compiler::FunctionTable& functions() { return functions_; }
@@ -201,6 +232,7 @@ class DataServicePlatform {
   runtime::AdaptorRegistry adaptors_;
   runtime::FunctionCache function_cache_;
   runtime::RuntimeStats stats_;
+  runtime::MetricsRegistry metrics_;
   runtime::RuntimeContext ctx_;
   optimizer::ViewPlanCache view_cache_;
   security::AccessControl access_control_;

@@ -110,6 +110,51 @@ TEST(ObservedCostIntegrationTest, AdaptsJoinMethodToObservedCardinalities) {
   EXPECT_EQ(r->size(), 21u);
 }
 
+TEST(ObservedCostIntegrationTest, ProfiledRunsAloneDriveAdaptation) {
+  // The §9 observe -> optimize loop closed by the profiler: cardinalities
+  // reach the observed-cost model exclusively through completed
+  // QueryTraces (ExecuteProfiled), with no manual Record* calls and no
+  // untraced Execute, and the next compilation adapts the join method.
+  DataServicePlatform platform;
+  auto db1 =
+      std::shared_ptr<relational::Database>(MakeCustomerDb(800, 0).release());
+  auto db2 = std::shared_ptr<relational::Database>(
+      aldsp::testing::MakeCreditCardDb(40).release());
+  ASSERT_TRUE(platform.RegisterRelationalSource("ns3", db1, "oracle").ok());
+  ASSERT_TRUE(platform.RegisterRelationalSource("ns2", db2, "oracle").ok());
+
+  auto cold = platform.Prepare(kCrossJoin);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const Clause* join = FindJoin((*cold)->plan);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->method, JoinMethod::kPPkIndexNestedLoop);
+
+  auto p1 = platform.ExecuteProfiled("fn:count(ns3:CUSTOMER())");
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  auto p2 = platform.ExecuteProfiled("fn:count(ns2:CREDIT_CARD())");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(platform.observed_cost().ObservedRows("customer_db", "CUSTOMER"),
+            800);
+  EXPECT_EQ(platform.observed_cost().ObservedRows("billing_db", "CREDIT_CARD"),
+            21);
+  // Each profiled scan was fed exactly once (trace replay only — the
+  // evaluator must not also record inline while a trace is attached).
+  EXPECT_EQ(
+      platform.observed_cost().TableStats("customer_db", "CUSTOMER").scans, 1);
+
+  platform.ClearPlanCache();
+  platform.view_plan_cache().Clear();
+  auto warm = platform.Prepare(kCrossJoin);
+  ASSERT_TRUE(warm.ok());
+  join = FindJoin((*warm)->plan);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->method, JoinMethod::kIndexNestedLoop)
+      << xquery::DebugString(*(*warm)->plan);
+  auto r = platform.ExecutePlan(**warm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 21u);
+}
+
 TEST(ObservedCostIntegrationTest, AdaptsBlockSizeToSelectiveOuter) {
   // Small CUSTOMER outer vs large ORDER-style inner: PP-k stays chosen
   // and the block size scales with the observed outer cardinality.
