@@ -1,0 +1,170 @@
+// Measures the PP-k block prefetcher (double buffering): the runtime
+// overlaps the next parameter block's round trip with mid-tier
+// consumption of the current block, so per-block wall clock approaches
+// max(round_trip, consumption) instead of their sum. The grid sweeps
+// block size x simulated round-trip latency with a fixed per-item
+// consumption cost in the streaming sink; every cell checks the
+// prefetched result is byte-identical to the non-prefetch baseline and
+// the paired timings land in BENCH_ppk_prefetch.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/analyzer.h"
+#include "optimizer/optimizer.h"
+#include "runtime/evaluator.h"
+#include "tests/e2e_fixture.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using aldsp::testing::RunningExample;
+using namespace aldsp;
+
+constexpr const char* kJoinQuery =
+    "for $c in ns3:CUSTOMER(), $o in ns3:ORDER() "
+    "where $c/CID eq $o/CID "
+    "return <CO>{fn:data($c/CID)}{fn:data($o/OID)}</CO>";
+
+constexpr int kCustomers = 200;
+constexpr int64_t kConsumeMicrosPerItem = 40;
+
+xquery::ExprPtr PlanWithK(RunningExample& env, int k) {
+  auto parsed = xquery::ParseExpression(kJoinQuery);
+  xquery::ExprPtr e = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  (void)analyzer.Analyze(e, {});
+  optimizer::OptimizerOptions options;
+  options.ppk_k = k;
+  options.cross_source_method = xquery::JoinMethod::kPPkIndexNestedLoop;
+  options.convert_ppk = true;
+  optimizer::Optimizer opt(&env.functions, &env.schemas, nullptr, options);
+  (void)opt.Optimize(e);
+  for (auto& cl : e->clauses) {
+    if (cl.kind == xquery::Clause::Kind::kJoin) {
+      cl.method = xquery::JoinMethod::kPPkIndexNestedLoop;
+      cl.ppk_block_size = k;
+    }
+  }
+  return e;
+}
+
+struct GridRow {
+  int k = 0;
+  int64_t roundtrip_us = 0;
+  int64_t blocks = 0;
+  double baseline_ms = 0;
+  double prefetch_ms = 0;
+  double speedup = 0;
+};
+
+std::vector<GridRow>& Rows() {
+  static std::vector<GridRow> rows;
+  return rows;
+}
+
+// Streams the plan with a fixed per-item consumption cost (the mid-tier
+// or client working on the current block) and returns the wall-clock
+// milliseconds plus the serialized result for the identity check.
+double TimedStream(RunningExample& env, const xquery::Expr& plan,
+                   std::string* serialized) {
+  serialized->clear();
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = runtime::EvaluateStream(plan, env.ctx, [&](const xml::Item& item) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kConsumeMicrosPerItem));
+    *serialized += xml::SerializeSequence(xml::Sequence{item});
+    return Status::OK();
+  });
+  auto t1 = std::chrono::steady_clock::now();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench: %s\n", s.ToString().c_str());
+    return -1;
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void BM_PPkPrefetch(benchmark::State& state) {
+  int64_t roundtrip = state.range(0);
+  int k = static_cast<int>(state.range(1));
+  RunningExample env(kCustomers, 3);
+  env.customer_db->latency_model().roundtrip_micros = roundtrip;
+  env.customer_db->latency_model().per_row_micros = 2;
+  env.customer_db->latency_model().sleep = true;
+  xquery::ExprPtr plan = PlanWithK(env, k);
+
+  GridRow row;
+  row.k = k;
+  row.roundtrip_us = roundtrip;
+  std::string baseline_result, prefetch_result;
+  for (auto _ : state) {
+    env.ctx.ppk_prefetch = false;
+    env.stats.Reset();
+    row.baseline_ms = TimedStream(env, *plan, &baseline_result);
+    row.blocks = env.stats.ppk_blocks.load();
+
+    env.ctx.ppk_prefetch = true;
+    row.prefetch_ms = TimedStream(env, *plan, &prefetch_result);
+  }
+  if (baseline_result != prefetch_result) {
+    state.SkipWithError("prefetch result differs from baseline");
+    return;
+  }
+  row.speedup = row.prefetch_ms > 0 ? row.baseline_ms / row.prefetch_ms : 0;
+  Rows().push_back(row);
+  state.counters["k"] = k;
+  state.counters["roundtrip_us"] = static_cast<double>(roundtrip);
+  state.counters["baseline_ms"] = row.baseline_ms;
+  state.counters["prefetch_ms"] = row.prefetch_ms;
+  state.counters["speedup"] = row.speedup;
+}
+
+// Round trips from sub-millisecond to the 5-10ms wide-area range the
+// acceptance criterion targets; k around the paper's default of 20.
+BENCHMARK(BM_PPkPrefetch)
+    ->ArgsProduct({{500, 2000, 5000, 10000}, {10, 20, 50}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void WriteGrid() {
+  const char* path = "BENCH_ppk_prefetch.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"ppk_prefetch\",\"customers\":%d,"
+               "\"consume_us_per_item\":%lld,\"rows\":[",
+               kCustomers,
+               static_cast<long long>(kConsumeMicrosPerItem));
+  for (size_t i = 0; i < Rows().size(); ++i) {
+    const GridRow& r = Rows()[i];
+    std::fprintf(f,
+                 "%s{\"k\":%d,\"roundtrip_us\":%lld,\"blocks\":%lld,"
+                 "\"baseline_ms\":%.3f,\"prefetch_ms\":%.3f,"
+                 "\"speedup\":%.3f}",
+                 i == 0 ? "" : ",", r.k, static_cast<long long>(r.roundtrip_us),
+                 static_cast<long long>(r.blocks), r.baseline_ms,
+                 r.prefetch_ms, r.speedup);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("prefetch grid written to %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteGrid();
+  return 0;
+}

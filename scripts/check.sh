@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest in the default build tree, then
 # repeat the test suite under AddressSanitizer/UndefinedBehaviorSanitizer
-# in a separate build tree. Run from anywhere; paths resolve to the repo.
+# in a separate build tree, and finally run the concurrency suites under
+# ThreadSanitizer. Run from anywhere; paths resolve to the repo.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,5 +20,20 @@ cmake -B "$repo/build-asan" -S "$repo" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+# The TSan gate covers the suites that exercise the worker pool and the
+# PP-k prefetcher (the shared-state paths). query_trace_test is excluded:
+# its timeout test deliberately abandons an evaluation past the end of
+# the test body, which is the documented fn-bea:timeout contract, not a
+# data race in the runtime.
+echo "== tier-1: TSan build + concurrency suites =="
+cmake -B "$repo/build-tsan" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs" \
+  --target physical_parity_test worker_pool_test join_methods_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
+  -R '^(physical_parity_test|worker_pool_test|join_methods_test)$'
 
 echo "== all checks passed =="

@@ -14,6 +14,8 @@
 
 namespace aldsp::runtime {
 
+class WorkerPool;
+
 /// Counters the benchmarks and the (future) observed-cost optimizer read.
 struct RuntimeStats {
   std::atomic<int64_t> source_invocations{0};
@@ -32,10 +34,10 @@ struct RuntimeStats {
 
   /// Zeroes every counter with explicit relaxed stores: counters are
   /// independent, so readers racing a Reset see each counter either
-  /// before or after its store, never a torn value. Reset must NOT race
-  /// with a running query's NotePeakBytes — its CAS loop can re-publish
-  /// a pre-reset maximum it already loaded — so call it only between
-  /// queries (benchmarks and tests do).
+  /// before or after its store, never a torn value. Safe to call while
+  /// queries run: NotePeakBytes revalidates against the reset generation
+  /// after publishing, so a maximum it loaded before the reset cannot
+  /// silently survive it.
   void Reset() {
     source_invocations.store(0, std::memory_order_relaxed);
     sql_pushdowns.store(0, std::memory_order_relaxed);
@@ -47,14 +49,27 @@ struct RuntimeStats {
     group_sort_fallbacks.store(0, std::memory_order_relaxed);
     streaming_groups.store(0, std::memory_order_relaxed);
     peak_operator_bytes.store(0, std::memory_order_relaxed);
+    reset_generation.fetch_add(1, std::memory_order_release);
   }
 
+  /// Raises the peak-bytes watermark to `bytes` if larger. Tolerant of a
+  /// concurrent Reset: after the CAS publishes, the generation is
+  /// re-checked and the publish retried, so the watermark a racing Reset
+  /// zeroed is re-applied (the operator reporting it is still live) and a
+  /// stale pre-reset maximum is never left behind.
   void NotePeakBytes(int64_t bytes) {
-    int64_t prev = peak_operator_bytes.load();
-    while (bytes > prev &&
-           !peak_operator_bytes.compare_exchange_weak(prev, bytes)) {
+    while (true) {
+      uint64_t gen = reset_generation.load(std::memory_order_acquire);
+      int64_t prev = peak_operator_bytes.load();
+      while (bytes > prev &&
+             !peak_operator_bytes.compare_exchange_weak(prev, bytes)) {
+      }
+      if (reset_generation.load(std::memory_order_acquire) == gen) return;
     }
   }
+
+  /// Bumped by Reset so NotePeakBytes can detect one racing with it.
+  std::atomic<uint64_t> reset_generation{0};
 };
 
 /// Everything the evaluator needs to execute a compiled plan: function
@@ -74,10 +89,19 @@ struct RuntimeContext {
   /// with a context copy pointing at a fresh trace.
   QueryTrace* trace = nullptr;
 
+  /// Bounded worker pool for fn-bea:async fan-out, timeout evaluation and
+  /// PP-k block prefetch. Null falls back to the process-wide
+  /// WorkerPool::Default(); the server wires its own pool (destroyed
+  /// first, so abandoned timeout tasks join while sources are alive).
+  WorkerPool* pool = nullptr;
+
   /// Maximum user-function call depth (recursion guard).
   int max_call_depth = 64;
   /// Representation for blocking-operator materialization (Fig. 4 knob).
   TupleRepr materialize_repr = TupleRepr::kArray;
+  /// Double-buffer PP-k parameter blocks: overlap the next block's
+  /// round trip with mid-tier consumption of the current one.
+  bool ppk_prefetch = true;
 };
 
 }  // namespace aldsp::runtime

@@ -4,15 +4,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <future>
+#include <memory>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 
 #include "common/string_util.h"
 #include "compiler/builtins.h"
 #include "relational/sql_ast.h"
-#include "runtime/tuple_repr.h"
+#include "runtime/physical/builder.h"
+#include "runtime/physical/operator.h"
+#include "runtime/worker_pool.h"
 #include "xml/node.h"
 
 namespace aldsp::runtime {
@@ -106,18 +107,6 @@ int64_t VirtualLatencyMark(relational::Database* db) {
 int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
   if (mark < 0) return 0;
   return db->stats().simulated_latency_micros.load() - mark;
-}
-
-// Orders two atomized singleton-or-empty sequences; empty sorts first.
-int OrderCompareKeys(const Sequence& a, const Sequence& b) {
-  if (a.empty() && b.empty()) return 0;
-  if (a.empty()) return -1;
-  if (b.empty()) return 1;
-  const AtomicValue& va = a.front().atomic();
-  const AtomicValue& vb = b.front().atomic();
-  auto c = va.Compare(vb);
-  if (c.ok()) return c.value();
-  return static_cast<int>(va.type()) - static_cast<int>(vb.type());
 }
 
 class Evaluator {
@@ -268,56 +257,59 @@ class Evaluator {
     }
   }
 
+  /// Result slot a worker-pool task fills; shared so an abandoned task
+  /// (never happens here — every child is waited on) could not dangle.
+  struct AsyncSlot {
+    Result<Sequence> result = Sequence{};
+  };
+
   // Evaluates children, running fn-bea:async children (and children
-  // containing hoistable async calls) concurrently, preserving order.
+  // containing hoistable async calls) concurrently on the bounded
+  // worker pool, preserving order. Task::Wait runs not-yet-started
+  // tasks inline on this thread, so nested async under a small pool
+  // cannot deadlock and never exceeds the pool's thread bound.
   Result<std::vector<Sequence>> EvalChildren(
       const std::vector<ExprPtr>& children, const Tuple& env, int depth) {
-    std::vector<std::future<Result<Sequence>>> futures(children.size());
+    WorkerPool& pool = WorkerPool::For(ctx_.pool);
+    std::vector<WorkerPool::Task> tasks(children.size());
+    std::vector<std::shared_ptr<AsyncSlot>> slots(children.size());
     std::vector<Sequence> results(children.size());
-    std::vector<bool> is_async(children.size(), false);
     // Worker threads have an empty scope stack; capture the launching
     // thread's innermost span so the async subtree's events attach there.
     int parent_span = QueryTrace::CurrentSpan(ctx_.trace);
+    auto launch = [&](size_t i, ExprPtr body) {
+      auto slot = std::make_shared<AsyncSlot>();
+      slots[i] = slot;
+      Tuple env_copy = env;
+      tasks[i] =
+          pool.Submit([this, body, env_copy, depth, parent_span, slot]() {
+            std::optional<QueryTrace::Scope> scope;
+            if (ctx_.trace != nullptr) {
+              scope.emplace(ctx_.trace, parent_span);
+            }
+            slot->result = Eval(*body, env_copy, depth + 1);
+          });
+    };
     for (size_t i = 0; i < children.size(); ++i) {
       const ExprPtr& c = children[i];
       if (IsAsyncCall(*c) && !c->children.empty()) {
-        is_async[i] = true;
         if (ctx_.stats != nullptr) ctx_.stats->async_tasks += 1;
         if (ctx_.trace != nullptr) {
           ctx_.trace->AddEvent(QueryTrace::EventKind::kAsyncTask, "",
                                "fn-bea:async", 0, 0);
         }
-        ExprPtr body = c->children[0];
-        Tuple env_copy = env;
-        futures[i] = std::async(std::launch::async,
-                                [this, body, env_copy, depth, parent_span]() {
-                                  std::optional<QueryTrace::Scope> scope;
-                                  if (ctx_.trace != nullptr) {
-                                    scope.emplace(ctx_.trace, parent_span);
-                                  }
-                                  return Eval(*body, env_copy, depth + 1);
-                                });
+        launch(i, c->children[0]);
       } else if (ContainsHoistableAsync(*c)) {
-        is_async[i] = true;
         if (ctx_.trace != nullptr) {
           ctx_.trace->AddEvent(QueryTrace::EventKind::kAsyncTask, "",
                                "hoisted async subtree", 0, 0);
         }
-        ExprPtr body = c;
-        Tuple env_copy = env;
-        futures[i] = std::async(std::launch::async,
-                                [this, body, env_copy, depth, parent_span]() {
-                                  std::optional<QueryTrace::Scope> scope;
-                                  if (ctx_.trace != nullptr) {
-                                    scope.emplace(ctx_.trace, parent_span);
-                                  }
-                                  return Eval(*body, env_copy, depth + 1);
-                                });
+        launch(i, c);
       }
     }
     Status first_error = Status::OK();
     for (size_t i = 0; i < children.size(); ++i) {
-      if (is_async[i]) continue;
+      if (tasks[i].valid()) continue;
       Result<Sequence> r = Eval(*children[i], env, depth);
       if (!r.ok()) {
         if (first_error.ok()) first_error = r.status();
@@ -326,8 +318,9 @@ class Evaluator {
       results[i] = std::move(r).value();
     }
     for (size_t i = 0; i < children.size(); ++i) {
-      if (!is_async[i]) continue;
-      Result<Sequence> r = futures[i].get();
+      if (!tasks[i].valid()) continue;
+      tasks[i].Wait();
+      Result<Sequence> r = std::move(slots[i]->result);
       if (!r.ok()) {
         if (first_error.ok()) first_error = r.status();
         continue;
@@ -598,152 +591,23 @@ class Evaluator {
     return true;
   }
 
-  // ----- FLWOR: tuple-stream pipeline ------------------------------------
+  // ----- FLWOR: physical operator tree -----------------------------------
 
-  class TupleStream {
+  /// Bridges physical operators back into this interpreter for scalar/XML
+  /// expression evaluation (key expressions, predicates, return bodies).
+  /// Stateless beyond (evaluator, depth), so the PP-k prefetcher may call
+  /// it from a worker thread concurrently with the driving thread.
+  class InterpreterShim final : public physical::ExprEvaluator {
    public:
-    virtual ~TupleStream() = default;
-    /// Fills `out` and returns true, or returns false at end of stream.
-    virtual Result<bool> Next(Tuple* out) = 0;
-  };
-
-  class SingletonStream : public TupleStream {
-   public:
-    explicit SingletonStream(Tuple t) : tuple_(std::move(t)) {}
-    Result<bool> Next(Tuple* out) override {
-      if (done_) return false;
-      done_ = true;
-      *out = tuple_;
-      return true;
-    }
-
-   private:
-    Tuple tuple_;
-    bool done_ = false;
-  };
-
-  class ForStream : public TupleStream {
-   public:
-    ForStream(Evaluator* ev, std::unique_ptr<TupleStream> in,
-              const Clause& cl, int depth)
-        : ev_(ev), in_(std::move(in)), cl_(cl), depth_(depth) {}
-    Result<bool> Next(Tuple* out) override {
-      while (true) {
-        if (pos_ < items_.size()) {
-          Tuple t = current_.Bind(cl_.var, Sequence{items_[pos_]});
-          if (!cl_.positional_var.empty()) {
-            t = t.Bind(cl_.positional_var,
-                       Sequence{Item(AtomicValue::Integer(
-                           static_cast<int64_t>(pos_ + 1)))});
-          }
-          ++pos_;
-          *out = std::move(t);
-          return true;
-        }
-        ALDSP_ASSIGN_OR_RETURN(bool more, in_->Next(&current_));
-        if (!more) return false;
-        ALDSP_ASSIGN_OR_RETURN(Sequence seq,
-                               ev_->Eval(*cl_.expr, current_, depth_));
-        items_ = std::move(seq);
-        pos_ = 0;
-      }
+    InterpreterShim(Evaluator* ev, int depth) : ev_(ev), depth_(depth) {}
+    Result<Sequence> EvalExpr(const Expr& e, const Tuple& env) override {
+      return ev_->Eval(e, env, depth_);
     }
 
    private:
     Evaluator* ev_;
-    std::unique_ptr<TupleStream> in_;
-    const Clause& cl_;
-    int depth_;
-    Tuple current_;
-    Sequence items_;
-    size_t pos_ = 0;
-  };
-
-  class LetStream : public TupleStream {
-   public:
-    LetStream(Evaluator* ev, std::unique_ptr<TupleStream> in, const Clause& cl,
-              int depth)
-        : ev_(ev), in_(std::move(in)), cl_(cl), depth_(depth) {}
-    Result<bool> Next(Tuple* out) override {
-      Tuple t;
-      ALDSP_ASSIGN_OR_RETURN(bool more, in_->Next(&t));
-      if (!more) return false;
-      ALDSP_ASSIGN_OR_RETURN(Sequence v, ev_->Eval(*cl_.expr, t, depth_));
-      *out = t.Bind(cl_.var, std::move(v));
-      return true;
-    }
-
-   private:
-    Evaluator* ev_;
-    std::unique_ptr<TupleStream> in_;
-    const Clause& cl_;
     int depth_;
   };
-
-  class WhereStream : public TupleStream {
-   public:
-    WhereStream(Evaluator* ev, std::unique_ptr<TupleStream> in,
-                const Clause& cl, int depth)
-        : ev_(ev), in_(std::move(in)), cl_(cl), depth_(depth) {}
-    Result<bool> Next(Tuple* out) override {
-      while (true) {
-        Tuple t;
-        ALDSP_ASSIGN_OR_RETURN(bool more, in_->Next(&t));
-        if (!more) return false;
-        ALDSP_ASSIGN_OR_RETURN(Sequence c, ev_->Eval(*cl_.expr, t, depth_));
-        ALDSP_ASSIGN_OR_RETURN(bool keep, xml::EffectiveBooleanValue(c));
-        if (keep) {
-          *out = std::move(t);
-          return true;
-        }
-      }
-    }
-
-   private:
-    Evaluator* ev_;
-    std::unique_ptr<TupleStream> in_;
-    const Clause& cl_;
-    int depth_;
-  };
-
-  // Wraps one pipeline stage when a QueryTrace is attached: every Next()
-  // is timed (inclusive of the input chain, EXPLAIN ANALYZE style),
-  // produced tuples are counted, and the stage's span becomes the calling
-  // thread's scope so source events fired inside Next() attach to it.
-  // Metrics flush in the destructor, which also covers early termination
-  // (a failed Next or an abandoned stream still reports partial counts).
-  class TracedStream : public TupleStream {
-   public:
-    TracedStream(std::unique_ptr<TupleStream> in, QueryTrace* trace, int span)
-        : in_(std::move(in)), trace_(trace), span_(span) {}
-    ~TracedStream() override {
-      trace_->AddSpanMetrics(span_, rows_, micros_);
-      trace_->EndSpan(span_);
-    }
-    Result<bool> Next(Tuple* out) override {
-      QueryTrace::Scope scope(trace_, span_);
-      auto t0 = std::chrono::steady_clock::now();
-      Result<bool> r = in_->Next(out);
-      micros_ += MicrosSince(t0);
-      if (r.ok() && r.value()) ++rows_;
-      return r;
-    }
-
-   private:
-    std::unique_ptr<TupleStream> in_;
-    QueryTrace* trace_;
-    int span_;
-    int64_t rows_ = 0;
-    int64_t micros_ = 0;
-  };
-
-  class JoinStream;   // defined below (needs Evaluator internals)
-  class GroupStream;  // defined below
-  class OrderStream;  // defined below
-
-  Result<std::unique_ptr<TupleStream>> BuildPipeline(const Expr& flwor,
-                                                     const Tuple& env,
-                                                     int depth);
 
   Result<Sequence> EvalFLWOR(const Expr& e, const Tuple& env, int depth) {
     int span = -1;
@@ -754,27 +618,32 @@ class Evaluator {
       scope.emplace(ctx_.trace, span);
     }
     Sequence out;
-    {
-      ALDSP_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
-                             BuildPipeline(e, env, depth));
+    InterpreterShim shim(this, depth);
+    physical::ExecEnv xenv{&ctx_, &shim, env};
+    std::unique_ptr<physical::PhysicalOperator> plan = physical::BuildPlan(e);
+    Status result = [&]() -> Status {
+      ALDSP_RETURN_NOT_OK(plan->Open(&xenv));
       Tuple t;
       while (true) {
-        ALDSP_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
-        if (!more) break;
-        ALDSP_ASSIGN_OR_RETURN(Sequence v, Eval(*e.children[0], t, depth));
-        xml::AppendSequence(out, v);
+        ALDSP_ASSIGN_OR_RETURN(bool more, plan->Next(&t));
+        if (!more) return Status::OK();
+        const Sequence* v = t.Lookup(physical::kResultBinding);
+        if (v != nullptr) xml::AppendSequence(out, *v);
       }
-    }
+    }();
+    plan->Close();
     if (ctx_.trace != nullptr) {
       ctx_.trace->AddSpanMetrics(span, static_cast<int64_t>(out.size()),
                                  MicrosSince(t0));
       ctx_.trace->EndSpan(span);
     }
+    if (!result.ok()) return result;
     return out;
   }
 
  public:
-  // Streaming FLWOR: one tuple at a time, items delivered as produced.
+  // Streaming FLWOR: one tuple at a time through the operator tree,
+  // items delivered as produced.
   Status StreamFLWOR(const Expr& e, const Tuple& env,
                      const std::function<Status(const Item&)>& sink) {
     int span = -1;
@@ -785,20 +654,24 @@ class Evaluator {
       scope.emplace(ctx_.trace, span);
     }
     int64_t produced = 0;
+    InterpreterShim shim(this, 0);
+    physical::ExecEnv xenv{&ctx_, &shim, env};
+    std::unique_ptr<physical::PhysicalOperator> plan = physical::BuildPlan(e);
     Status result = [&]() -> Status {
-      ALDSP_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
-                             BuildPipeline(e, env, 0));
+      ALDSP_RETURN_NOT_OK(plan->Open(&xenv));
       Tuple t;
       while (true) {
-        ALDSP_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
+        ALDSP_ASSIGN_OR_RETURN(bool more, plan->Next(&t));
         if (!more) return Status::OK();
-        ALDSP_ASSIGN_OR_RETURN(Sequence v, Eval(*e.children[0], t, 0));
-        for (const auto& item : v) {
+        const Sequence* v = t.Lookup(physical::kResultBinding);
+        if (v == nullptr) continue;
+        for (const auto& item : *v) {
           ALDSP_RETURN_NOT_OK(sink(item));
           ++produced;
         }
       }
     }();
+    plan->Close();
     if (ctx_.trace != nullptr) {
       ctx_.trace->AddSpanMetrics(span, produced, MicrosSince(t0));
       ctx_.trace->EndSpan(span);
@@ -1010,17 +883,12 @@ class Evaluator {
                                    int depth, int64_t millis);
 
   const RuntimeContext& ctx_;
-
-  friend class JoinStream;
-  friend class GroupStream;
-  friend class OrderStream;
 };
 
-// The join/group/order streams and the builtin library are defined in
-// .inc files included here so they share this translation unit's
-// anonymous-namespace Evaluator definition while keeping file sizes
-// reviewable (Google style allows .inc for such deliberate inclusion).
-#include "runtime/evaluator_flwor.inc"
+// The builtin library is defined in an .inc file included here so it
+// shares this translation unit's anonymous-namespace Evaluator definition
+// while keeping file sizes reviewable (Google style allows .inc for such
+// deliberate inclusion).
 #include "runtime/evaluator_builtins.inc"
 
 }  // namespace

@@ -13,15 +13,19 @@ namespace aldsp::runtime {
 
 /// Evaluates an analyzed (and typically optimized) expression tree
 /// against a variable environment. This is the ALDSP runtime system's
-/// entry point: FLWOR expressions execute as tuple-stream pipelines with
-/// the paper's operator repertoire — for/let/where, the four cross-source
+/// entry point: a FLWOR root is lowered through physical::BuildPlan into
+/// an Open/Next/Close operator tree (src/runtime/physical/) covering the
+/// paper's operator repertoire — for/let/where, the four cross-source
 /// join methods (nested loop, index nested loop, PP-k over both), the
 /// streaming pre-clustered group operator with sort fallback, order-by,
-/// and pushed-down SQL regions executed through relational adaptors.
+/// and pushed-down SQL regions executed through relational adaptors —
+/// while non-FLWOR expressions take the interpreter path directly.
+/// EXPLAIN renders the same tree's descriptors; PROFILE its trace spans.
 ///
-/// fn-bea:async arguments inside element constructors and sequences are
-/// evaluated concurrently on worker threads (paper §5.4); fn-bea:timeout
-/// and fn-bea:fail-over implement the §5.6 fail-over semantics. The
+/// fn-bea:async arguments inside element constructors and sequences,
+/// fn-bea:timeout bodies and the PP-k block prefetcher all run on the
+/// context's bounded WorkerPool (paper §5.4/§5.6); fn-bea:timeout and
+/// fn-bea:fail-over implement the §5.6 fail-over semantics. The
 /// RuntimeContext must outlive any in-flight timeout evaluations.
 Result<xml::Sequence> Evaluate(const xquery::Expr& expr, const Tuple& env,
                                const RuntimeContext& ctx);

@@ -1,0 +1,26 @@
+#ifndef ALDSP_RUNTIME_PHYSICAL_BUILDER_H_
+#define ALDSP_RUNTIME_PHYSICAL_BUILDER_H_
+
+#include <memory>
+
+#include "runtime/physical/operator.h"
+
+namespace aldsp::runtime::physical {
+
+/// Lowers an analyzed+optimized FLWOR expression into a physical operator
+/// tree: SingletonSource, then one operator per clause — ForScan (or
+/// SqlRegionScan when the binding expression is a pushed SQL region),
+/// LetBind, Filter, one of the four join operators (kAuto resolves to
+/// NL/INL on equi-key availability; PP-k without a fetch plan or equi
+/// keys degrades the same way the interpreter did), StreamGroupBy (with
+/// sort fallback), OrderBy — capped by Return, which evaluates the return
+/// expression per tuple and binds it to kResultBinding.
+///
+/// Pure lowering: no RuntimeContext and no source access, so EXPLAIN can
+/// build (and describe) the exact tree that would execute. `flwor` must
+/// outlive the returned tree.
+std::unique_ptr<PhysicalOperator> BuildPlan(const xquery::Expr& flwor);
+
+}  // namespace aldsp::runtime::physical
+
+#endif  // ALDSP_RUNTIME_PHYSICAL_BUILDER_H_

@@ -1,0 +1,1015 @@
+// The physical operator repertoire (paper §5.2) and the lowering from
+// analyzed+optimized FLWOR clauses to operator trees: nested loop, index
+// nested loop, and PP-k joins (with the double-buffered block
+// prefetcher), streaming group-by with sort fallback (§4.2), order-by,
+// for/let/where scans, and pushed SQL region scans.
+
+#include "runtime/physical/builder.h"
+#include "runtime/physical/operator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "relational/sql_ast.h"
+#include "runtime/evaluator.h"
+#include "runtime/tuple_repr.h"
+#include "runtime/worker_pool.h"
+#include "xml/node.h"
+
+namespace aldsp::runtime::physical {
+
+namespace {
+
+using relational::Cell;
+using xml::AtomicValue;
+using xml::Item;
+using xml::Sequence;
+using xquery::Clause;
+using xquery::Expr;
+using xquery::ExprKind;
+using xquery::ExprPtr;
+using xquery::JoinMethod;
+
+int64_t MicrosSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Snapshot of a source's simulated-latency clock: when the LatencyModel
+// runs in virtual time (sleep == false) the wall clock misses the
+// modeled round trips, so trace events fold in the clock's growth.
+int64_t VirtualLatencyMark(relational::Database* db) {
+  if (db == nullptr || db->latency_model().sleep) return -1;
+  return db->stats().simulated_latency_micros.load();
+}
+
+int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
+  if (mark < 0) return 0;
+  return db->stats().simulated_latency_micros.load() - mark;
+}
+
+// Orders two atomized singleton-or-empty sequences; empty sorts first.
+int OrderCompareKeys(const Sequence& a, const Sequence& b) {
+  if (a.empty() && b.empty()) return 0;
+  if (a.empty()) return -1;
+  if (b.empty()) return 1;
+  const AtomicValue& va = a.front().atomic();
+  const AtomicValue& vb = b.front().atomic();
+  auto c = va.Compare(vb);
+  if (c.ok()) return c.value();
+  return static_cast<int>(va.type()) - static_cast<int>(vb.type());
+}
+
+}  // namespace
+
+// ----- PhysicalOperator base ---------------------------------------------
+
+PhysicalOperator::PhysicalOperator(std::unique_ptr<PhysicalOperator> input,
+                                   std::string label, std::string span_detail)
+    : input_(std::move(input)), span_detail_(std::move(span_detail)) {
+  explain_.label = std::move(label);
+  explain_.detail = span_detail_;
+}
+
+PhysicalOperator::~PhysicalOperator() { FlushSpan(); }
+
+Status PhysicalOperator::Open(ExecEnv* env) {
+  env_ = env;
+  trace_ = env->ctx->trace;
+  if (input_ != nullptr) ALDSP_RETURN_NOT_OK(input_->Open(env));
+  // Spans begin in pipeline order (input first), all parented on the
+  // calling thread's innermost scope — the enclosing flwor span.
+  if (trace_ != nullptr && !explain_.label.empty()) {
+    span_ = trace_->BeginSpan(explain_.label, span_detail_);
+  }
+  opened_ = true;
+  return OpenImpl();
+}
+
+Result<bool> PhysicalOperator::Next(Tuple* out) {
+  if (span_ < 0) {
+    Result<bool> r = NextImpl(out);
+    if (r.ok() && r.value()) ++rows_;
+    return r;
+  }
+  // Timed inclusive of the input chain (EXPLAIN ANALYZE style); the span
+  // becomes the thread's scope so source events inside attach to it.
+  QueryTrace::Scope scope(trace_, span_);
+  auto t0 = std::chrono::steady_clock::now();
+  Result<bool> r = NextImpl(out);
+  micros_ += MicrosSince(t0);
+  if (r.ok() && r.value()) ++rows_;
+  return r;
+}
+
+void PhysicalOperator::Close() {
+  if (!opened_) return;
+  opened_ = false;
+  CloseImpl();
+  if (input_ != nullptr) input_->Close();
+  FlushSpan();
+}
+
+void PhysicalOperator::FlushSpan() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (trace_ != nullptr && span_ >= 0) {
+    trace_->AddSpanMetrics(span_, rows_, micros_);
+    trace_->EndSpan(span_);
+  }
+}
+
+void PhysicalOperator::Describe(std::vector<ExplainNode>* out) const {
+  if (input_ != nullptr) input_->Describe(out);
+  if (!explain_.label.empty()) out->push_back(explain_);
+}
+
+void PhysicalOperator::NoteOperatorBytes(int64_t bytes) {
+  if (ctx()->stats != nullptr) ctx()->stats->NotePeakBytes(bytes);
+  if (trace_ != nullptr && span_ >= 0) trace_->AddSpanBytes(span_, bytes);
+}
+
+namespace {
+
+// ----- Leaf / pipelined operators ----------------------------------------
+
+/// Emits the FLWOR's base environment exactly once. Invisible in traces
+/// and EXPLAIN (empty label), like the interpreter's singleton stream.
+class SingletonSourceOp final : public PhysicalOperator {
+ public:
+  SingletonSourceOp() : PhysicalOperator(nullptr, "") {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = base_env();
+    return true;
+  }
+
+ private:
+  bool done_ = false;
+};
+
+/// `for $v [at $p] in expr`: iterates the binding sequence per input
+/// tuple, binding the item (and 1-based position).
+class ForScanOp : public PhysicalOperator {
+ public:
+  ForScanOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+            std::string label)
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    while (true) {
+      if (pos_ < items_.size()) {
+        Tuple t = current_.Bind(cl_.var, Sequence{items_[pos_]});
+        if (!cl_.positional_var.empty()) {
+          t = t.Bind(cl_.positional_var,
+                     Sequence{Item(AtomicValue::Integer(
+                         static_cast<int64_t>(pos_ + 1)))});
+        }
+        ++pos_;
+        *out = std::move(t);
+        return true;
+      }
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&current_));
+      if (!more) return false;
+      ALDSP_ASSIGN_OR_RETURN(Sequence seq, eval()->EvalExpr(*cl_.expr, current_));
+      items_ = std::move(seq);
+      pos_ = 0;
+    }
+  }
+
+ private:
+  const Clause& cl_;
+  Tuple current_;
+  Sequence items_;
+  size_t pos_ = 0;
+};
+
+/// A ForScan whose binding expression is a pushed-down SQL region
+/// (paper §4.4): the scan's rows come from one generated statement
+/// executed through the relational adaptor. Execution is inherited —
+/// the SQL region evaluates through the interpreter's kSqlQuery path —
+/// but the plan names it distinctly so EXPLAIN shows the region boundary.
+class SqlRegionScanOp final : public ForScanOp {
+ public:
+  using ForScanOp::ForScanOp;
+};
+
+/// `let $v := expr`: binds the full sequence without iterating it.
+class LetBindOp final : public PhysicalOperator {
+ public:
+  LetBindOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+            std::string label)
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    Tuple t;
+    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+    if (!more) return false;
+    ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*cl_.expr, t));
+    *out = t.Bind(cl_.var, std::move(v));
+    return true;
+  }
+
+ private:
+  const Clause& cl_;
+};
+
+/// `where expr`: passes tuples whose effective boolean value is true.
+class FilterOp final : public PhysicalOperator {
+ public:
+  FilterOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+           std::string label)
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    while (true) {
+      Tuple t;
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      if (!more) return false;
+      ALDSP_ASSIGN_OR_RETURN(Sequence c, eval()->EvalExpr(*cl_.expr, t));
+      ALDSP_ASSIGN_OR_RETURN(bool keep, xml::EffectiveBooleanValue(c));
+      if (keep) {
+        *out = std::move(t);
+        return true;
+      }
+    }
+  }
+
+ private:
+  const Clause& cl_;
+};
+
+// ----- Join operators (paper §5.2) ---------------------------------------
+
+/// Shared machinery for the join repertoire: equi-key encoding, residual
+/// conditions, the per-left probe (including the left-outer null row),
+/// and the pending-output buffer subclasses refill a batch at a time.
+class JoinOpBase : public PhysicalOperator {
+ public:
+  JoinOpBase(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+             JoinMethod method, std::string label, std::string span_detail)
+      : PhysicalOperator(std::move(input), std::move(label),
+                         std::move(span_detail)),
+        cl_(cl),
+        method_(method) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    while (true) {
+      if (pending_pos_ < pending_.size()) {
+        *out = std::move(pending_[pending_pos_++]);
+        return true;
+      }
+      pending_.clear();
+      pending_pos_ = 0;
+      ALDSP_ASSIGN_OR_RETURN(bool more, Refill());
+      if (!more) return false;
+    }
+  }
+
+  /// Produces the next batch of joined tuples into pending(); returns
+  /// false when the input is exhausted.
+  virtual Result<bool> Refill() = 0;
+
+  std::vector<Tuple>* pending() { return &pending_; }
+
+  // Evaluates a key expression to its atomized value sequence.
+  Result<Sequence> EvalKey(const ExprPtr& expr, const Tuple& env) {
+    ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*expr, env));
+    return xml::Atomize(v);
+  }
+
+  Result<std::string> LeftKey(const Tuple& left, bool* has_empty) {
+    std::string key;
+    *has_empty = false;
+    for (const auto& [le, re] : cl_.equi_keys) {
+      ALDSP_ASSIGN_OR_RETURN(Sequence k, EvalKey(le, left));
+      if (k.empty()) *has_empty = true;
+      key += EncodeAtomicSequence(k);
+      key += '\x1e';
+    }
+    return key;
+  }
+
+  Result<std::string> RightKey(const Item& item, bool* has_empty) {
+    Tuple env = base_env().Bind(cl_.var, Sequence{item});
+    std::string key;
+    *has_empty = false;
+    for (const auto& [le, re] : cl_.equi_keys) {
+      ALDSP_ASSIGN_OR_RETURN(Sequence k, EvalKey(re, env));
+      if (k.empty()) *has_empty = true;
+      key += EncodeAtomicSequence(k);
+      key += '\x1e';
+    }
+    return key;
+  }
+
+  // Checks residual condition with the join variable bound.
+  Result<bool> Residual(const Tuple& joined) {
+    if (!cl_.condition) return true;
+    ALDSP_ASSIGN_OR_RETURN(Sequence c, eval()->EvalExpr(*cl_.condition, joined));
+    return xml::EffectiveBooleanValue(c);
+  }
+
+  // For plain NL, the equi keys must also be verified per combination.
+  Result<bool> EquiMatch(const Tuple& joined) {
+    for (const auto& [le, re] : cl_.equi_keys) {
+      ALDSP_ASSIGN_OR_RETURN(Sequence l, EvalKey(le, joined));
+      ALDSP_ASSIGN_OR_RETURN(Sequence r, EvalKey(re, joined));
+      if (l.empty() || r.empty()) return false;
+      if (EncodeAtomicSequence(l) != EncodeAtomicSequence(r)) return false;
+    }
+    return true;
+  }
+
+  // Joins one left tuple against a set of right items using the current
+  // method (NL or INL), appending matches (and the outer-join null row).
+  Status JoinOneLeft(const Tuple& left, const Sequence& right,
+                     std::vector<Tuple>* out,
+                     const std::unordered_map<std::string, std::vector<size_t>>*
+                         index = nullptr) {
+    bool matched = false;
+    auto try_item = [&](const Item& item) -> Status {
+      Tuple joined = left.Bind(cl_.var, Sequence{item});
+      if (ctx()->stats != nullptr) ctx()->stats->join_probe_rows += 1;
+      if (index == nullptr &&
+          (method_ == JoinMethod::kNestedLoop ||
+           method_ == JoinMethod::kPPkNestedLoop)) {
+        ALDSP_ASSIGN_OR_RETURN(bool em, EquiMatch(joined));
+        if (!em) return Status::OK();
+      }
+      ALDSP_ASSIGN_OR_RETURN(bool ok, Residual(joined));
+      if (ok) {
+        matched = true;
+        out->push_back(std::move(joined));
+      }
+      return Status::OK();
+    };
+    if (index != nullptr) {
+      bool has_empty;
+      ALDSP_ASSIGN_OR_RETURN(std::string key, LeftKey(left, &has_empty));
+      if (!has_empty) {
+        auto it = index->find(key);
+        if (it != index->end()) {
+          for (size_t i : it->second) {
+            ALDSP_RETURN_NOT_OK(try_item(right[i]));
+          }
+        }
+      }
+    } else {
+      for (const auto& item : right) {
+        ALDSP_RETURN_NOT_OK(try_item(item));
+      }
+    }
+    if (!matched && cl_.left_outer) {
+      out->push_back(left.Bind(cl_.var, Sequence{}));
+    }
+    return Status::OK();
+  }
+
+  const Clause& cl() const { return cl_; }
+  JoinMethod method() const { return method_; }
+
+ private:
+  const Clause& cl_;
+  JoinMethod method_;
+  std::vector<Tuple> pending_;
+  size_t pending_pos_ = 0;
+};
+
+/// Nested loop and index nested loop joins: the right side materializes
+/// once (INL also builds a hash index on the equi keys), then each left
+/// tuple probes it.
+class NestedLoopJoinOp : public JoinOpBase {
+ public:
+  using JoinOpBase::JoinOpBase;
+
+ protected:
+  Result<bool> Refill() override {
+    ALDSP_RETURN_NOT_OK(EnsureRightMaterialized());
+    Tuple left;
+    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&left));
+    if (!more) return false;
+    const auto* idx =
+        method() == JoinMethod::kIndexNestedLoop ? &index_ : nullptr;
+    ALDSP_RETURN_NOT_OK(JoinOneLeft(left, right_items_, pending(), idx));
+    return true;
+  }
+
+ private:
+  Status EnsureRightMaterialized() {
+    if (right_ready_) return Status::OK();
+    ALDSP_ASSIGN_OR_RETURN(Sequence items,
+                           eval()->EvalExpr(*cl().expr, base_env()));
+    right_items_ = std::move(items);
+    NoteOperatorBytes(
+        static_cast<int64_t>(xml::SequenceMemoryBytes(right_items_)));
+    if (method() == JoinMethod::kIndexNestedLoop) {
+      for (size_t i = 0; i < right_items_.size(); ++i) {
+        bool has_empty;
+        ALDSP_ASSIGN_OR_RETURN(std::string key,
+                               RightKey(right_items_[i], &has_empty));
+        if (!has_empty) index_[key].push_back(i);
+      }
+    }
+    right_ready_ = true;
+    return Status::OK();
+  }
+
+  bool right_ready_ = false;
+  Sequence right_items_;
+  std::unordered_map<std::string, std::vector<size_t>> index_;
+};
+
+/// INL is NL with the index switched on; a distinct type keeps the
+/// operator inventory explicit in the plan.
+class IndexNLJoinOp final : public NestedLoopJoinOp {
+ public:
+  using NestedLoopJoinOp::NestedLoopJoinOp;
+};
+
+/// PP-k join (paper §4.2): pulls up to k left tuples, issues one
+/// disjunctive (IN-list) fetch for the block, and joins in the mid-tier.
+///
+/// With ctx.ppk_prefetch (default), blocks are double-buffered: while the
+/// mid-tier joins and downstream consumes block N, a worker-pool task is
+/// already reading block N+1's left tuples and running its round trip.
+/// Exactly one fetch task is ever outstanding, and the task is the sole
+/// user of the upstream input while it runs (the main thread drains
+/// already-joined tuples), so upstream operators never see two threads
+/// at once — Task::Wait's synchronization orders each handoff.
+class PPkJoinOp final : public JoinOpBase {
+ public:
+  using JoinOpBase::JoinOpBase;
+
+  ~PPkJoinOp() override {
+    // An in-flight prefetch captures `this` and the operators upstream;
+    // it must finish before any of that is torn down.
+    if (task_.valid()) task_.Wait();
+  }
+
+ protected:
+  Status OpenImpl() override {
+    prefetch_ = ctx()->ppk_prefetch;
+    if (prefetch_) ScheduleFetch();
+    return Status::OK();
+  }
+
+  void CloseImpl() override {
+    if (task_.valid()) {
+      task_.Wait();
+      task_ = WorkerPool::Task();
+      slot_.reset();
+    }
+  }
+
+  Result<bool> Refill() override {
+    Block block;
+    if (task_.valid()) {
+      task_.Wait();
+      Result<Block> r = std::move(*slot_);
+      task_ = WorkerPool::Task();
+      slot_.reset();
+      if (!r.ok()) return r.status();
+      block = std::move(r).value();
+      // Overlap the next round trip with joining/consuming this block.
+      if (!block.lefts.empty() && !block.input_done) ScheduleFetch();
+    } else {
+      ALDSP_ASSIGN_OR_RETURN(block, ReadAndFetchBlock());
+    }
+    if (block.lefts.empty()) return false;
+    NoteOperatorBytes(block.fetched_bytes);
+    const auto* idx = block.index_built ? &block.index : nullptr;
+    for (const auto& left : block.lefts) {
+      ALDSP_RETURN_NOT_OK(JoinOneLeft(left, block.fetched, pending(), idx));
+    }
+    return true;
+  }
+
+ private:
+  struct Block {
+    std::vector<Tuple> lefts;
+    Sequence fetched;
+    std::unordered_map<std::string, std::vector<size_t>> index;
+    bool index_built = false;
+    int64_t fetched_bytes = 0;
+    bool input_done = false;
+  };
+
+  void ScheduleFetch() {
+    auto slot = std::make_shared<Result<Block>>(Block{});
+    slot_ = slot;
+    QueryTrace* tr = trace();
+    int sp = span();
+    task_ = WorkerPool::For(ctx()->pool).Submit([this, slot, tr, sp] {
+      // Worker threads start with an empty scope stack; re-establish the
+      // join span so the block's fetch event and the upstream reads
+      // attach where they would have inline.
+      std::optional<QueryTrace::Scope> scope;
+      if (tr != nullptr) scope.emplace(tr, sp);
+      *slot = ReadAndFetchBlock();
+    });
+  }
+
+  // Reads up to k left tuples and runs the block's parameterized fetch.
+  // Runs either inline (under the join span via Next) or on a pool
+  // thread (under the Scope established by ScheduleFetch).
+  Result<Block> ReadAndFetchBlock() {
+    Block block;
+    int k = std::max(1, cl().ppk_block_size);
+    Tuple t;
+    while (static_cast<int>(block.lefts.size()) < k) {
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      if (!more) {
+        block.input_done = true;
+        break;
+      }
+      block.lefts.push_back(t);
+    }
+    if (block.lefts.empty()) return block;
+    if (ctx()->stats != nullptr) ctx()->stats->ppk_blocks += 1;
+
+    // Collect distinct key values from the block's first equi key (the
+    // parameterized IN-list column).
+    std::vector<Cell> params;
+    std::unordered_map<std::string, bool> seen;
+    for (const auto& left : block.lefts) {
+      ALDSP_ASSIGN_OR_RETURN(Sequence key,
+                             EvalKey(cl().equi_keys[0].first, left));
+      if (key.empty()) continue;
+      const AtomicValue& v = key.front().atomic();
+      if (seen.emplace(EncodeAtomic(v), true).second) {
+        params.push_back(Cell::Of(v));
+      }
+    }
+
+    if (!params.empty()) {
+      const auto& spec = *cl().ppk_fetch;
+      relational::Database* db =
+          ctx()->adaptors == nullptr
+              ? nullptr
+              : ctx()->adaptors->FindDatabase(spec.source);
+      if (db == nullptr) {
+        return Status::SourceError("no relational source '" + spec.source +
+                                   "' for PP-k fetch");
+      }
+      relational::SelectPtr select = spec.select_template->Clone();
+      std::vector<relational::SqlExprPtr> placeholders;
+      for (size_t i = 0; i < params.size(); ++i) {
+        placeholders.push_back(
+            relational::SqlExpr::Param(static_cast<int>(i)));
+      }
+      relational::SqlExprPtr in_pred = relational::SqlExpr::InList(
+          relational::SqlExpr::Column(spec.in_alias, spec.in_column),
+          std::move(placeholders));
+      select->where = select->where
+                          ? relational::SqlExpr::Binary(
+                                "AND", select->where, std::move(in_pred))
+                          : std::move(in_pred);
+      int64_t sim_mark = VirtualLatencyMark(db);
+      auto t0 = std::chrono::steady_clock::now();
+      ALDSP_ASSIGN_OR_RETURN(relational::ResultSet rs,
+                             db->ExecuteSelect(*select, params));
+      int64_t micros = MicrosSince(t0) + VirtualLatencyDelta(db, sim_mark);
+      if (ctx()->metrics != nullptr) {
+        ctx()->metrics->RecordSourceLatency(spec.source, micros);
+      }
+      if (trace() != nullptr) {
+        trace()->AddEvent(QueryTrace::EventKind::kPPkFetch, spec.source,
+                          relational::DebugString(*select),
+                          static_cast<int64_t>(rs.rows.size()), micros);
+      }
+      block.fetched = RowsToItems(rs, spec.row_name);
+    }
+
+    // Mid-tier join of the block against the fetched rows; PP-k can use
+    // any join method for this step (paper §5.2) — here NL or INL.
+    if (method() == JoinMethod::kPPkIndexNestedLoop) {
+      for (size_t i = 0; i < block.fetched.size(); ++i) {
+        bool has_empty;
+        ALDSP_ASSIGN_OR_RETURN(std::string key,
+                               RightKey(block.fetched[i], &has_empty));
+        if (!has_empty) block.index[key].push_back(i);
+      }
+      block.index_built = true;
+    }
+    block.fetched_bytes =
+        static_cast<int64_t>(xml::SequenceMemoryBytes(block.fetched));
+    return block;
+  }
+
+  bool prefetch_ = false;
+  WorkerPool::Task task_;
+  std::shared_ptr<Result<Block>> slot_;
+};
+
+// ----- Grouping (paper §4.2) ---------------------------------------------
+
+/// Streaming group-by when the input is pre-clustered on the grouping
+/// keys (a group ends exactly when the key changes — constant memory
+/// beyond the current group), with a materialize-and-cluster fallback
+/// otherwise.
+class StreamGroupByOp final : public PhysicalOperator {
+ public:
+  StreamGroupByOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+                  std::string label)
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    if (cl_.pre_clustered) return NextStreaming(out);
+    if (!sorted_ready_) {
+      ALDSP_RETURN_NOT_OK(MaterializeAndSort());
+      sorted_ready_ = true;
+    }
+    return NextFromSorted(out);
+  }
+
+ private:
+  struct GroupAccumulator {
+    std::string key_enc;
+    std::vector<Sequence> key_values;     // one per group key
+    std::vector<Sequence> member_values;  // one per group var (concatenated)
+    size_t bytes = 0;
+    bool active = false;
+  };
+
+  Result<std::pair<std::string, std::vector<Sequence>>> KeyOf(const Tuple& t) {
+    std::string enc;
+    std::vector<Sequence> values;
+    for (const auto& gk : cl_.group_keys) {
+      ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*gk.expr, t));
+      Sequence data = xml::Atomize(v);
+      enc += EncodeAtomicSequence(data);
+      enc += '\x1e';
+      values.push_back(std::move(data));
+    }
+    return std::make_pair(std::move(enc), std::move(values));
+  }
+
+  Result<std::vector<Sequence>> MemberValuesOf(const Tuple& t) {
+    std::vector<Sequence> values;
+    for (const auto& gv : cl_.group_vars) {
+      const Sequence* v = t.Lookup(gv.in_var);
+      if (v == nullptr) {
+        return Status::RuntimeError("unbound grouping variable $" +
+                                    gv.in_var);
+      }
+      values.push_back(*v);
+    }
+    return values;
+  }
+
+  Tuple EmitGroup(const GroupAccumulator& g) {
+    Tuple t = base_env();
+    for (size_t i = 0; i < cl_.group_vars.size(); ++i) {
+      t = t.Bind(cl_.group_vars[i].out_var, g.member_values[i]);
+    }
+    for (size_t i = 0; i < cl_.group_keys.size(); ++i) {
+      if (!cl_.group_keys[i].as_var.empty()) {
+        t = t.Bind(cl_.group_keys[i].as_var, g.key_values[i]);
+      }
+    }
+    return t;
+  }
+
+  Result<bool> NextStreaming(Tuple* out) {
+    while (true) {
+      if (input_done_) {
+        if (current_.active) {
+          *out = EmitGroup(current_);
+          current_ = GroupAccumulator{};
+          return true;
+        }
+        return false;
+      }
+      Tuple t;
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      if (!more) {
+        input_done_ = true;
+        continue;
+      }
+      ALDSP_ASSIGN_OR_RETURN(auto key, KeyOf(t));
+      ALDSP_ASSIGN_OR_RETURN(std::vector<Sequence> members, MemberValuesOf(t));
+      if (!current_.active) {
+        StartGroup(std::move(key.first), std::move(key.second));
+        Accumulate(std::move(members));
+        if (ctx()->stats != nullptr) ctx()->stats->streaming_groups += 1;
+        continue;
+      }
+      if (key.first == current_.key_enc) {
+        Accumulate(std::move(members));
+        continue;
+      }
+      // Key changed: emit the finished group and start the next one.
+      Tuple finished = EmitGroup(current_);
+      StartGroup(std::move(key.first), std::move(key.second));
+      Accumulate(std::move(members));
+      *out = std::move(finished);
+      return true;
+    }
+  }
+
+  void StartGroup(std::string enc, std::vector<Sequence> key_values) {
+    current_ = GroupAccumulator{};
+    current_.active = true;
+    current_.key_enc = std::move(enc);
+    current_.key_values = std::move(key_values);
+    current_.member_values.resize(cl_.group_vars.size());
+  }
+
+  void Accumulate(std::vector<Sequence> members) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      current_.bytes += xml::SequenceMemoryBytes(members[i]);
+      xml::AppendSequence(current_.member_values[i], members[i]);
+    }
+    NoteOperatorBytes(static_cast<int64_t>(current_.bytes));
+  }
+
+  // Materializing fallback (paper §4.2: unclustered input requires full
+  // materialization before grouping). Rows land in a TupleBuffer in the
+  // optimizer-chosen representation; clustering happens via a key index,
+  // and groups emit in first-appearance order — the same deterministic
+  // order the relational engine's GROUP BY produces, so pushed-down and
+  // mid-tier plans agree.
+  Status MaterializeAndSort() {
+    if (ctx()->stats != nullptr) ctx()->stats->group_sort_fallbacks += 1;
+    size_t nkeys = cl_.group_keys.size();
+    size_t nvars = cl_.group_vars.size();
+    buffer_ = std::make_unique<TupleBuffer>(ctx()->materialize_repr,
+                                            nkeys + nvars);
+    std::unordered_map<std::string, size_t> index;
+    Tuple t;
+    while (true) {
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      if (!more) break;
+      ALDSP_ASSIGN_OR_RETURN(auto key, KeyOf(t));
+      ALDSP_ASSIGN_OR_RETURN(std::vector<Sequence> members, MemberValuesOf(t));
+      std::vector<Sequence> fields = std::move(key.second);
+      for (auto& m : members) fields.push_back(std::move(m));
+      size_t row = buffer_->size();
+      buffer_->Append(fields);
+      auto it = index.find(key.first);
+      if (it == index.end()) {
+        index.emplace(std::move(key.first), group_rows_.size());
+        group_rows_.push_back({row});
+      } else {
+        group_rows_[it->second].push_back(row);
+      }
+    }
+    NoteOperatorBytes(static_cast<int64_t>(buffer_->MemoryBytes()));
+    return Status::OK();
+  }
+
+  Result<bool> NextFromSorted(Tuple* out) {
+    size_t nkeys = cl_.group_keys.size();
+    size_t nvars = cl_.group_vars.size();
+    if (group_pos_ >= group_rows_.size()) return false;
+    const std::vector<size_t>& rows = group_rows_[group_pos_++];
+    GroupAccumulator g;
+    g.active = true;
+    for (size_t k = 0; k < nkeys; ++k) {
+      ALDSP_ASSIGN_OR_RETURN(Sequence v, buffer_->GetField(rows.front(), k));
+      g.key_values.push_back(std::move(v));
+    }
+    g.member_values.resize(nvars);
+    for (size_t row : rows) {
+      for (size_t m = 0; m < nvars; ++m) {
+        ALDSP_ASSIGN_OR_RETURN(Sequence v, buffer_->GetField(row, nkeys + m));
+        xml::AppendSequence(g.member_values[m], v);
+      }
+    }
+    *out = EmitGroup(g);
+    return true;
+  }
+
+  const Clause& cl_;
+
+  // Streaming state.
+  GroupAccumulator current_;
+  bool input_done_ = false;
+
+  // Materializing-fallback state.
+  bool sorted_ready_ = false;
+  std::unique_ptr<TupleBuffer> buffer_;
+  std::vector<std::vector<size_t>> group_rows_;  // first-appearance order
+  size_t group_pos_ = 0;
+};
+
+// ----- Order-by ----------------------------------------------------------
+
+class OrderByOp final : public PhysicalOperator {
+ public:
+  OrderByOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+            std::string label)
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    if (!ready_) {
+      ALDSP_RETURN_NOT_OK(Materialize());
+      ready_ = true;
+    }
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_].tuple);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  struct SortRow {
+    Tuple tuple;
+    std::vector<Sequence> keys;  // atomized
+  };
+
+  Status Materialize() {
+    Tuple t;
+    size_t bytes = 0;
+    while (true) {
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      if (!more) break;
+      SortRow row;
+      row.tuple = t;
+      for (const auto& ok : cl_.order_keys) {
+        ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*ok.expr, t));
+        Sequence data = xml::Atomize(v);
+        bytes += xml::SequenceMemoryBytes(data);
+        row.keys.push_back(std::move(data));
+      }
+      rows_.push_back(std::move(row));
+    }
+    NoteOperatorBytes(static_cast<int64_t>(bytes));
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const SortRow& a, const SortRow& b) {
+                       for (size_t i = 0; i < cl_.order_keys.size(); ++i) {
+                         int c = OrderCompareKeys(a.keys[i], b.keys[i]);
+                         if (c != 0) {
+                           return cl_.order_keys[i].descending ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+    return Status::OK();
+  }
+
+  const Clause& cl_;
+  bool ready_ = false;
+  std::vector<SortRow> rows_;
+  size_t pos_ = 0;
+};
+
+// ----- Return ------------------------------------------------------------
+
+/// Evaluates the return expression per tuple and binds the resulting
+/// sequence to kResultBinding; the tree driver delivers those sequences.
+class ReturnOp final : public PhysicalOperator {
+ public:
+  ReturnOp(std::unique_ptr<PhysicalOperator> input, const Expr* ret)
+      : PhysicalOperator(std::move(input), "return"), ret_(ret) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    Tuple t;
+    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+    if (!more) return false;
+    Sequence v;
+    if (ret_ != nullptr) {
+      ALDSP_ASSIGN_OR_RETURN(v, eval()->EvalExpr(*ret_, t));
+    }
+    *out = t.Bind(kResultBinding, std::move(v));
+    return true;
+  }
+
+ private:
+  const Expr* ret_;
+};
+
+JoinMethod ResolveJoinMethod(const Clause& cl) {
+  JoinMethod m = cl.method;
+  if (m == JoinMethod::kAuto) {
+    m = cl.equi_keys.empty() ? JoinMethod::kNestedLoop
+                             : JoinMethod::kIndexNestedLoop;
+  }
+  if ((m == JoinMethod::kPPkNestedLoop ||
+       m == JoinMethod::kPPkIndexNestedLoop) &&
+      (cl.ppk_fetch == nullptr || cl.equi_keys.empty())) {
+    // PP-k requires a parameterized fetch plan; degrade gracefully.
+    m = cl.equi_keys.empty() ? JoinMethod::kNestedLoop
+                             : JoinMethod::kIndexNestedLoop;
+  }
+  return m;
+}
+
+}  // namespace
+
+// ----- Lowering ----------------------------------------------------------
+
+std::unique_ptr<PhysicalOperator> BuildPlan(const Expr& flwor) {
+  std::unique_ptr<PhysicalOperator> op = std::make_unique<SingletonSourceOp>();
+  for (const auto& cl : flwor.clauses) {
+    switch (cl.kind) {
+      case Clause::Kind::kFor: {
+        std::string label = "for $" + cl.var;
+        std::unique_ptr<ForScanOp> scan;
+        bool sql_region =
+            cl.expr != nullptr && cl.expr->kind == ExprKind::kSqlQuery;
+        if (sql_region) {
+          scan = std::make_unique<SqlRegionScanOp>(std::move(op), cl,
+                                                   std::move(label));
+        } else {
+          scan = std::make_unique<ForScanOp>(std::move(op), cl,
+                                             std::move(label));
+        }
+        std::string detail;
+        if (!cl.positional_var.empty()) detail = "at $" + cl.positional_var;
+        if (sql_region) detail += detail.empty() ? "sql-region" : " sql-region";
+        scan->explain().detail = std::move(detail);
+        scan->explain().expr = cl.expr.get();
+        op = std::move(scan);
+        break;
+      }
+      case Clause::Kind::kLet: {
+        auto let = std::make_unique<LetBindOp>(std::move(op), cl,
+                                               "let $" + cl.var);
+        let->explain().expr = cl.expr.get();
+        op = std::move(let);
+        break;
+      }
+      case Clause::Kind::kWhere: {
+        auto where = std::make_unique<FilterOp>(std::move(op), cl, "where");
+        where->explain().expr = cl.expr.get();
+        op = std::move(where);
+        break;
+      }
+      case Clause::Kind::kJoin: {
+        JoinMethod m = ResolveJoinMethod(cl);
+        bool ppk = m == JoinMethod::kPPkNestedLoop ||
+                   m == JoinMethod::kPPkIndexNestedLoop;
+        std::string label = std::string("join[") + xquery::JoinMethodName(m) +
+                            "] $" + cl.var;
+        // The span detail is a compatibility surface (profiles assert
+        // exactly "k=20"); EXPLAIN-only qualifiers go in explain().detail.
+        std::string span_detail;
+        if (ppk) {
+          span_detail = "k=" + std::to_string(std::max(1, cl.ppk_block_size));
+        }
+        if (cl.left_outer) {
+          span_detail += span_detail.empty() ? "left-outer" : " left-outer";
+        }
+        std::unique_ptr<JoinOpBase> join;
+        switch (m) {
+          case JoinMethod::kNestedLoop:
+            join = std::make_unique<NestedLoopJoinOp>(
+                std::move(op), cl, m, std::move(label), std::move(span_detail));
+            break;
+          case JoinMethod::kIndexNestedLoop:
+            join = std::make_unique<IndexNLJoinOp>(
+                std::move(op), cl, m, std::move(label), std::move(span_detail));
+            break;
+          default:
+            join = std::make_unique<PPkJoinOp>(
+                std::move(op), cl, m, std::move(label), std::move(span_detail));
+            break;
+        }
+        if (ppk) {
+          join->explain().detail += join->explain().detail.empty()
+                                        ? "prefetch"
+                                        : " prefetch";
+          join->explain().ppk = cl.ppk_fetch.get();
+        }
+        join->explain().expr = cl.expr.get();
+        join->explain().condition = cl.condition.get();
+        op = std::move(join);
+        break;
+      }
+      case Clause::Kind::kGroupBy: {
+        op = std::make_unique<StreamGroupByOp>(
+            std::move(op), cl,
+            cl.pre_clustered ? "group-by[streaming]" : "group-by[sort]");
+        break;
+      }
+      case Clause::Kind::kOrderBy: {
+        op = std::make_unique<OrderByOp>(std::move(op), cl, "order-by");
+        break;
+      }
+    }
+  }
+  const Expr* ret = flwor.children.empty() ? nullptr : flwor.children[0].get();
+  auto root = std::make_unique<ReturnOp>(std::move(op), ret);
+  root->explain().expr = ret;
+  return root;
+}
+
+}  // namespace aldsp::runtime::physical

@@ -1,0 +1,91 @@
+#include "runtime/worker_pool.h"
+
+#include <algorithm>
+
+namespace aldsp::runtime {
+
+WorkerPool::WorkerPool(int size) {
+  if (size <= 0) {
+    size = std::max(2u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Tasks still queued here were abandoned (nobody waits on them); they
+  // are dropped unrun. Running tasks completed before the joins above.
+}
+
+WorkerPool::Task WorkerPool::Submit(std::function<void()> fn) {
+  auto state = std::make_shared<TaskState>();
+  state->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(state);
+  }
+  cv_.notify_one();
+  return Task(this, std::move(state));
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<TaskState> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    int expected = 0;
+    if (task->claimed.compare_exchange_strong(expected, 1)) {
+      RunTask(task, /*inline_run=*/false);
+    }
+    // Otherwise a waiter claimed it first and runs it inline.
+  }
+}
+
+void WorkerPool::RunTask(const std::shared_ptr<TaskState>& task,
+                         bool inline_run) {
+  task->fn();
+  task->fn = nullptr;  // release captures promptly
+  (inline_run ? inline_runs_ : async_runs_).fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(task->mutex);
+    task->done = true;
+  }
+  task->cv.notify_all();
+}
+
+void WorkerPool::Task::Wait() {
+  if (state_ == nullptr) return;
+  int expected = 0;
+  if (state_->claimed.compare_exchange_strong(expected, 1)) {
+    pool_->RunTask(state_, /*inline_run=*/true);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool WorkerPool::Task::WaitFor(std::chrono::milliseconds timeout) {
+  if (state_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->done; });
+}
+
+WorkerPool& WorkerPool::Default() {
+  static WorkerPool* pool = new WorkerPool();  // leaked, see header
+  return *pool;
+}
+
+}  // namespace aldsp::runtime

@@ -1,0 +1,110 @@
+#ifndef ALDSP_RUNTIME_WORKER_POOL_H_
+#define ALDSP_RUNTIME_WORKER_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aldsp::runtime {
+
+/// The bounded worker pool shared by everything in the runtime that
+/// evaluates concurrently: hoisted fn-bea:async subtrees (paper §5.4),
+/// fn-bea:timeout primaries (§5.6), and the PP-k block prefetcher. It
+/// replaces the earlier unbounded std::async / detached-thread scheme:
+/// the pool owns exactly `size` threads for the server's lifetime, so a
+/// query fan-out cannot spawn threads without limit.
+///
+/// Deadlock freedom under nesting: an async subtree may itself contain
+/// fn-bea:async calls, so a pool task can block waiting on tasks it
+/// submitted. Task::Wait therefore *claims* a task no worker has started
+/// yet and runs it inline on the waiting thread — arbitrarily deep
+/// nesting makes progress even on a pool of 1. Task::WaitFor never runs
+/// the task inline: a timeout wait must be able to give up at the
+/// deadline, so a task the saturated pool never reached simply times out
+/// (the paper's fail-over semantics, not a hang).
+///
+/// A task abandoned by WaitFor keeps running (or stays queued) until the
+/// pool is destroyed; the destructor joins running tasks, so everything a
+/// task references must outlive the pool.
+class WorkerPool {
+  struct TaskState;
+
+ public:
+  /// `size` <= 0 selects std::thread::hardware_concurrency().
+  explicit WorkerPool(int size = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Handle to a submitted task. Copyable; all copies refer to the same
+  /// execution.
+  class Task {
+   public:
+    Task() = default;
+    bool valid() const { return state_ != nullptr; }
+
+    /// Blocks until the task finished. If no worker has started it yet,
+    /// the waiting thread claims and runs it inline.
+    void Wait();
+
+    /// Waits up to `timeout` without ever claiming the task inline.
+    /// Returns true when the task completed within the deadline.
+    bool WaitFor(std::chrono::milliseconds timeout);
+
+   private:
+    friend class WorkerPool;
+    Task(WorkerPool* pool, std::shared_ptr<TaskState> state)
+        : pool_(pool), state_(std::move(state)) {}
+    WorkerPool* pool_ = nullptr;
+    std::shared_ptr<TaskState> state_;
+  };
+
+  Task Submit(std::function<void()> fn);
+
+  int size() const { return static_cast<int>(threads_.size()); }
+  /// Counters for tests: completions on pool threads vs claimed inline
+  /// by a waiter.
+  int64_t async_runs() const { return async_runs_.load(); }
+  int64_t inline_runs() const { return inline_runs_.load(); }
+
+  /// Process-wide pool used when a RuntimeContext supplies none.
+  /// Deliberately leaked: like the detached threads it replaces, tasks
+  /// abandoned by a timeout may still be running at process exit, and a
+  /// static destructor joining them could touch already-destroyed state.
+  static WorkerPool& Default();
+  static WorkerPool& For(WorkerPool* pool) {
+    return pool != nullptr ? *pool : Default();
+  }
+
+ private:
+  struct TaskState {
+    std::function<void()> fn;
+    /// 0 = queued, 1 = claimed (by a worker or an inline waiter).
+    std::atomic<int> claimed{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  void WorkerLoop();
+  void RunTask(const std::shared_ptr<TaskState>& task, bool inline_run);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<TaskState>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> async_runs_{0};
+  std::atomic<int64_t> inline_runs_{0};
+};
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_WORKER_POOL_H_

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "relational/sql_ast.h"
+#include "runtime/physical/builder.h"
+#include "runtime/physical/operator.h"
 #include "xquery/ast.h"
 
 namespace aldsp::server {
@@ -13,7 +15,6 @@ namespace aldsp::server {
 namespace {
 
 using runtime::QueryTrace;
-using xquery::Clause;
 using xquery::Expr;
 using xquery::ExprKind;
 
@@ -46,31 +47,17 @@ void AppendJsonString(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-std::string ClauseLabel(const Clause& cl) {
-  switch (cl.kind) {
-    case Clause::Kind::kFor:
-      return "for $" + cl.var +
-             (cl.positional_var.empty() ? "" : " at $" + cl.positional_var);
-    case Clause::Kind::kLet:
-      return "let $" + cl.var;
-    case Clause::Kind::kWhere:
-      return "where";
-    case Clause::Kind::kJoin: {
-      std::string label = std::string("join[") +
-                          xquery::JoinMethodName(cl.method) + "] $" + cl.var;
-      if (cl.method == xquery::JoinMethod::kPPkNestedLoop ||
-          cl.method == xquery::JoinMethod::kPPkIndexNestedLoop) {
-        label += " k=" + std::to_string(cl.ppk_block_size);
-      }
-      if (cl.left_outer) label += " left-outer";
-      return label;
-    }
-    case Clause::Kind::kGroupBy:
-      return cl.pre_clustered ? "group-by[streaming]" : "group-by";
-    case Clause::Kind::kOrderBy:
-      return "order-by";
-  }
-  return "?";
+/// EXPLAIN and execution see the same operator tree: a FLWOR is lowered
+/// through physical::BuildPlan (the lowering the evaluator runs) and the
+/// resulting descriptors are rendered in pipeline order.
+std::string PlanNodeLabel(const runtime::physical::ExplainNode& n) {
+  return n.detail.empty() ? n.label : n.label + " " + n.detail;
+}
+
+std::vector<runtime::physical::ExplainNode> DescribeFLWOR(const Expr& e) {
+  std::vector<runtime::physical::ExplainNode> nodes;
+  runtime::physical::BuildPlan(e)->Describe(&nodes);
+  return nodes;
 }
 
 std::string ExprLabel(const Expr& e) {
@@ -112,23 +99,18 @@ void RenderExprText(const Expr& e, const std::string& indent,
                     std::ostream& os) {
   os << indent << ExprLabel(e) << "\n";
   if (e.kind == ExprKind::kFLWOR) {
-    for (const auto& cl : e.clauses) {
-      os << indent << "  " << ClauseLabel(cl) << "\n";
-      if (cl.expr) RenderExprText(*cl.expr, indent + "    ", os);
-      if (cl.kind == Clause::Kind::kJoin && cl.condition) {
+    for (const auto& n : DescribeFLWOR(e)) {
+      os << indent << "  " << PlanNodeLabel(n) << "\n";
+      if (n.expr != nullptr) RenderExprText(*n.expr, indent + "    ", os);
+      if (n.condition != nullptr) {
         os << indent << "    on\n";
-        RenderExprText(*cl.condition, indent + "      ", os);
+        RenderExprText(*n.condition, indent + "      ", os);
       }
-      if (cl.kind == Clause::Kind::kJoin && cl.ppk_fetch) {
-        os << indent << "    ppk-fetch[" << cl.ppk_fetch->source << "] "
-           << relational::DebugString(*cl.ppk_fetch->select_template)
-           << " + " << cl.ppk_fetch->in_alias << "."
-           << cl.ppk_fetch->in_column << " IN (...)\n";
+      if (n.ppk != nullptr) {
+        os << indent << "    ppk-fetch[" << n.ppk->source << "] "
+           << relational::DebugString(*n.ppk->select_template) << " + "
+           << n.ppk->in_alias << "." << n.ppk->in_column << " IN (...)\n";
       }
-    }
-    if (!e.children.empty() && e.children[0]) {
-      os << indent << "  return\n";
-      RenderExprText(*e.children[0], indent + "    ", os);
     }
     return;
   }
@@ -154,11 +136,9 @@ void RenderExprJson(const Expr& e, std::ostream& os) {
     os << "]}";
   };
   if (e.kind == ExprKind::kFLWOR) {
-    for (const auto& cl : e.clauses) {
-      emit_labeled(ClauseLabel(cl), cl.expr.get());
+    for (const auto& n : DescribeFLWOR(e)) {
+      emit_labeled(PlanNodeLabel(n), n.expr);
     }
-    emit_labeled("return",
-                 e.children.empty() ? nullptr : e.children[0].get());
   } else {
     for (const auto& c : e.children) {
       if (!c) continue;

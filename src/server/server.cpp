@@ -45,7 +45,8 @@ void CollectCalledFunctions(const xquery::ExprPtr& e,
 
 DataServicePlatform::DataServicePlatform(ServerOptions options)
     : options_(std::move(options)),
-      view_cache_(options_.view_plan_cache_size) {
+      view_cache_(options_.view_plan_cache_size),
+      pool_(options_.worker_pool_size) {
   ctx_.functions = &functions_;
   ctx_.adaptors = &adaptors_;
   ctx_.function_cache = &function_cache_;
@@ -54,6 +55,7 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
   // behaviour; the optimizer consults it on the next compilation.
   ctx_.observed = &observed_;
   ctx_.metrics = &metrics_;
+  ctx_.pool = &pool_;
   options_.optimizer.observed = &observed_;
 }
 

@@ -14,6 +14,7 @@
 #include "optimizer/optimizer.h"
 #include "runtime/context.h"
 #include "runtime/evaluator.h"
+#include "runtime/worker_pool.h"
 #include "security/security.h"
 #include "service/data_service.h"
 #include "service/introspect.h"
@@ -47,6 +48,9 @@ struct ServerOptions {
   bool enable_pushdown = true;
   size_t plan_cache_size = 256;
   size_t view_plan_cache_size = 256;
+  /// Threads in the shared runtime worker pool (fn-bea:async, timeout
+  /// evaluation, PP-k prefetch); <= 0 means hardware_concurrency.
+  int worker_pool_size = 0;
 };
 
 /// The result of ExecuteProfiled: the materialized result plus the plan
@@ -208,6 +212,7 @@ class DataServicePlatform {
   runtime::FunctionCache& function_cache() { return function_cache_; }
   runtime::RuntimeStats& stats() { return stats_; }
   runtime::RuntimeContext& runtime_context() { return ctx_; }
+  runtime::WorkerPool& worker_pool() { return pool_; }
   optimizer::ViewPlanCache& view_plan_cache() { return view_cache_; }
   security::AccessControl& access_control() { return access_control_; }
   security::AuditLog& audit_log() { return audit_; }
@@ -246,6 +251,11 @@ class DataServicePlatform {
   std::list<std::string> plan_lru_;
   int64_t plan_cache_hits_ = 0;
   int64_t plan_cache_misses_ = 0;
+
+  /// Declared last so it is destroyed first: the destructor joins any
+  /// evaluation a fn-bea:timeout abandoned while the adaptors, function
+  /// table and caches those tasks reference are still alive.
+  runtime::WorkerPool pool_;
 };
 
 }  // namespace aldsp::server

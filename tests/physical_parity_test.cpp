@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "optimizer/optimizer.h"
+#include "runtime/query_trace.h"
+#include "tests/e2e_fixture.h"
+#include "xml/serializer.h"
+
+namespace aldsp::runtime {
+namespace {
+
+using aldsp::testing::RunningExample;
+using optimizer::Optimizer;
+using optimizer::OptimizerOptions;
+using xquery::ExprPtr;
+using xquery::JoinMethod;
+
+constexpr const char* kJoinQuery =
+    "for $c in ns3:CUSTOMER(), $o in ns3:ORDER() "
+    "where $c/CID eq $o/CID "
+    "return <CO><C>{fn:data($c/CID)}</C><O>{fn:data($o/OID)}</O></CO>";
+
+// Compiles the join query with a forced join method (same shape as
+// join_methods_test, repeated here so this suite stays self-contained
+// for the TSan configuration).
+ExprPtr PlanWithMethod(RunningExample& env, JoinMethod method, int k = 20) {
+  auto parsed = xquery::ParseExpression(kJoinQuery);
+  EXPECT_TRUE(parsed.ok());
+  ExprPtr e = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  EXPECT_TRUE(analyzer.Analyze(e, {}).ok());
+  OptimizerOptions options;
+  options.cross_source_method = method;
+  options.ppk_k = k;
+  options.convert_ppk = method == JoinMethod::kPPkNestedLoop ||
+                        method == JoinMethod::kPPkIndexNestedLoop;
+  Optimizer opt(&env.functions, &env.schemas, nullptr, options);
+  EXPECT_TRUE(opt.Optimize(e).ok());
+  for (auto& cl : e->clauses) {
+    if (cl.kind == xquery::Clause::Kind::kJoin) {
+      cl.method = method;
+      cl.ppk_block_size = k;
+    }
+  }
+  return e;
+}
+
+// Runs EvaluateStream and materializes the streamed items.
+Result<xml::Sequence> CollectStream(const xquery::Expr& e,
+                                    const RuntimeContext& ctx) {
+  xml::Sequence out;
+  ALDSP_RETURN_NOT_OK(EvaluateStream(e, ctx, [&](const xml::Item& item) {
+    out.push_back(item);
+    return Status::OK();
+  }));
+  return out;
+}
+
+// The trace-parity key: operator spans must report the same row counts
+// whether the tree is driven by Evaluate or EvaluateStream. Details are
+// excluded because only the flwor root's detail differs ("streaming").
+std::multiset<std::pair<std::string, int64_t>> SpanRows(
+    const QueryTrace& trace) {
+  std::multiset<std::pair<std::string, int64_t>> rows;
+  for (const auto& span : trace.spans()) {
+    rows.insert({span.kind, span.rows});
+  }
+  return rows;
+}
+
+class PhysicalParityTest : public ::testing::TestWithParam<JoinMethod> {};
+
+TEST_P(PhysicalParityTest, EvaluateAndStreamMatchReference) {
+  RunningExample env(30, 3);
+  auto reference = env.Run(kJoinQuery);  // naive nested iteration
+  ASSERT_TRUE(reference.ok());
+  ExprPtr plan = PlanWithMethod(env, GetParam());
+
+  auto materialized = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  auto streamed = CollectStream(*plan, env.ctx);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  const std::string expected = xml::SerializeSequence(*reference);
+  EXPECT_EQ(expected, xml::SerializeSequence(*materialized));
+  EXPECT_EQ(expected, xml::SerializeSequence(*streamed));
+}
+
+TEST_P(PhysicalParityTest, SpanRowCountsMatchBetweenDrivers) {
+  RunningExample env(30, 3);
+  ExprPtr plan = PlanWithMethod(env, GetParam());
+
+  QueryTrace eval_trace;
+  env.ctx.trace = &eval_trace;
+  ASSERT_TRUE(Evaluate(*plan, env.ctx).ok());
+
+  QueryTrace stream_trace;
+  env.ctx.trace = &stream_trace;
+  ASSERT_TRUE(CollectStream(*plan, env.ctx).ok());
+
+  EXPECT_EQ(SpanRows(eval_trace), SpanRows(stream_trace));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Repertoire, PhysicalParityTest,
+    ::testing::Values(JoinMethod::kNestedLoop, JoinMethod::kIndexNestedLoop,
+                      JoinMethod::kPPkNestedLoop,
+                      JoinMethod::kPPkIndexNestedLoop),
+    [](const auto& info) {
+      switch (info.param) {
+        case JoinMethod::kNestedLoop:
+          return "NestedLoop";
+        case JoinMethod::kIndexNestedLoop:
+          return "IndexNestedLoop";
+        case JoinMethod::kPPkNestedLoop:
+          return "PPkNestedLoop";
+        case JoinMethod::kPPkIndexNestedLoop:
+          return "PPkIndexNestedLoop";
+        default:
+          return "Auto";
+      }
+    });
+
+TEST(PhysicalParityTest, PrefetchOnAndOffAreByteIdentical) {
+  // The PP-k prefetcher overlaps the next block's round trip with
+  // consumption of the current one; results and block counts must not
+  // depend on whether the overlap is enabled.
+  for (int k : {1, 7, 20, 50}) {
+    RunningExample env(30, 3);
+    ExprPtr plan = PlanWithMethod(env, JoinMethod::kPPkIndexNestedLoop, k);
+
+    env.ctx.ppk_prefetch = false;
+    env.stats.Reset();
+    auto baseline = Evaluate(*plan, env.ctx);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    int64_t baseline_blocks = env.stats.ppk_blocks.load();
+
+    env.ctx.ppk_prefetch = true;
+    env.stats.Reset();
+    auto prefetched = Evaluate(*plan, env.ctx);
+    ASSERT_TRUE(prefetched.ok()) << prefetched.status().ToString();
+
+    EXPECT_EQ(xml::SerializeSequence(*baseline),
+              xml::SerializeSequence(*prefetched))
+        << "k=" << k;
+    EXPECT_EQ(env.stats.ppk_blocks.load(), baseline_blocks) << "k=" << k;
+    EXPECT_EQ(baseline_blocks, (30 + k - 1) / k) << "k=" << k;
+  }
+}
+
+TEST(PhysicalParityTest, GroupByStreamingAndFallbackAcrossDrivers) {
+  RunningExample env(20, 3);
+  const char* q =
+      "for $c in ns3:CUSTOMER() group $c as $p by $c/CID as $k "
+      "return <G>{$k}{fn:count($p)}</G>";
+  auto parsed = xquery::ParseExpression(q);
+  ASSERT_TRUE(parsed.ok());
+  ExprPtr plan = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  ASSERT_TRUE(analyzer.Analyze(plan, {}).ok());
+  Optimizer opt(&env.functions, &env.schemas, nullptr, {});
+  ASSERT_TRUE(opt.Optimize(plan).ok());
+
+  auto streaming = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(streaming.ok());
+  auto streamed_api = CollectStream(*plan, env.ctx);
+  ASSERT_TRUE(streamed_api.ok());
+
+  for (auto& cl : plan->clauses) cl.pre_clustered = false;
+  auto fallback = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(fallback.ok());
+  auto fallback_streamed = CollectStream(*plan, env.ctx);
+  ASSERT_TRUE(fallback_streamed.ok());
+
+  const std::string expected = xml::SerializeSequence(*streaming);
+  EXPECT_EQ(expected, xml::SerializeSequence(*streamed_api));
+  EXPECT_EQ(expected, xml::SerializeSequence(*fallback));
+  EXPECT_EQ(expected, xml::SerializeSequence(*fallback_streamed));
+}
+
+}  // namespace
+}  // namespace aldsp::runtime

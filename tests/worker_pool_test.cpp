@@ -1,0 +1,160 @@
+#include "runtime/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/e2e_fixture.h"
+
+namespace aldsp::runtime {
+namespace {
+
+using aldsp::testing::RunningExample;
+
+TEST(WorkerPoolTest, SubmitRunsAndWaitReturns) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<WorkerPool::Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& t : tasks) t.Wait();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(pool.async_runs() + pool.inline_runs(), 8);
+}
+
+TEST(WorkerPoolTest, WaitStealsInlineWhenPoolIsSaturated) {
+  // Wait on an un-started task must claim and run it on the calling
+  // thread; otherwise nested submission deadlocks a saturated pool.
+  WorkerPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  WorkerPool::Task blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  std::thread::id ran_on;
+  WorkerPool::Task queued = pool.Submit(
+      [&] { ran_on = std::this_thread::get_id(); });
+  queued.Wait();  // the single worker is blocked: must run inline
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  EXPECT_EQ(pool.inline_runs(), 1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.Wait();
+}
+
+TEST(WorkerPoolTest, WaitForNeverStealsAndTimesOut) {
+  // WaitFor backs fn-bea:timeout: a saturated pool must surface as a
+  // timeout, never as the caller silently doing the work itself.
+  WorkerPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  WorkerPool::Task blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  std::atomic<bool> ran{false};
+  WorkerPool::Task queued = pool.Submit([&] { ran.store(true); });
+  EXPECT_FALSE(queued.WaitFor(std::chrono::milliseconds(50)));
+  EXPECT_FALSE(ran.load());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.Wait();
+  queued.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPoolTest, WorkerConcurrencyStaysWithinPoolSize) {
+  WorkerPool pool(2);
+  std::atomic<int> running{0};
+  std::atomic<int> max_running{0};
+  std::atomic<int> done{0};
+  std::vector<WorkerPool::Task> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back(pool.Submit([&] {
+      int now = running.fetch_add(1) + 1;
+      int prev = max_running.load();
+      while (now > prev && !max_running.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      running.fetch_sub(1);
+      done.fetch_add(1);
+    }));
+  }
+  // Spin (no Task::Wait) so the main thread never steals work and the
+  // observed concurrency is the worker threads' alone.
+  while (done.load() < 16) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : tasks) t.Wait();
+  EXPECT_LE(max_running.load(), 2);
+  EXPECT_EQ(pool.async_runs(), 16);
+  EXPECT_EQ(pool.inline_runs(), 0);
+}
+
+TEST(WorkerPoolTest, NestedAsyncUnderSmallPoolCompletes) {
+  // Regression for the satellite requirement: N nested fn-bea:async
+  // launches under a pool of 2 must neither deadlock nor spawn extra
+  // threads. Each constructor level hoists its async child onto the
+  // pool, so 8 levels stack 8 dependent tasks onto 2 workers; Wait's
+  // inline-steal is what keeps them progressing.
+  RunningExample env(3);
+  WorkerPool pool(2);
+  env.ctx.pool = &pool;
+  std::string query = "1";
+  for (int depth = 0; depth < 8; ++depth) {
+    query = "<L><V>{fn-bea:async(" + query + " + 1)}</V></L>";
+  }
+  auto r = env.Run(query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Each level atomizes the inner element and adds 1 (untyped-atomic
+  // arithmetic yields a double): 1 + 8 levels = 9.0.
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->front().node()->StringValue(), "9.0");
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_GE(env.stats.async_tasks.load(), 8);
+}
+
+TEST(RuntimeStatsTest, NotePeakBytesSurvivesConcurrentReset) {
+  // Reset and NotePeakBytes may race (a monitoring reset while queries
+  // run); the generation re-check republishes a watermark the reset
+  // zeroed, so a live operator's report is never lost.
+  RuntimeStats stats;
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    for (int i = 0; i < 2000; ++i) stats.Reset();
+  });
+  std::vector<std::thread> noters;
+  for (int t = 0; t < 4; ++t) {
+    noters.emplace_back([&] {
+      while (!stop.load()) stats.NotePeakBytes(1000);
+    });
+  }
+  resetter.join();
+  stop.store(true);
+  for (auto& th : noters) th.join();
+  // Only 0 (reset happened last) or the noted watermark are possible.
+  int64_t peak = stats.peak_operator_bytes.load();
+  EXPECT_TRUE(peak == 0 || peak == 1000) << peak;
+  // A note issued strictly after the last reset must stick.
+  stats.NotePeakBytes(1000);
+  EXPECT_EQ(stats.peak_operator_bytes.load(), 1000);
+}
+
+}  // namespace
+}  // namespace aldsp::runtime
