@@ -21,19 +21,21 @@ cmake -B "$repo/build-asan" -S "$repo" \
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-# The TSan gate covers the suites that exercise the worker pool and the
-# PP-k prefetcher (the shared-state paths). query_trace_test is excluded:
-# its timeout test deliberately abandons an evaluation past the end of
-# the test body, which is the documented fn-bea:timeout contract, not a
-# data race in the runtime.
+# The TSan gate covers the suites that exercise the worker pool, the
+# PP-k prefetcher, and the observability plane's lock-free audit ring
+# (the shared-state paths). query_trace_test is excluded: its timeout
+# test deliberately abandons an evaluation past the end of the test
+# body, which is the documented fn-bea:timeout contract, not a data
+# race in the runtime.
 echo "== tier-1: TSan build + concurrency suites =="
 cmake -B "$repo/build-tsan" -S "$repo" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" \
-  --target physical_parity_test worker_pool_test join_methods_test
+  --target physical_parity_test worker_pool_test join_methods_test \
+  observability_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|worker_pool_test|join_methods_test)$'
+  -R '^(physical_parity_test|worker_pool_test|join_methods_test|observability_test)$'
 
 echo "== all checks passed =="

@@ -1,0 +1,101 @@
+#include "observability/audit_log.h"
+
+#include <cstdio>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+
+int64_t ExecutionAuditLog::Append(AuditRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = next_seq_++;
+  int64_t seq = record.seq;
+  if (sink_ != nullptr) sink_->Append(record);
+  if (capacity_ == 0) return seq;
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(std::move(record));
+  return seq;
+}
+
+std::vector<AuditRecord> ExecutionAuditLog::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<AuditRecord>(ring_.begin(), ring_.end());
+}
+
+int64_t ExecutionAuditLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void ExecutionAuditLog::SetSink(AuditSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void ExecutionAuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+uint64_t ExecutionAuditLog::HashQuery(std::string_view text) {
+  // FNV-1a 64-bit.
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string ExecutionAuditLog::RecordJson(const AuditRecord& r) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "{\"seq\":%lld,\"query_hash\":\"%016llx\",",
+                static_cast<long long>(r.seq),
+                static_cast<unsigned long long>(r.query_hash));
+  out += buf;
+  out += "\"query_head\":";
+  AppendJsonString(&out, r.query_head);
+  out += ",\"principal\":";
+  AppendJsonString(&out, r.principal);
+  out += ",\"outcome\":";
+  AppendJsonString(&out, r.outcome);
+  out += ",\"sources\":[";
+  for (size_t i = 0; i < r.sources.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendJsonString(&out, r.sources[i]);
+  }
+  out += "]";
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"sql_pushdowns\":%lld,\"rows_returned\":%lld,"
+      "\"bytes_returned\":%lld,\"wall_micros\":%lld,"
+      "\"compile_micros\":%lld,\"plan_cache_hit\":%s,"
+      "\"function_cache_hits\":%lld,\"function_cache_misses\":%lld,"
+      "\"timeouts\":%lld,\"failovers\":%lld,\"security_denials\":%lld}",
+      static_cast<long long>(r.sql_pushdowns),
+      static_cast<long long>(r.rows_returned),
+      static_cast<long long>(r.bytes_returned),
+      static_cast<long long>(r.wall_micros),
+      static_cast<long long>(r.compile_micros),
+      r.plan_cache_hit ? "true" : "false",
+      static_cast<long long>(r.function_cache_hits),
+      static_cast<long long>(r.function_cache_misses),
+      static_cast<long long>(r.timeouts),
+      static_cast<long long>(r.failovers),
+      static_cast<long long>(r.security_denials));
+  out += buf;
+  return out;
+}
+
+std::string ExecutionAuditLog::RenderJsonl(
+    const std::vector<AuditRecord>& records) {
+  std::string out;
+  for (const AuditRecord& r : records) {
+    out += RecordJson(r);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aldsp::observability

@@ -1,0 +1,39 @@
+#include "observability/histogram.h"
+
+namespace aldsp::observability {
+
+const int64_t LatencyHistogram::kUpperMicros[] = {
+    100, 1000, 10000, 100000, 1000000, 10000000};
+
+const char* LatencyHistogram::BucketLabel(int i) {
+  static const char* kLabels[kBuckets] = {
+      "le_100us", "le_1ms", "le_10ms", "le_100ms",
+      "le_1s",    "le_10s", "inf"};
+  return (i >= 0 && i < kBuckets) ? kLabels[i] : "?";
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  int bucket = kBuckets - 1;
+  for (int i = 0; i < kBuckets - 1; ++i) {
+    if (micros <= kUpperMicros[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts[bucket] += 1;
+  if (count == 0 || micros < min_micros) min_micros = micros;
+  if (micros > max_micros) max_micros = micros;
+  count += 1;
+  sum_micros += micros;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count == 0) return;
+  for (int i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+  if (count == 0 || other.min_micros < min_micros) min_micros = other.min_micros;
+  if (other.max_micros > max_micros) max_micros = other.max_micros;
+  count += other.count;
+  sum_micros += other.sum_micros;
+}
+
+}  // namespace aldsp::observability

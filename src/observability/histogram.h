@@ -1,0 +1,35 @@
+#ifndef ALDSP_OBSERVABILITY_HISTOGRAM_H_
+#define ALDSP_OBSERVABILITY_HISTOGRAM_H_
+
+#include <cstdint>
+
+namespace aldsp::observability {
+
+/// Fixed log-scale latency histogram (bucket bounds in microseconds:
+/// 100us, 1ms, 10ms, 100ms, 1s, 10s, +inf). Fixed buckets keep
+/// recording allocation-free and make snapshots mergeable across
+/// rolling-window slots and across servers.
+struct LatencyHistogram {
+  static constexpr int kBuckets = 7;
+  static const int64_t kUpperMicros[kBuckets - 1];
+  static const char* BucketLabel(int i);
+
+  int64_t counts[kBuckets] = {};
+  int64_t count = 0;
+  int64_t sum_micros = 0;
+  int64_t min_micros = 0;
+  int64_t max_micros = 0;
+
+  void Record(int64_t micros);
+  void Merge(const LatencyHistogram& other);
+  void Reset() { *this = LatencyHistogram{}; }
+  double MeanMicros() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_micros) /
+                            static_cast<double>(count);
+  }
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_HISTOGRAM_H_

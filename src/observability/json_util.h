@@ -1,0 +1,14 @@
+#ifndef ALDSP_OBSERVABILITY_JSON_UTIL_H_
+#define ALDSP_OBSERVABILITY_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace aldsp::observability {
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+void AppendJsonString(std::string* out, std::string_view s);
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_JSON_UTIL_H_

@@ -1,0 +1,58 @@
+#include "observability/rolling_window.h"
+
+namespace aldsp::observability {
+
+void RollingWindow::Record(int64_t value_micros, int64_t now_micros) {
+  int64_t epoch = now_micros / kSlotMicros;
+  Slot& slot = slots_[epoch % kSlots];
+  if (slot.epoch != epoch) {
+    slot.epoch = epoch;
+    slot.hist.Reset();
+  }
+  slot.hist.Record(value_micros);
+  total_.Record(value_micros);
+}
+
+RollingWindow::Snapshot RollingWindow::GetSnapshot(int64_t now_micros) const {
+  int64_t epoch = now_micros / kSlotMicros;
+  // A slot is inside the last minute if its start is newer than
+  // now - 60s, i.e. its epoch is within the last six slot widths.
+  int64_t minute_floor = epoch - (kMinuteMicros / kSlotMicros) + 1;
+  int64_t window_floor = epoch - kSlots + 1;
+  Snapshot snap;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch < window_floor || slot.epoch > epoch) continue;
+    snap.last_5m.Merge(slot.hist);
+    if (slot.epoch >= minute_floor) snap.last_1m.Merge(slot.hist);
+  }
+  snap.total = total_;
+  return snap;
+}
+
+void RollingCounter::Add(int64_t delta, int64_t now_micros) {
+  int64_t epoch = now_micros / RollingWindow::kSlotMicros;
+  Slot& slot = slots_[epoch % RollingWindow::kSlots];
+  if (slot.epoch != epoch) {
+    slot.epoch = epoch;
+    slot.sum = 0;
+  }
+  slot.sum += delta;
+  total_ += delta;
+}
+
+RollingCounter::Snapshot RollingCounter::GetSnapshot(int64_t now_micros) const {
+  int64_t epoch = now_micros / RollingWindow::kSlotMicros;
+  int64_t minute_floor =
+      epoch - (RollingWindow::kMinuteMicros / RollingWindow::kSlotMicros) + 1;
+  int64_t window_floor = epoch - RollingWindow::kSlots + 1;
+  Snapshot snap;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch < window_floor || slot.epoch > epoch) continue;
+    snap.last_5m += slot.sum;
+    if (slot.epoch >= minute_floor) snap.last_1m += slot.sum;
+  }
+  snap.total = total_;
+  return snap;
+}
+
+}  // namespace aldsp::observability

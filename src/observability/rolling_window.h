@@ -1,0 +1,66 @@
+#ifndef ALDSP_OBSERVABILITY_ROLLING_WINDOW_H_
+#define ALDSP_OBSERVABILITY_ROLLING_WINDOW_H_
+
+#include <cstdint>
+
+#include "observability/histogram.h"
+
+namespace aldsp::observability {
+
+/// Time-bucketed aggregation over a ring of fixed-width slots. The ring
+/// spans 30 slots x 10s = 5 minutes; snapshots merge the slots that fall
+/// inside the last minute / last five minutes plus a cumulative total.
+/// Callers supply `now_micros` explicitly (steady-clock based) so tests
+/// can drive rotation with a virtual clock instead of sleeping.
+///
+/// Not internally synchronized: MetricsRegistry guards its windows with
+/// its own mutex, matching the existing counter/histogram maps.
+class RollingWindow {
+ public:
+  static constexpr int kSlots = 30;
+  static constexpr int64_t kSlotMicros = 10'000'000;      // 10s per slot
+  static constexpr int64_t kMinuteMicros = 60'000'000;
+
+  struct Snapshot {
+    LatencyHistogram last_1m;
+    LatencyHistogram last_5m;
+    LatencyHistogram total;
+  };
+
+  void Record(int64_t value_micros, int64_t now_micros);
+  Snapshot GetSnapshot(int64_t now_micros) const;
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;  // now / kSlotMicros when the slot was last live
+    LatencyHistogram hist;
+  };
+  Slot slots_[kSlots];
+  LatencyHistogram total_;
+};
+
+/// Same slot ring for plain monotonic counters (cache hits, misses,
+/// queue submissions): windowed sums instead of histograms.
+class RollingCounter {
+ public:
+  struct Snapshot {
+    int64_t last_1m = 0;
+    int64_t last_5m = 0;
+    int64_t total = 0;
+  };
+
+  void Add(int64_t delta, int64_t now_micros);
+  Snapshot GetSnapshot(int64_t now_micros) const;
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;
+    int64_t sum = 0;
+  };
+  Slot slots_[RollingWindow::kSlots];
+  int64_t total_ = 0;
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_ROLLING_WINDOW_H_

@@ -1,0 +1,83 @@
+#include "observability/slow_query_log.h"
+
+#include <cstdio>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+
+bool SlowQueryLog::IsPromoted(uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return promoted_.count(hash) != 0;
+}
+
+void SlowQueryLog::Promote(uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (promoted_.size() >= kMaxPromoted && promoted_.count(hash) == 0) return;
+  promoted_.insert(hash);
+}
+
+int64_t SlowQueryLog::Append(SlowQueryRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = next_seq_++;
+  int64_t seq = record.seq;
+  if (capacity_ == 0) return seq;
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(std::move(record));
+  return seq;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SlowQueryRecord>(ring_.begin(), ring_.end());
+}
+
+int64_t SlowQueryLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  promoted_.clear();
+}
+
+std::string SlowQueryLog::RecordJson(const SlowQueryRecord& r) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%lld,\"query_hash\":\"%016llx\",",
+                static_cast<long long>(r.seq),
+                static_cast<unsigned long long>(r.query_hash));
+  out += buf;
+  out += "\"query_head\":";
+  AppendJsonString(&out, r.query_head);
+  std::snprintf(buf, sizeof(buf),
+                ",\"wall_micros\":%lld,\"threshold_micros\":%lld,"
+                "\"full_trace\":%s,",
+                static_cast<long long>(r.wall_micros),
+                static_cast<long long>(r.threshold_micros),
+                r.full_trace ? "true" : "false");
+  out += buf;
+  out += "\"profile_json\":";
+  // profile_json is already JSON (or empty); embed as-is when present.
+  out += r.profile_json.empty() ? "null" : r.profile_json;
+  out += ",\"profile_text\":";
+  AppendJsonString(&out, r.profile_text);
+  out += "}";
+  return out;
+}
+
+std::string SlowQueryLog::RenderJson(
+    const std::vector<SlowQueryRecord>& records) {
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) out += ",";
+    out += RecordJson(records[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace aldsp::observability

@@ -1,0 +1,68 @@
+#ifndef ALDSP_OBSERVABILITY_SLOW_QUERY_LOG_H_
+#define ALDSP_OBSERVABILITY_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace aldsp::observability {
+
+/// One retained slow execution. The first slow run of a query executes
+/// under the cheap always-on counters trace, so its record carries the
+/// counter summary only (`full_trace == false`) and promotes the query
+/// hash; later runs of a promoted hash execute under a full trace whose
+/// rendered profile is persisted here. Profiles are stored as rendered
+/// strings so this library stays independent of the runtime trace types.
+struct SlowQueryRecord {
+  int64_t seq = 0;
+  uint64_t query_hash = 0;
+  std::string query_head;
+  int64_t wall_micros = 0;
+  int64_t threshold_micros = 0;
+  bool full_trace = false;
+  std::string profile_text;  // rendered profile / counter summary
+  std::string profile_json;
+};
+
+/// Bounded ring of slow executions plus the promotion set that upgrades
+/// repeat offenders from counters to full tracing.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// True if `hash` has already been seen slow (next execution should
+  /// run with a full trace).
+  bool IsPromoted(uint64_t hash) const;
+  void Promote(uint64_t hash);
+
+  /// Assigns the record's sequence number and appends, evicting the
+  /// oldest record when full.
+  int64_t Append(SlowQueryRecord record);
+
+  std::vector<SlowQueryRecord> Records() const;
+  int64_t total_appended() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  static std::string RecordJson(const SlowQueryRecord& record);
+  static std::string RenderJson(const std::vector<SlowQueryRecord>& records);
+
+ private:
+  // Promotion set cap: a rogue workload of unique slow queries must not
+  // grow memory without bound; past the cap new hashes stay unpromoted
+  // (counter-level records are still appended).
+  static constexpr size_t kMaxPromoted = 256;
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SlowQueryRecord> ring_;
+  std::unordered_set<uint64_t> promoted_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_SLOW_QUERY_LOG_H_

@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "compiler/function_table.h"
+#include "observability/source_health.h"
 #include "runtime/adaptor.h"
 #include "runtime/function_cache.h"
 #include "runtime/metrics.h"
@@ -88,6 +90,20 @@ struct RuntimeContext {
   /// pointer, so disabled profiling costs nothing. ExecuteProfiled runs
   /// with a context copy pointing at a fresh trace.
   QueryTrace* trace = nullptr;
+  /// Keep-alive for `trace` when the execution may outlive the caller's
+  /// stack frame: fn-bea:timeout abandons its worker-pool task on the
+  /// deadline, and the task runs to completion later holding a *copy* of
+  /// this context. The copy's shared ownership keeps the trace (and the
+  /// events the abandoned task still records, e.g. function-cache hits on
+  /// the pool thread) valid until the task finishes.
+  std::shared_ptr<QueryTrace> trace_owner;
+
+  /// Per-source health scoreboard with circuit breaking (optional,
+  /// server-owned). The evaluator gates every source interaction through
+  /// AllowRequest and reports NoteSuccess/NoteFailure/NoteTimeout;
+  /// fn-bea:fail-over / fn-bea:timeout consult IsOpen to skip a tripped
+  /// primary without re-paying its timeout.
+  observability::SourceHealthBoard* health = nullptr;
 
   /// Bounded worker pool for fn-bea:async fan-out, timeout evaluation and
   /// PP-k block prefetch. Null falls back to the process-wide

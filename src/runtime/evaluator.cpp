@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -107,6 +108,45 @@ int64_t VirtualLatencyMark(relational::Database* db) {
 int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
   if (mark < 0) return 0;
   return db->stats().simulated_latency_micros.load() - mark;
+}
+
+// Steady-clock "now" for the source health board's breaker timestamps.
+int64_t HealthNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Circuit-breaker admission gate, consulted before every source
+// interaction. An open breaker rejects immediately (fast SourceError, no
+// round trip, no timeout) — fn-bea:fail-over catches it like any other
+// source failure and takes the alternate.
+Status GateSource(const RuntimeContext& ctx, const std::string& source) {
+  if (ctx.health != nullptr &&
+      !ctx.health->AllowRequest(source, HealthNowMicros())) {
+    return Status::SourceError("circuit breaker open for source '" + source +
+                               "'");
+  }
+  return Status::OK();
+}
+
+void NoteSourceOutcome(const RuntimeContext& ctx, const std::string& source,
+                       bool ok, int64_t micros) {
+  if (ctx.health == nullptr) return;
+  if (ok) {
+    ctx.health->NoteSuccess(source, micros, HealthNowMicros());
+  } else {
+    ctx.health->NoteFailure(source, HealthNowMicros());
+  }
+}
+
+// True when the attached trace will replay its source observations into
+// the observed-cost model at completion (FeedObservedCost): only a full
+// trace keeps the event list that replay walks. With a counters-mode
+// trace (or none) observations must be recorded inline.
+bool TraceReplaysObservations(const RuntimeContext& ctx) {
+  return ctx.trace != nullptr &&
+         ctx.trace->mode() == QueryTrace::Mode::kFull;
 }
 
 class Evaluator {
@@ -746,6 +786,7 @@ class Evaluator {
                                  fn.Property("source") + "' (function " +
                                  fn.name + ")");
     }
+    ALDSP_RETURN_NOT_OK(GateSource(ctx_, fn.Property("source")));
     if (ctx_.stats != nullptr) ctx_.stats->source_invocations += 1;
     relational::Database* db =
         fn.is_relational()
@@ -753,19 +794,26 @@ class Evaluator {
             : nullptr;
     int64_t sim_mark = VirtualLatencyMark(db);
     auto t0 = std::chrono::steady_clock::now();
-    ALDSP_ASSIGN_OR_RETURN(Sequence result, adaptor->Invoke(fn.name, args));
+    Result<Sequence> invoked = adaptor->Invoke(fn.name, args);
     int64_t micros = MicrosSince(t0) + VirtualLatencyDelta(db, sim_mark);
+    NoteSourceOutcome(ctx_, fn.Property("source"), invoked.ok(), micros);
+    if (!invoked.ok()) return invoked.status();
+    Sequence result = std::move(invoked).value();
     if (ctx_.metrics != nullptr) {
       ctx_.metrics->RecordSourceLatency(fn.Property("source"), micros);
     }
     if (ctx_.trace != nullptr) {
-      // FeedObservedCost replays this event into the observed-cost model
-      // at completion, so the inline recording below stays disabled.
       ctx_.trace->AddEvent(QueryTrace::EventKind::kSourceInvoke,
                            fn.Property("source"), fn.name,
                            static_cast<int64_t>(result.size()), micros,
                            fn.is_relational() ? fn.Property("table") : "");
-    } else if (ctx_.observed != nullptr && fn.is_relational()) {
+    }
+    // A full trace replays its events into the observed-cost model at
+    // completion (FeedObservedCost), so inline recording would double
+    // count; the always-on counters trace keeps no events, so the inline
+    // path must still feed the model.
+    if (!TraceReplaysObservations(ctx_) && ctx_.observed != nullptr &&
+        fn.is_relational()) {
       ctx_.observed->RecordTableScan(fn.Property("source"),
                                      fn.Property("table"),
                                      static_cast<int64_t>(result.size()),
@@ -800,12 +848,16 @@ class Evaluator {
     if (db == nullptr) {
       return Status::SourceError("no relational source '" + spec->source + "'");
     }
+    ALDSP_RETURN_NOT_OK(GateSource(ctx_, spec->source));
     if (ctx_.stats != nullptr) ctx_.stats->sql_pushdowns += 1;
     int64_t sim_mark = VirtualLatencyMark(db);
     auto t0 = std::chrono::steady_clock::now();
-    ALDSP_ASSIGN_OR_RETURN(relational::ResultSet rs,
-                           db->ExecuteSelect(*spec->select, params));
+    Result<relational::ResultSet> executed =
+        db->ExecuteSelect(*spec->select, params);
     int64_t micros = MicrosSince(t0) + VirtualLatencyDelta(db, sim_mark);
+    NoteSourceOutcome(ctx_, spec->source, executed.ok(), micros);
+    if (!executed.ok()) return executed.status();
+    relational::ResultSet rs = std::move(executed).value();
     // A bare single-table scan observes the table's cardinality.
     const relational::SelectStmt& s = *spec->select;
     bool bare_scan = s.joins.empty() && s.where == nullptr &&
@@ -815,12 +867,14 @@ class Evaluator {
       ctx_.metrics->RecordSourceLatency(spec->source, micros);
     }
     if (ctx_.trace != nullptr) {
-      // The trace replays into the observed-cost model at completion.
       ctx_.trace->AddEvent(QueryTrace::EventKind::kSql, spec->source,
                            relational::DebugString(*spec->select),
                            static_cast<int64_t>(rs.rows.size()), micros,
                            bare_scan ? s.from.table_name : "");
-    } else if (ctx_.observed != nullptr) {
+    }
+    // Only a full trace replays observations at completion; under the
+    // counters trace (or none) the model is fed inline.
+    if (!TraceReplaysObservations(ctx_) && ctx_.observed != nullptr) {
       ctx_.observed->RecordStatement(spec->source, micros);
       if (bare_scan) {
         ctx_.observed->RecordTableScan(spec->source, s.from.table_name,
@@ -855,11 +909,14 @@ class Evaluator {
       return Status::SourceError("no adaptor for source '" +
                                  e.custom->source + "'");
     }
+    ALDSP_RETURN_NOT_OK(GateSource(ctx_, e.custom->source));
     if (ctx_.stats != nullptr) ctx_.stats->source_invocations += 1;
     auto t0 = std::chrono::steady_clock::now();
-    ALDSP_ASSIGN_OR_RETURN(Sequence result,
-                           adaptor->InvokeFiltered(*e.custom, params));
+    Result<Sequence> invoked = adaptor->InvokeFiltered(*e.custom, params);
     int64_t micros = MicrosSince(t0);
+    NoteSourceOutcome(ctx_, e.custom->source, invoked.ok(), micros);
+    if (!invoked.ok()) return invoked.status();
+    Sequence result = std::move(invoked).value();
     if (ctx_.metrics != nullptr) {
       ctx_.metrics->RecordSourceLatency(e.custom->source, micros);
     }
@@ -881,6 +938,72 @@ class Evaluator {
                                int depth);
   Result<Sequence> EvalWithTimeout(const ExprPtr& prim, const Tuple& env,
                                    int depth, int64_t millis);
+
+  /// Statically collects the source ids a subtree may contact: pushed SQL
+  /// regions, PP-k fetch specs, custom pushdowns, external function
+  /// calls, and the bodies of user functions it calls (cycle-guarded).
+  /// Used by fn-bea:fail-over / fn-bea:timeout to consult the health
+  /// board about the primary before paying for its evaluation.
+  void CollectSources(const Expr& e, std::set<std::string>* out,
+                      std::set<std::string>* visited_fns) const {
+    switch (e.kind) {
+      case ExprKind::kSqlQuery:
+        if (e.sql) out->insert(e.sql->source);
+        break;
+      case ExprKind::kCustomQuery:
+        if (e.custom) out->insert(e.custom->source);
+        break;
+      case ExprKind::kFunctionCall:
+        if (ctx_.functions != nullptr) {
+          if (const ExternalFunction* fn =
+                  ctx_.functions->FindExternal(e.fn_name)) {
+            out->insert(fn->Property("source"));
+          } else if (const UserFunction* fn =
+                         ctx_.functions->FindUser(e.fn_name)) {
+            if (fn->body != nullptr && visited_fns->insert(e.fn_name).second) {
+              CollectSources(*fn->body, out, visited_fns);
+            }
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : e.children) {
+      if (c != nullptr) CollectSources(*c, out, visited_fns);
+    }
+    for (const Clause& cl : e.clauses) {
+      if (cl.expr != nullptr) CollectSources(*cl.expr, out, visited_fns);
+      if (cl.condition != nullptr) {
+        CollectSources(*cl.condition, out, visited_fns);
+      }
+      for (const auto& gk : cl.group_keys) {
+        if (gk.expr != nullptr) CollectSources(*gk.expr, out, visited_fns);
+      }
+      for (const auto& ok : cl.order_keys) {
+        if (ok.expr != nullptr) CollectSources(*ok.expr, out, visited_fns);
+      }
+      for (const auto& [lhs, rhs] : cl.equi_keys) {
+        if (lhs != nullptr) CollectSources(*lhs, out, visited_fns);
+        if (rhs != nullptr) CollectSources(*rhs, out, visited_fns);
+      }
+      if (cl.ppk_fetch != nullptr) out->insert(cl.ppk_fetch->source);
+    }
+  }
+
+  /// True when any source the subtree depends on has an open breaker
+  /// (still inside its cooldown). Fills `sources` for NoteTimeout.
+  bool AnySourceBreakerOpen(const Expr& e,
+                            std::set<std::string>* sources) const {
+    if (ctx_.health == nullptr) return false;
+    std::set<std::string> visited_fns;
+    CollectSources(e, sources, &visited_fns);
+    int64_t now = HealthNowMicros();
+    for (const std::string& source : *sources) {
+      if (ctx_.health->IsOpen(source, now)) return true;
+    }
+    return false;
+  }
 
   const RuntimeContext& ctx_;
 };

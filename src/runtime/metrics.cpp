@@ -1,34 +1,10 @@
 #include "runtime/metrics.h"
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 
 namespace aldsp::runtime {
-
-const int64_t MetricsRegistry::Histogram::kUpperMicros[] = {
-    100, 1000, 10000, 100000, 1000000, 10000000};
-
-const char* MetricsRegistry::Histogram::BucketLabel(int i) {
-  static const char* kLabels[kBuckets] = {
-      "le_100us", "le_1ms", "le_10ms", "le_100ms",
-      "le_1s",    "le_10s", "inf"};
-  return (i >= 0 && i < kBuckets) ? kLabels[i] : "?";
-}
-
-void MetricsRegistry::Histogram::Record(int64_t micros) {
-  int bucket = kBuckets - 1;
-  for (int i = 0; i < kBuckets - 1; ++i) {
-    if (micros <= kUpperMicros[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  counts[bucket] += 1;
-  if (count == 0 || micros < min_micros) min_micros = micros;
-  if (micros > max_micros) max_micros = micros;
-  count += 1;
-  sum_micros += micros;
-}
 
 void MetricsRegistry::RecordSourceLatency(const std::string& source,
                                           int64_t micros) {
@@ -47,11 +23,41 @@ void MetricsRegistry::SetCounter(const std::string& name, int64_t value) {
   counters_[name] = value;
 }
 
+int64_t MetricsRegistry::NowMicrosLocked() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() +
+         clock_skew_micros_;
+}
+
+void MetricsRegistry::RecordWindowed(const std::string& name, int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  windows_[name].Record(micros, NowMicrosLocked());
+}
+
+void MetricsRegistry::AddWindowedCounter(const std::string& name,
+                                         int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  windowed_counters_[name].Add(delta, NowMicrosLocked());
+}
+
+void MetricsRegistry::AdvanceClockForTest(int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_skew_micros_ += micros;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::GetSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
   snap.counters = counters_;
   snap.source_latency = source_latency_;
+  int64_t now = NowMicrosLocked();
+  for (const auto& [name, window] : windows_) {
+    snap.windows[name] = window.GetSnapshot(now);
+  }
+  for (const auto& [name, counter] : windowed_counters_) {
+    snap.windowed_counters[name] = counter.GetSnapshot(now);
+  }
   return snap;
 }
 
@@ -59,6 +65,8 @@ void MetricsRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   source_latency_.clear();
+  windows_.clear();
+  windowed_counters_.clear();
 }
 
 std::string MetricsRegistry::RenderText(const Snapshot& snapshot) {
@@ -75,6 +83,19 @@ std::string MetricsRegistry::RenderText(const Snapshot& snapshot) {
       if (h.counts[i] == 0) continue;
       os << "  " << Histogram::BucketLabel(i) << " " << h.counts[i] << "\n";
     }
+  }
+  for (const auto& [name, w] : snapshot.windows) {
+    os << "window{" << name << "} 1m_count=" << w.last_1m.count
+       << " 1m_mean_us=" << static_cast<int64_t>(w.last_1m.MeanMicros())
+       << " 5m_count=" << w.last_5m.count
+       << " 5m_mean_us=" << static_cast<int64_t>(w.last_5m.MeanMicros())
+       << " total_count=" << w.total.count
+       << " total_mean_us=" << static_cast<int64_t>(w.total.MeanMicros())
+       << "\n";
+  }
+  for (const auto& [name, c] : snapshot.windowed_counters) {
+    os << "windowed_counter{" << name << "} 1m=" << c.last_1m
+       << " 5m=" << c.last_5m << " total=" << c.total << "\n";
   }
   return os.str();
 }
@@ -110,6 +131,21 @@ void AppendJsonString(std::ostringstream& os, const std::string& s) {
   os << '"';
 }
 
+void AppendHistogramJson(std::ostringstream& os,
+                         const MetricsRegistry::Histogram& h) {
+  os << "{\"count\":" << h.count << ",\"sum_micros\":" << h.sum_micros
+     << ",\"min_micros\":" << h.min_micros
+     << ",\"max_micros\":" << h.max_micros << ",\"buckets\":{";
+  bool bfirst = true;
+  for (int i = 0; i < MetricsRegistry::Histogram::kBuckets; ++i) {
+    if (!bfirst) os << ",";
+    bfirst = false;
+    AppendJsonString(os, MetricsRegistry::Histogram::BucketLabel(i));
+    os << ":" << h.counts[i];
+  }
+  os << "}}";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::RenderJson(const Snapshot& snapshot) {
@@ -128,17 +164,31 @@ std::string MetricsRegistry::RenderJson(const Snapshot& snapshot) {
     if (!first) os << ",";
     first = false;
     AppendJsonString(os, source);
-    os << ":{\"count\":" << h.count << ",\"sum_micros\":" << h.sum_micros
-       << ",\"min_micros\":" << h.min_micros
-       << ",\"max_micros\":" << h.max_micros << ",\"buckets\":{";
-    bool bfirst = true;
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      if (!bfirst) os << ",";
-      bfirst = false;
-      AppendJsonString(os, Histogram::BucketLabel(i));
-      os << ":" << h.counts[i];
-    }
-    os << "}}";
+    os << ":";
+    AppendHistogramJson(os, h);
+  }
+  os << "},\"windows\":{";
+  first = true;
+  for (const auto& [name, w] : snapshot.windows) {
+    if (!first) os << ",";
+    first = false;
+    AppendJsonString(os, name);
+    os << ":{\"last_1m\":";
+    AppendHistogramJson(os, w.last_1m);
+    os << ",\"last_5m\":";
+    AppendHistogramJson(os, w.last_5m);
+    os << ",\"total\":";
+    AppendHistogramJson(os, w.total);
+    os << "}";
+  }
+  os << "},\"windowed_counters\":{";
+  first = true;
+  for (const auto& [name, c] : snapshot.windowed_counters) {
+    if (!first) os << ",";
+    first = false;
+    AppendJsonString(os, name);
+    os << ":{\"last_1m\":" << c.last_1m << ",\"last_5m\":" << c.last_5m
+       << ",\"total\":" << c.total << "}";
   }
   os << "}}";
   return os.str();

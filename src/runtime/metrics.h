@@ -6,41 +6,31 @@
 #include <mutex>
 #include <string>
 
+#include "observability/histogram.h"
+#include "observability/rolling_window.h"
+
 namespace aldsp::runtime {
 
-/// Server-wide metrics for export: named counters plus a per-source
-/// round-trip latency histogram. The runtime records one histogram
-/// sample per source interaction (pushed SQL statement, PP-k block
-/// fetch, adaptor invocation); the server folds its cache and runtime
-/// counters into the snapshot at export time so steady-state execution
-/// only pays the histogram update.
+/// Server-wide metrics for export: named counters, per-source round-trip
+/// latency histograms, and rolling-window series (last 1m / last 5m /
+/// total) for the always-on observability plane. The runtime records one
+/// histogram sample per source interaction (pushed SQL statement, PP-k
+/// block fetch, adaptor invocation); the server feeds query latency,
+/// compile-phase micros, and cache hit/miss streams into the windowed
+/// series and folds its cache and runtime counters into the snapshot at
+/// export time so steady-state execution only pays the histogram update.
 class MetricsRegistry {
  public:
-  /// Fixed log-scale latency histogram (bucket bounds in microseconds:
-  /// 100us, 1ms, 10ms, 100ms, 1s, 10s, +inf). Fixed buckets keep
-  /// recording allocation-free and snapshots mergeable across servers.
-  struct Histogram {
-    static constexpr int kBuckets = 7;
-    static const int64_t kUpperMicros[kBuckets - 1];
-    static const char* BucketLabel(int i);
-
-    int64_t counts[kBuckets] = {};
-    int64_t count = 0;
-    int64_t sum_micros = 0;
-    int64_t min_micros = 0;
-    int64_t max_micros = 0;
-
-    void Record(int64_t micros);
-    double MeanMicros() const {
-      return count == 0 ? 0.0
-                        : static_cast<double>(sum_micros) /
-                              static_cast<double>(count);
-    }
-  };
+  /// Fixed log-scale latency histogram; shared with the observability
+  /// plane so rolling-window slots and snapshots merge cleanly.
+  using Histogram = observability::LatencyHistogram;
 
   struct Snapshot {
     std::map<std::string, int64_t> counters;
     std::map<std::string, Histogram> source_latency;
+    std::map<std::string, observability::RollingWindow::Snapshot> windows;
+    std::map<std::string, observability::RollingCounter::Snapshot>
+        windowed_counters;
   };
 
   void RecordSourceLatency(const std::string& source, int64_t micros);
@@ -48,19 +38,35 @@ class MetricsRegistry {
   /// Overwrites a counter (used for gauges folded in at snapshot time).
   void SetCounter(const std::string& name, int64_t value);
 
+  /// Records a value into the named rolling-window histogram series
+  /// (query latency, compile-phase micros, ...).
+  void RecordWindowed(const std::string& name, int64_t micros);
+  /// Bumps the named rolling-window counter series (cache hits/misses,
+  /// pool submissions, ...).
+  void AddWindowedCounter(const std::string& name, int64_t delta = 1);
+
+  /// Shifts the registry's view of "now" forward so tests can drive
+  /// rolling-window rotation without sleeping.
+  void AdvanceClockForTest(int64_t micros);
+
   Snapshot GetSnapshot() const;
   void Clear();
 
   /// Human-readable snapshot (one counter per line, one histogram block
-  /// per source).
+  /// per source, one windowed block per series).
   static std::string RenderText(const Snapshot& snapshot);
   /// Machine-readable snapshot for export / BENCH_*.json artifacts.
   static std::string RenderJson(const Snapshot& snapshot);
 
  private:
+  int64_t NowMicrosLocked() const;
+
   mutable std::mutex mutex_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, Histogram> source_latency_;
+  std::map<std::string, observability::RollingWindow> windows_;
+  std::map<std::string, observability::RollingCounter> windowed_counters_;
+  int64_t clock_skew_micros_ = 0;
 };
 
 }  // namespace aldsp::runtime

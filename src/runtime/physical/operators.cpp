@@ -54,6 +54,13 @@ int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
   return db->stats().simulated_latency_micros.load() - mark;
 }
 
+// Steady-clock "now" for the source health board's breaker timestamps.
+int64_t HealthNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // Orders two atomized singleton-or-empty sequences; empty sorts first.
 int OrderCompareKeys(const Sequence& a, const Sequence& b) {
   if (a.empty() && b.empty()) return 0;
@@ -578,11 +585,25 @@ class PPkJoinOp final : public JoinOpBase {
                           ? relational::SqlExpr::Binary(
                                 "AND", select->where, std::move(in_pred))
                           : std::move(in_pred);
+      if (ctx()->health != nullptr &&
+          !ctx()->health->AllowRequest(spec.source, HealthNowMicros())) {
+        return Status::SourceError("circuit breaker open for source '" +
+                                   spec.source + "'");
+      }
       int64_t sim_mark = VirtualLatencyMark(db);
       auto t0 = std::chrono::steady_clock::now();
-      ALDSP_ASSIGN_OR_RETURN(relational::ResultSet rs,
-                             db->ExecuteSelect(*select, params));
+      Result<relational::ResultSet> executed =
+          db->ExecuteSelect(*select, params);
       int64_t micros = MicrosSince(t0) + VirtualLatencyDelta(db, sim_mark);
+      if (ctx()->health != nullptr) {
+        if (executed.ok()) {
+          ctx()->health->NoteSuccess(spec.source, micros, HealthNowMicros());
+        } else {
+          ctx()->health->NoteFailure(spec.source, HealthNowMicros());
+        }
+      }
+      if (!executed.ok()) return executed.status();
+      relational::ResultSet rs = std::move(executed).value();
       if (ctx()->metrics != nullptr) {
         ctx()->metrics->RecordSourceLatency(spec.source, micros);
       }

@@ -62,6 +62,8 @@ int QueryTrace::CurrentSpan(const QueryTrace* trace) {
 
 int QueryTrace::BeginSpan(const std::string& kind,
                           const std::string& detail) {
+  // Counters mode keeps operators on their span-less fast path.
+  if (mode_ == Mode::kCounters) return -1;
   int parent = CurrentSpan(this);
   std::lock_guard<std::mutex> lock(mutex_);
   Span span;
@@ -95,6 +97,16 @@ void QueryTrace::EndSpan(int id) {
 void QueryTrace::AddEvent(EventKind kind, const std::string& source,
                           const std::string& detail, int64_t rows,
                           int64_t micros, const std::string& table) {
+  if (mode_ == Mode::kCounters) {
+    int i = static_cast<int>(kind);
+    event_counts_[i].fetch_add(1, std::memory_order_relaxed);
+    event_micros_[i].fetch_add(micros, std::memory_order_relaxed);
+    if (!source.empty()) {
+      std::lock_guard<std::mutex> lock(sources_mutex_);
+      sources_.insert(source);
+    }
+    return;
+  }
   int span = CurrentSpan(this);
   std::lock_guard<std::mutex> lock(mutex_);
   Event event;
@@ -119,12 +131,44 @@ std::vector<QueryTrace::Event> QueryTrace::events() const {
 }
 
 int64_t QueryTrace::CountEvents(EventKind kind) const {
+  if (mode_ == Mode::kCounters) {
+    return event_counts_[static_cast<int>(kind)].load(
+        std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   int64_t n = 0;
   for (const auto& e : events_) {
     if (e.kind == kind) ++n;
   }
   return n;
+}
+
+int64_t QueryTrace::SumEventMicros(EventKind kind) const {
+  if (mode_ == Mode::kCounters) {
+    return event_micros_[static_cast<int>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t sum = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) sum += e.micros;
+  }
+  return sum;
+}
+
+std::vector<std::string> QueryTrace::SourcesTouched() const {
+  if (mode_ == Mode::kCounters) {
+    std::lock_guard<std::mutex> lock(sources_mutex_);
+    return std::vector<std::string>(sources_.begin(), sources_.end());
+  }
+  std::set<std::string> sources;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : events_) {
+      if (!e.source.empty()) sources.insert(e.source);
+    }
+  }
+  return std::vector<std::string>(sources.begin(), sources.end());
 }
 
 void QueryTrace::FeedObservedCost(ObservedCostModel* model) const {

@@ -1,8 +1,10 @@
 #ifndef ALDSP_RUNTIME_QUERY_TRACE_H_
 #define ALDSP_RUNTIME_QUERY_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,11 +28,17 @@ class ObservedCostModel;
 ///    round-trip micros (including a source's simulated latency when its
 ///    LatencyModel runs in virtual time).
 ///
-/// Tracing is strictly opt-in: the evaluator consults the trace pointer
-/// in RuntimeContext and a null pointer skips every instrumentation
-/// branch, so ordinary Execute pays nothing. A trace must be thread-safe
-/// because fn-bea:async and fn-bea:timeout evaluate subtrees on worker
-/// threads that share the RuntimeContext.
+/// A trace runs in one of two modes. kFull records the span tree and
+/// the event list above (opt-in, ExecuteProfiled). kCounters is the
+/// always-on observability mode: BeginSpan returns -1 so operators keep
+/// their no-span fast path, and AddEvent folds into per-kind atomic
+/// counters plus a touched-source set — no span tree, no per-event
+/// strings, no mutex on the counter path — cheap enough to leave on for
+/// every execution while still feeding audit records (pushed-SQL count,
+/// cache hits, sources touched, timeout/fail-over firings). A null trace
+/// pointer still skips every instrumentation branch. A trace must be
+/// thread-safe because fn-bea:async and fn-bea:timeout evaluate subtrees
+/// on worker threads that share the RuntimeContext.
 ///
 /// Spans form a tree. Parentage is tracked per thread: a Scope pushes a
 /// span onto the calling thread's stack, and spans/events created while
@@ -38,6 +46,11 @@ class ObservedCostModel;
 /// thread's innermost span via the span id captured at launch.
 class QueryTrace {
  public:
+  enum class Mode { kFull, kCounters };
+
+  explicit QueryTrace(Mode mode = Mode::kFull) : mode_(mode) {}
+  Mode mode() const { return mode_; }
+
   struct Span {
     int id = -1;
     int parent = -1;       // -1 = attached to the root listing
@@ -87,9 +100,19 @@ class QueryTrace {
                 const std::string& detail, int64_t rows, int64_t micros,
                 const std::string& table = "");
 
+  /// Empty in counters mode.
   std::vector<Span> spans() const;
+  /// Empty in counters mode.
   std::vector<Event> events() const;
+  /// Works in both modes (atomic counters in kCounters, event scan in
+  /// kFull).
   int64_t CountEvents(EventKind kind) const;
+  /// Total micros attributed to events of `kind` (both modes).
+  int64_t SumEventMicros(EventKind kind) const;
+  /// Sorted unique source ids touched by any recorded event (both
+  /// modes). Function-cache hits count their source as touched even
+  /// though no backend round trip happened.
+  std::vector<std::string> SourcesTouched() const;
 
   /// Replays the trace's source observations into the observed-cost
   /// model: SQL statements feed round-trip averages, and events that
@@ -115,9 +138,19 @@ class QueryTrace {
   static int CurrentSpan(const QueryTrace* trace);
 
  private:
+  static constexpr int kNumEventKinds =
+      static_cast<int>(EventKind::kFailOver) + 1;
+
+  Mode mode_;
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::vector<Event> events_;
+  // Counters-mode state: lock-free per-kind tallies plus a touched-source
+  // set updated only on events that carry a source id.
+  std::atomic<int64_t> event_counts_[kNumEventKinds] = {};
+  std::atomic<int64_t> event_micros_[kNumEventKinds] = {};
+  mutable std::mutex sources_mutex_;
+  std::set<std::string> sources_;
 };
 
 }  // namespace aldsp::runtime

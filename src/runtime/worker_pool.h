@@ -69,6 +69,16 @@ class WorkerPool {
   Task Submit(std::function<void()> fn);
 
   int size() const { return static_cast<int>(threads_.size()); }
+  /// Tasks submitted but not yet claimed by a worker or inline waiter —
+  /// the queue-depth gauge the metrics snapshot exports.
+  int64_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    int64_t depth = 0;
+    for (const auto& task : queue_) {
+      if (task->claimed.load(std::memory_order_relaxed) == 0) ++depth;
+    }
+    return depth;
+  }
   /// Counters for tests: completions on pool threads vs claimed inline
   /// by a waiter.
   int64_t async_runs() const { return async_runs_.load(); }
@@ -96,7 +106,7 @@ class WorkerPool {
   void WorkerLoop();
   void RunTask(const std::shared_ptr<TaskState>& task, bool inline_run);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<TaskState>> queue_;
   bool stop_ = false;

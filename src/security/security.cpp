@@ -72,13 +72,15 @@ namespace {
 // returning false if the node should be removed entirely.
 bool RedactNode(const NodePtr& node, const std::string& path,
                 const std::vector<ElementPolicy>& policies,
-                const Principal& principal, AuditLog* audit) {
+                const Principal& principal, AuditLog* audit,
+                int64_t* redactions) {
   for (const auto& p : policies) {
     if (p.resource_path != path) continue;
     if (principal.HasAnyRole(p.allowed_roles)) continue;
     if (audit != nullptr) {
       audit->Record("redaction", principal.user, "resource " + path);
     }
+    if (redactions != nullptr) ++*redactions;
     if (p.action == RedactionAction::kRemove) return false;
     node->SetChildren({XNode::Text(p.replacement)});
     return true;
@@ -89,7 +91,8 @@ bool RedactNode(const NodePtr& node, const std::string& path,
     if (child->kind() != NodeKind::kElement) continue;
     std::string child_path =
         path + "/" + xml::LocalName(child->name());
-    if (!RedactNode(child, child_path, policies, principal, audit)) {
+    if (!RedactNode(child, child_path, policies, principal, audit,
+                    redactions)) {
       node->RemoveChildAt(i - 1);
     }
   }
@@ -100,7 +103,8 @@ bool RedactNode(const NodePtr& node, const std::string& path,
 
 xml::Sequence AccessControl::FilterResult(const Principal& principal,
                                           const xml::Sequence& result,
-                                          AuditLog* audit) const {
+                                          AuditLog* audit,
+                                          int64_t* redactions) const {
   if (element_policies_.empty()) return result;
   xml::Sequence out;
   out.reserve(result.size());
@@ -111,7 +115,8 @@ xml::Sequence AccessControl::FilterResult(const Principal& principal,
     }
     NodePtr copy = item.node()->Clone();
     std::string root_path = xml::LocalName(copy->name());
-    if (RedactNode(copy, root_path, element_policies_, principal, audit)) {
+    if (RedactNode(copy, root_path, element_policies_, principal, audit,
+                   redactions)) {
       out.emplace_back(std::move(copy));
     }
   }

@@ -87,10 +87,14 @@ class AccessControl {
                              AuditLog* audit = nullptr) const;
 
   /// Applies element policies to a result, producing a redacted copy.
-  /// Matching subtrees are removed or replaced per policy.
+  /// Matching subtrees are removed or replaced per policy. When
+  /// `redactions` is non-null it receives the number of subtrees the
+  /// policies removed or replaced (the execution audit's security-denial
+  /// count).
   xml::Sequence FilterResult(const Principal& principal,
                              const xml::Sequence& result,
-                             AuditLog* audit = nullptr) const;
+                             AuditLog* audit = nullptr,
+                             int64_t* redactions = nullptr) const;
 
   bool has_element_policies() const { return !element_policies_.empty(); }
 

@@ -331,6 +331,21 @@ std::string RenderProfileText(const CompiledPlan& plan,
   return os.str();
 }
 
+std::string RenderSourceHealthText(
+    const std::vector<observability::SourceHealthSnapshot>& health) {
+  std::ostringstream os;
+  os << "=== source health ===\n";
+  for (const auto& s : health) {
+    char ewma[32];
+    std::snprintf(ewma, sizeof(ewma), "%.1f", s.ewma_latency_micros);
+    os << s.source << ": " << observability::BreakerStateName(s.state)
+       << "  ewma=" << ewma << "us ok=" << s.successes
+       << " err=" << s.failures << " timeout=" << s.timeouts
+       << " trips=" << s.trips << "\n";
+  }
+  return os.str();
+}
+
 std::string RenderProfileJson(const CompiledPlan& plan,
                               const runtime::QueryTrace& trace) {
   std::ostringstream os;

@@ -2,7 +2,9 @@
 #define ALDSP_SERVER_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
+#include "observability/source_health.h"
 #include "runtime/query_trace.h"
 #include "server/server.h"
 
@@ -24,6 +26,13 @@ std::string RenderProfileText(const CompiledPlan& plan,
                               const runtime::QueryTrace& trace);
 std::string RenderProfileJson(const CompiledPlan& plan,
                               const runtime::QueryTrace& trace);
+
+/// The source-health scoreboard section EXPLAIN appends once the server
+/// has observed any source: per-source breaker state, EWMA latency and
+/// error/timeout tallies, so a plan reading a tripped source is visible
+/// at plan-inspection time.
+std::string RenderSourceHealthText(
+    const std::vector<observability::SourceHealthSnapshot>& health);
 
 }  // namespace aldsp::server
 

@@ -1,10 +1,12 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
 #include "server/explain.h"
+#include "xml/item.h"
 
 namespace aldsp::server {
 
@@ -46,6 +48,9 @@ void CollectCalledFunctions(const xquery::ExprPtr& e,
 DataServicePlatform::DataServicePlatform(ServerOptions options)
     : options_(std::move(options)),
       view_cache_(options_.view_plan_cache_size),
+      health_(options_.circuit_breaker),
+      exec_audit_(options_.audit_log_capacity),
+      slow_queries_(options_.slow_query_log_capacity),
       pool_(options_.worker_pool_size) {
   ctx_.functions = &functions_;
   ctx_.adaptors = &adaptors_;
@@ -55,6 +60,7 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
   // behaviour; the optimizer consults it on the next compilation.
   ctx_.observed = &observed_;
   ctx_.metrics = &metrics_;
+  ctx_.health = &health_;
   ctx_.pool = &pool_;
   options_.optimizer.observed = &observed_;
 }
@@ -232,7 +238,8 @@ Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Compile(
 }
 
 Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Prepare(
-    const std::string& query) {
+    const std::string& query, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   {
     std::lock_guard<std::mutex> lock(plan_cache_mutex_);
     auto it = plan_cache_.find(query);
@@ -240,12 +247,24 @@ Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Prepare(
       ++plan_cache_hits_;
       plan_lru_.remove(query);
       plan_lru_.push_front(query);
+      if (cache_hit != nullptr) *cache_hit = true;
+      metrics_.AddWindowedCounter("plan_cache.hits");
       return it->second;
     }
     ++plan_cache_misses_;
   }
+  metrics_.AddWindowedCounter("plan_cache.misses");
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
                          Compile(query));
+  // Compile-phase micros feed the rolling windows so a compile-time
+  // regression shows up in the metrics snapshot without a bench run.
+  metrics_.RecordWindowed("compile.parse_micros", plan->parse_micros);
+  metrics_.RecordWindowed("compile.analyze_micros", plan->analyze_micros);
+  metrics_.RecordWindowed("compile.optimize_micros", plan->optimize_micros);
+  metrics_.RecordWindowed("compile.pushdown_micros", plan->pushdown_micros);
+  metrics_.RecordWindowed("compile.total_micros",
+                          plan->parse_micros + plan->analyze_micros +
+                              plan->optimize_micros + plan->pushdown_micros);
   {
     std::lock_guard<std::mutex> lock(plan_cache_mutex_);
     while (plan_cache_.size() >= options_.plan_cache_size &&
@@ -260,14 +279,141 @@ Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Prepare(
 }
 
 Result<xml::Sequence> DataServicePlatform::Execute(const std::string& query) {
+  bool cache_hit = false;
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
-                         Prepare(query));
-  return ExecutePlan(*plan);
+                         Prepare(query, &cache_hit));
+  return ExecuteObserved(*plan, cache_hit, nullptr);
 }
 
 Result<xml::Sequence> DataServicePlatform::ExecutePlan(
     const CompiledPlan& plan) {
-  return runtime::Evaluate(*plan.plan, ctx_);
+  return ExecuteObserved(plan, /*plan_cache_hit=*/false, nullptr);
+}
+
+std::shared_ptr<runtime::QueryTrace> DataServicePlatform::MakeObservedTrace(
+    const CompiledPlan& plan) const {
+  if (!options_.always_on_observability) return nullptr;
+  // A query an earlier slow run promoted re-executes under a full trace
+  // so its rendered profile can be captured; everything else pays only
+  // the counters-mode cost.
+  if (options_.slow_query_threshold_micros > 0 &&
+      slow_queries_.IsPromoted(
+          observability::ExecutionAuditLog::HashQuery(plan.text))) {
+    return std::make_shared<runtime::QueryTrace>(
+        runtime::QueryTrace::Mode::kFull);
+  }
+  return std::make_shared<runtime::QueryTrace>(
+      runtime::QueryTrace::Mode::kCounters);
+}
+
+void DataServicePlatform::FinishObservation(
+    const CompiledPlan& plan, bool plan_cache_hit,
+    const runtime::QueryTrace& trace, const Status& outcome, int64_t rows,
+    int64_t bytes, int64_t wall_micros, const std::string& principal,
+    int64_t security_denials) {
+  using EventKind = runtime::QueryTrace::EventKind;
+  metrics_.RecordWindowed("query.latency_micros", wall_micros);
+  metrics_.AddWindowedCounter(outcome.ok() ? "query.ok" : "query.error");
+
+  const uint64_t hash =
+      observability::ExecutionAuditLog::HashQuery(plan.text);
+  const int64_t sql_pushdowns = trace.CountEvents(EventKind::kSql) +
+                                trace.CountEvents(EventKind::kPPkFetch) +
+                                trace.CountEvents(EventKind::kCustomPushdown);
+
+  observability::AuditRecord record;
+  record.query_hash = hash;
+  record.query_head = plan.text.substr(0, 80);
+  record.principal = principal;
+  record.outcome = outcome.ok() ? "ok" : StatusCodeName(outcome.code());
+  record.sources = trace.SourcesTouched();
+  record.sql_pushdowns = sql_pushdowns;
+  record.rows_returned = rows;
+  record.bytes_returned = bytes;
+  record.wall_micros = wall_micros;
+  record.compile_micros =
+      plan_cache_hit ? 0
+                     : plan.parse_micros + plan.analyze_micros +
+                           plan.optimize_micros + plan.pushdown_micros;
+  record.plan_cache_hit = plan_cache_hit;
+  record.function_cache_hits = trace.CountEvents(EventKind::kCacheHit);
+  record.function_cache_misses = trace.CountEvents(EventKind::kCacheMiss);
+  record.timeouts = trace.CountEvents(EventKind::kTimeout);
+  record.failovers = trace.CountEvents(EventKind::kFailOver);
+  record.security_denials = security_denials;
+  exec_audit_.Append(std::move(record));
+
+  if (options_.slow_query_threshold_micros <= 0 ||
+      wall_micros < options_.slow_query_threshold_micros) {
+    return;
+  }
+  observability::SlowQueryRecord slow;
+  slow.query_hash = hash;
+  slow.query_head = plan.text.substr(0, 80);
+  slow.wall_micros = wall_micros;
+  slow.threshold_micros = options_.slow_query_threshold_micros;
+  if (trace.mode() == runtime::QueryTrace::Mode::kFull) {
+    slow.full_trace = true;
+    slow.profile_text = RenderProfileText(plan, trace);
+    slow.profile_json = RenderProfileJson(plan, trace);
+  } else {
+    // First slow sighting: keep the cheap counter summary and promote
+    // the hash so the next run executes under a full trace.
+    std::ostringstream os;
+    os << "counters: rows=" << rows << " sql_pushdowns=" << sql_pushdowns
+       << " cache_hits=" << trace.CountEvents(EventKind::kCacheHit)
+       << " cache_misses=" << trace.CountEvents(EventKind::kCacheMiss)
+       << " timeouts=" << trace.CountEvents(EventKind::kTimeout)
+       << " failovers=" << trace.CountEvents(EventKind::kFailOver)
+       << " sources=";
+    bool first = true;
+    for (const auto& s : trace.SourcesTouched()) {
+      if (!first) os << ",";
+      first = false;
+      os << s;
+    }
+    slow.profile_text = os.str();
+    slow_queries_.Promote(hash);
+  }
+  slow_queries_.Append(std::move(slow));
+}
+
+Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
+    const CompiledPlan& plan, bool plan_cache_hit,
+    const security::Principal* principal) {
+  std::shared_ptr<runtime::QueryTrace> trace = MakeObservedTrace(plan);
+  if (trace == nullptr) {
+    // Observability disabled: the bare execution path.
+    Result<xml::Sequence> bare = runtime::Evaluate(*plan.plan, ctx_);
+    if (!bare.ok() || principal == nullptr) return bare;
+    return access_control_.FilterResult(*principal, *bare, &audit_);
+  }
+  // A context copy carries the trace; trace_owner keeps it alive for any
+  // evaluation a fn-bea:timeout abandons on a pool thread.
+  runtime::RuntimeContext ctx = ctx_;
+  ctx.trace = trace.get();
+  ctx.trace_owner = trace;
+  int64_t t0 = NowMicros();
+  Result<xml::Sequence> result = runtime::Evaluate(*plan.plan, ctx);
+  int64_t security_denials = 0;
+  if (result.ok() && principal != nullptr) {
+    // Fine-grained filtering happens last so cached plans and cached
+    // function results remain user-agnostic (paper §7).
+    xml::Sequence filtered = access_control_.FilterResult(
+        *principal, *result, &audit_, &security_denials);
+    result = std::move(filtered);
+  }
+  int64_t wall = NowMicros() - t0;
+  int64_t rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
+  int64_t bytes = result.ok() ? xml::SequenceMemoryBytes(*result) : 0;
+  if (trace->mode() == runtime::QueryTrace::Mode::kFull) {
+    trace->FeedObservedCost(&observed_);
+  }
+  FinishObservation(plan, plan_cache_hit, *trace,
+                    result.ok() ? Status::OK() : result.status(), rows, bytes,
+                    wall, principal != nullptr ? principal->user : "",
+                    security_denials);
+  return result;
 }
 
 Result<xml::Sequence> DataServicePlatform::CallMethod(
@@ -304,51 +450,97 @@ Result<xml::Sequence> DataServicePlatform::CallMethod(
 
 Result<xml::Sequence> DataServicePlatform::ExecuteAs(
     const std::string& query, const security::Principal& principal) {
+  bool cache_hit = false;
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
-                         Prepare(query));
-  ALDSP_RETURN_NOT_OK(access_control_.CheckFunctionAccess(
-      principal, plan->called_functions, &audit_));
-  ALDSP_ASSIGN_OR_RETURN(xml::Sequence result, ExecutePlan(*plan));
-  // Fine-grained filtering happens last so cached plans and cached
-  // function results remain user-agnostic (paper §7).
-  return access_control_.FilterResult(principal, result, &audit_);
+                         Prepare(query, &cache_hit));
+  Status acl = access_control_.CheckFunctionAccess(
+      principal, plan->called_functions, &audit_);
+  if (!acl.ok()) {
+    // A function-ACL denial is an execution outcome worth auditing too:
+    // the record shows who was refused which query, with zero rows.
+    if (options_.always_on_observability) {
+      runtime::QueryTrace none(runtime::QueryTrace::Mode::kCounters);
+      FinishObservation(*plan, cache_hit, none, acl, 0, 0, 0, principal.user,
+                        /*security_denials=*/1);
+    }
+    return acl;
+  }
+  return ExecuteObserved(*plan, cache_hit, &principal);
 }
 
 Status DataServicePlatform::ExecuteStream(
     const std::string& query,
     const std::function<Status(const xml::Item&)>& sink) {
+  bool cache_hit = false;
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
-                         Prepare(query));
+                         Prepare(query, &cache_hit));
   // FLWOR plans pipeline tuple by tuple: items reach the sink as they
   // are produced, without materializing the whole result (the paper's
   // server-side streaming API; remote client APIs stay materialized to
   // keep them stateless).
-  return runtime::EvaluateStream(*plan->plan, ctx_, sink);
+  std::shared_ptr<runtime::QueryTrace> trace = MakeObservedTrace(*plan);
+  if (trace == nullptr) {
+    return runtime::EvaluateStream(*plan->plan, ctx_, sink);
+  }
+  runtime::RuntimeContext ctx = ctx_;
+  ctx.trace = trace.get();
+  ctx.trace_owner = trace;
+  int64_t rows = 0;
+  auto counting_sink = [&](const xml::Item& item) -> Status {
+    ++rows;
+    return sink(item);
+  };
+  int64_t t0 = NowMicros();
+  Status st = runtime::EvaluateStream(*plan->plan, ctx, counting_sink);
+  int64_t wall = NowMicros() - t0;
+  if (trace->mode() == runtime::QueryTrace::Mode::kFull) {
+    trace->FeedObservedCost(&observed_);
+  }
+  // Streamed items are not retained, so bytes_returned stays 0.
+  FinishObservation(*plan, cache_hit, *trace, st, rows, /*bytes=*/0, wall,
+                    /*principal=*/"", /*security_denials=*/0);
+  return st;
 }
 
 Result<std::string> DataServicePlatform::Explain(const std::string& query) {
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
                          Prepare(query));
-  return RenderPlanText(*plan);
+  std::string out = RenderPlanText(*plan);
+  std::vector<observability::SourceHealthSnapshot> health =
+      health_.GetSnapshot(NowMicros());
+  if (!health.empty()) out += RenderSourceHealthText(health);
+  return out;
 }
 
 Result<std::string> DataServicePlatform::ExplainJson(const std::string& query) {
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
                          Prepare(query));
-  return RenderPlanJson(*plan);
+  std::string json = RenderPlanJson(*plan);
+  std::vector<observability::SourceHealthSnapshot> health =
+      health_.GetSnapshot(NowMicros());
+  if (!health.empty() && !json.empty() && json.back() == '}') {
+    json.pop_back();
+    json += ",\"source_health\":";
+    json += observability::SourceHealthBoard::RenderJson(health);
+    json += "}";
+  }
+  return json;
 }
 
 Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
     const std::string& query) {
+  bool cache_hit = false;
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
-                         Prepare(query));
+                         Prepare(query, &cache_hit));
   ProfiledExecution out;
   out.plan = plan;
   out.trace = std::make_shared<runtime::QueryTrace>();
   // A context copy carries the trace so concurrent unprofiled executions
-  // through ctx_ stay untraced.
+  // through ctx_ stay untraced; trace_owner keeps the trace alive for
+  // any evaluation a fn-bea:timeout abandons on a pool thread.
   runtime::RuntimeContext ctx = ctx_;
   ctx.trace = out.trace.get();
+  ctx.trace_owner = out.trace;
   int root = out.trace->BeginSpan("query", plan->text);
   auto t0 = std::chrono::steady_clock::now();
   Result<xml::Sequence> result = [&]() {
@@ -358,11 +550,18 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
   int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
-  out.trace->AddSpanMetrics(
-      root, result.ok() ? static_cast<int64_t>(result->size()) : 0, micros);
+  int64_t rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
+  out.trace->AddSpanMetrics(root, rows, micros);
   out.trace->EndSpan(root);
   // Even a failed run made real source observations worth keeping.
   out.trace->FeedObservedCost(&observed_);
+  if (options_.always_on_observability) {
+    int64_t bytes = result.ok() ? xml::SequenceMemoryBytes(*result) : 0;
+    FinishObservation(*plan, cache_hit, *out.trace,
+                      result.ok() ? Status::OK() : result.status(), rows,
+                      bytes, micros, /*principal=*/"",
+                      /*security_denials=*/0);
+  }
   if (!result.ok()) return result.status();
   out.result = std::move(result).value();
   return out;
@@ -404,7 +603,42 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
                       function_cache_.stats().expirations.load());
   metrics_.SetCounter("function_cache.entries",
                       static_cast<int64_t>(function_cache_.size()));
+  metrics_.SetCounter("worker_pool.size", pool_.size());
+  metrics_.SetCounter("worker_pool.queue_depth", pool_.queue_depth());
+  metrics_.SetCounter("audit_log.records", exec_audit_.total_appended());
+  metrics_.SetCounter("slow_query_log.records",
+                      slow_queries_.total_appended());
   return metrics_.GetSnapshot();
+}
+
+std::string DataServicePlatform::AuditLog() {
+  return observability::ExecutionAuditLog::RenderJsonl(exec_audit_.Records());
+}
+
+std::string DataServicePlatform::SlowQueries() {
+  return observability::SlowQueryLog::RenderJson(slow_queries_.Records());
+}
+
+std::string DataServicePlatform::RenderSlowQueryText(int64_t seq) {
+  std::ostringstream os;
+  for (const auto& r : slow_queries_.Records()) {
+    if (seq >= 0 && r.seq != seq) continue;
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(r.query_hash));
+    os << "-- slow query #" << r.seq << " hash=" << hash
+       << " wall=" << r.wall_micros << "us threshold=" << r.threshold_micros
+       << "us " << (r.full_trace ? "[full trace]" : "[counters]") << "\n";
+    os << r.query_head << "\n";
+    os << r.profile_text;
+    if (!r.profile_text.empty() && r.profile_text.back() != '\n') os << "\n";
+  }
+  return os.str();
+}
+
+std::string DataServicePlatform::SourceHealthJson() {
+  return observability::SourceHealthBoard::RenderJson(
+      health_.GetSnapshot(NowMicros()));
 }
 
 std::string DataServicePlatform::MetricsText() {

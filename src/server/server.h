@@ -11,6 +11,9 @@
 #include "adaptors/relational_adaptor.h"
 #include "compiler/analyzer.h"
 #include "compiler/function_table.h"
+#include "observability/audit_log.h"
+#include "observability/slow_query_log.h"
+#include "observability/source_health.h"
 #include "optimizer/optimizer.h"
 #include "runtime/context.h"
 #include "runtime/evaluator.h"
@@ -51,6 +54,25 @@ struct ServerOptions {
   /// Threads in the shared runtime worker pool (fn-bea:async, timeout
   /// evaluation, PP-k prefetch); <= 0 means hardware_concurrency.
   int worker_pool_size = 0;
+
+  // ----- Always-on observability plane ---------------------------------
+
+  /// Run every execution under a counters-mode QueryTrace that feeds the
+  /// execution audit log, rolling metrics and slow-query capture.
+  /// Disabling reverts to the bare pre-observability execution path
+  /// (profiling via ExecuteProfiled still works).
+  bool always_on_observability = true;
+  /// Retained execution audit records (bounded ring).
+  size_t audit_log_capacity = 1024;
+  /// Retained slow-query captures (bounded ring).
+  size_t slow_query_log_capacity = 64;
+  /// Executions at least this slow are captured: the first slow run of a
+  /// query stores its counter summary and promotes the query hash; later
+  /// runs of a promoted hash execute under a full trace whose rendered
+  /// profile is stored. <= 0 disables capture.
+  int64_t slow_query_threshold_micros = 250'000;
+  /// Circuit-breaker tuning for the per-source health scoreboard.
+  observability::BreakerOptions circuit_breaker;
 };
 
 /// The result of ExecuteProfiled: the materialized result plus the plan
@@ -134,8 +156,10 @@ class DataServicePlatform {
   // ----- Query API ------------------------------------------------------
 
   /// Compiles a query through every phase; plans are cached by query text
-  /// (the paper's query plan cache).
-  Result<std::shared_ptr<const CompiledPlan>> Prepare(const std::string& query);
+  /// (the paper's query plan cache). `cache_hit`, when non-null, reports
+  /// whether the plan came from the cache.
+  Result<std::shared_ptr<const CompiledPlan>> Prepare(const std::string& query,
+                                                     bool* cache_hit = nullptr);
 
   /// Prepares (or reuses) a plan and executes it, returning the fully
   /// materialized result.
@@ -197,12 +221,34 @@ class DataServicePlatform {
   /// runs with a null trace and pays no instrumentation cost.
   Result<ProfiledExecution> ExecuteProfiled(const std::string& query);
 
-  /// Server-wide metrics: per-source latency histograms recorded by the
-  /// runtime, with runtime/cache counters folded in at snapshot time.
+  /// Server-wide metrics: per-source latency histograms and rolling
+  /// 1m/5m windows recorded by the runtime and the execution wrapper,
+  /// with runtime/cache counters and pool gauges folded in at snapshot
+  /// time.
   runtime::MetricsRegistry& metrics() { return metrics_; }
   runtime::MetricsRegistry::Snapshot MetricsSnapshot();
   std::string MetricsText();
   std::string MetricsJson();
+  /// The always-on metrics export API (counters, source histograms,
+  /// rolling windows, windowed cache-hit counters, pool gauges).
+  std::string MetricsSnapshotJson() { return MetricsJson(); }
+
+  // ----- Always-on observability plane ---------------------------------
+
+  /// JSONL rendering of the retained execution audit records (one JSON
+  /// object per line, oldest first).
+  std::string AuditLog();
+  /// JSON array of the retained slow-query captures.
+  std::string SlowQueries();
+  /// Rendered profile of the slow-query record with sequence number
+  /// `seq`, or of every retained record when `seq` < 0.
+  std::string RenderSlowQueryText(int64_t seq = -1);
+  /// JSON snapshot of the per-source health scoreboard.
+  std::string SourceHealthJson();
+
+  observability::ExecutionAuditLog& execution_audit() { return exec_audit_; }
+  observability::SlowQueryLog& slow_query_log() { return slow_queries_; }
+  observability::SourceHealthBoard& source_health() { return health_; }
 
   // ----- Introspection of internals (tests, benchmarks, console) ------
 
@@ -231,6 +277,27 @@ class DataServicePlatform {
  private:
   Result<std::shared_ptr<const CompiledPlan>> Compile(const std::string& query);
 
+  /// Creates the per-execution trace for the always-on plane: cheap
+  /// counters normally, a full trace when an earlier slow run promoted
+  /// this query's hash. Null when the plane is disabled.
+  std::shared_ptr<runtime::QueryTrace> MakeObservedTrace(
+      const CompiledPlan& plan) const;
+
+  /// Closes out one observed execution: rolling metrics, the audit
+  /// record, and slow-query capture/promotion.
+  void FinishObservation(const CompiledPlan& plan, bool plan_cache_hit,
+                         const runtime::QueryTrace& trace,
+                         const Status& outcome, int64_t rows, int64_t bytes,
+                         int64_t wall_micros, const std::string& principal,
+                         int64_t security_denials);
+
+  /// The shared materialized execution path: attaches the observability
+  /// plane, evaluates, applies element-level security when `principal`
+  /// is non-null, and records the audit record.
+  Result<xml::Sequence> ExecuteObserved(const CompiledPlan& plan,
+                                        bool plan_cache_hit,
+                                        const security::Principal* principal);
+
   ServerOptions options_;
   compiler::FunctionTable functions_;
   xsd::SchemaRegistry schemas_;
@@ -243,6 +310,9 @@ class DataServicePlatform {
   security::AccessControl access_control_;
   security::AuditLog audit_;
   runtime::ObservedCostModel observed_;
+  observability::SourceHealthBoard health_;
+  observability::ExecutionAuditLog exec_audit_;
+  observability::SlowQueryLog slow_queries_;
   service::ServiceCatalog services_;
   std::shared_ptr<adaptors::FileAdaptor> file_adaptor_;  // lazily created
 

@@ -11,6 +11,7 @@
 #include "compiler/function_table.h"
 #include "runtime/context.h"
 #include "runtime/evaluator.h"
+#include "runtime/worker_pool.h"
 #include "service/introspect.h"
 #include "tests/test_fixtures.h"
 #include "xml/node.h"
@@ -102,6 +103,7 @@ class RunningExample {
     ctx.adaptors = &adaptor_registry;
     ctx.function_cache = &cache;
     ctx.stats = &stats;
+    ctx.pool = &pool;
   }
 
   /// Parses, analyzes and evaluates an ad hoc query (no optimizer).
@@ -136,6 +138,11 @@ class RunningExample {
   runtime::RuntimeStats stats;
   runtime::RuntimeContext ctx;
   xquery::ExprPtr last_expr;
+
+  // Declared last so it is destroyed first: the pool drains or joins any
+  // task abandoned by fn-bea:timeout while the function table, adaptors
+  // and caches above are still alive (same ordering the server uses).
+  runtime::WorkerPool pool;
 };
 
 }  // namespace aldsp::testing

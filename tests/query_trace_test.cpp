@@ -253,8 +253,10 @@ TEST(QueryTraceEvalTest, FunctionCacheHitsAndMissesAreEvents) {
 }
 
 TEST(QueryTraceEvalTest, TimeoutFiringIsRecorded) {
-  RunningExample env(2);
+  // The trace must outlive env: env's pool drains the task abandoned by
+  // fn-bea:timeout on destruction, and that task still records events.
   QueryTrace trace;
+  RunningExample env(2);
   env.ctx.trace = &trace;
   env.rating_ws->SetLatency("ns4:getRating", 200);
   auto r = env.Run(

@@ -365,8 +365,10 @@ TEST(EvalTest, AsyncOverlapsLatency) {
                      std::chrono::steady_clock::now() - start)
                      .count();
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  // Four 60ms calls in parallel should take well under 4 * 60ms.
-  EXPECT_LT(elapsed, 200);
+  // Four 60ms calls run sequentially take >= 240ms, so any bound below
+  // that proves overlap; 230ms leaves headroom for scheduler stalls on
+  // single-core CI hosts (typical parallel time here is ~130-145ms).
+  EXPECT_LT(elapsed, 230);
 }
 
 TEST(EvalTest, FunctionCacheServesRepeatInvocations) {
