@@ -2,10 +2,13 @@
 // join grid: the same streamed plan runs (a) bare — no trace, no health
 // board, the pre-observability path, (b) under the counters-mode
 // QueryTrace plus the source-health board (the always-on configuration),
-// and (c) under a full span/event trace (the slow-query / PROFILE
-// configuration). The acceptance criterion is counters-mode overhead
-// under 5% of bare wall clock; full tracing is allowed to cost more
-// since only promoted slow queries and explicit profiling pay it.
+// (c) under a full span/event trace (the slow-query / PROFILE
+// configuration), and (d) under a timeline trace (full plus timestamps,
+// lanes and queue-wait attribution — the EXPLAIN ANALYZE / Chrome-export
+// configuration). The acceptance criteria are counters-mode overhead
+// under 5% of bare wall clock and timeline within 10% of full; full
+// tracing is allowed to cost more than counters since only promoted
+// slow queries and explicit profiling pay it.
 // Results land in BENCH_observability_overhead.json.
 
 #include <benchmark/benchmark.h>
@@ -65,8 +68,10 @@ struct GridRow {
   double bare_ms = 0;
   double counters_ms = 0;
   double full_ms = 0;
+  double timeline_ms = 0;
   double counters_overhead_pct = 0;
   double full_overhead_pct = 0;
+  double timeline_overhead_pct = 0;
 };
 
 std::vector<GridRow>& Rows() {
@@ -132,14 +137,18 @@ void BM_ObservabilityOverhead(benchmark::State& state) {
   for (auto _ : state) {
     runtime::QueryTrace::Mode counters = runtime::QueryTrace::Mode::kCounters;
     runtime::QueryTrace::Mode full = runtime::QueryTrace::Mode::kFull;
+    runtime::QueryTrace::Mode timeline = runtime::QueryTrace::Mode::kTimeline;
     row.bare_ms = BestOf(env, *plan, nullptr, nullptr, &row.rows);
     row.counters_ms = BestOf(env, *plan, &counters, &health, &row.rows);
     row.full_ms = BestOf(env, *plan, &full, &health, &row.rows);
+    row.timeline_ms = BestOf(env, *plan, &timeline, &health, &row.rows);
   }
   if (row.bare_ms > 0) {
     row.counters_overhead_pct =
         100.0 * (row.counters_ms - row.bare_ms) / row.bare_ms;
     row.full_overhead_pct = 100.0 * (row.full_ms - row.bare_ms) / row.bare_ms;
+    row.timeline_overhead_pct =
+        100.0 * (row.timeline_ms - row.bare_ms) / row.bare_ms;
   }
   Rows().push_back(row);
   state.counters["roundtrip_us"] = static_cast<double>(roundtrip);
@@ -147,7 +156,9 @@ void BM_ObservabilityOverhead(benchmark::State& state) {
   state.counters["bare_ms"] = row.bare_ms;
   state.counters["counters_ms"] = row.counters_ms;
   state.counters["full_ms"] = row.full_ms;
+  state.counters["timeline_ms"] = row.timeline_ms;
   state.counters["counters_overhead_pct"] = row.counters_overhead_pct;
+  state.counters["timeline_overhead_pct"] = row.timeline_overhead_pct;
 }
 
 // roundtrip 0 is the CPU-bound worst case for instrumentation overhead
@@ -174,24 +185,30 @@ void WriteGrid() {
     std::fprintf(f,
                  "%s{\"roundtrip_us\":%lld,\"k\":%d,\"result_rows\":%lld,"
                  "\"bare_ms\":%.3f,\"counters_ms\":%.3f,\"full_ms\":%.3f,"
+                 "\"timeline_ms\":%.3f,"
                  "\"counters_overhead_pct\":%.2f,"
-                 "\"full_overhead_pct\":%.2f}",
+                 "\"full_overhead_pct\":%.2f,"
+                 "\"timeline_overhead_pct\":%.2f}",
                  i == 0 ? "" : ",", static_cast<long long>(r.roundtrip_us),
                  r.k, static_cast<long long>(r.rows), r.bare_ms,
-                 r.counters_ms, r.full_ms, r.counters_overhead_pct,
-                 r.full_overhead_pct);
+                 r.counters_ms, r.full_ms, r.timeline_ms,
+                 r.counters_overhead_pct, r.full_overhead_pct,
+                 r.timeline_overhead_pct);
   }
   double counters_sum = 0;
   double full_sum = 0;
+  double timeline_sum = 0;
   for (const GridRow& r : Rows()) {
     counters_sum += r.counters_overhead_pct;
     full_sum += r.full_overhead_pct;
+    timeline_sum += r.timeline_overhead_pct;
   }
   double n = Rows().empty() ? 1.0 : static_cast<double>(Rows().size());
   std::fprintf(f,
                "],\"mean_counters_overhead_pct\":%.2f,"
-               "\"mean_full_overhead_pct\":%.2f}\n",
-               counters_sum / n, full_sum / n);
+               "\"mean_full_overhead_pct\":%.2f,"
+               "\"mean_timeline_overhead_pct\":%.2f}\n",
+               counters_sum / n, full_sum / n, timeline_sum / n);
   std::printf("overhead grid written to %s\n", path);
   std::fclose(f);
 }

@@ -13,6 +13,37 @@ cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
+# Trace validation: run the demo query under a timeline trace, round-trip
+# the Chrome trace_event export through a real JSON parser, and assert
+# the fields Perfetto/chrome://tracing rely on (ph/tid everywhere, ts on
+# every non-metadata record, dur on complete slices, >= 1 lane).
+echo "== tier-1: Chrome trace export validation =="
+cmake --build "$repo/build" -j "$jobs" --target trace_demo
+"$repo/build/examples/trace_demo" 2>/dev/null > "$repo/build/trace_demo.json"
+python3 -m json.tool "$repo/build/trace_demo.json" >/dev/null
+python3 - "$repo/build/trace_demo.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "no trace events exported"
+lanes = set()
+slices = 0
+for ev in events:
+    assert "ph" in ev and "tid" in ev and "name" in ev, ev
+    lanes.add(ev["tid"])
+    if ev["ph"] == "M":
+        continue
+    assert "ts" in ev and ev["ts"] >= 0, ev
+    assert "dur" in ev and ev["dur"] >= 0, ev
+    if ev["ph"] == "X":
+        slices += 1
+assert slices > 0, "no complete (X) slices in the export"
+assert len(lanes) >= 1, "no thread lanes registered"
+names = {ev["name"] for ev in events}
+assert "query" in names, "root query slice missing"
+print(f"trace ok: {len(events)} events, {slices} slices, {len(lanes)} lane(s)")
+PYEOF
+
 echo "== tier-1: ASan/UBSan build + ctest =="
 cmake -B "$repo/build-asan" -S "$repo" \
   -DCMAKE_BUILD_TYPE=Debug \

@@ -1,0 +1,308 @@
+#include "observability/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+namespace {
+
+// Half-open-free interval arithmetic on closed [lo, hi] microsecond
+// ranges, kept as sorted disjoint vectors. Inputs are tiny (one entry
+// per stall or source event), so O(n log n) merges are plenty.
+using Interval = std::pair<std::int64_t, std::int64_t>;
+using Intervals = std::vector<Interval>;
+
+Intervals Normalize(Intervals v) {
+  Intervals out;
+  std::sort(v.begin(), v.end());
+  for (const Interval& iv : v) {
+    if (iv.second <= iv.first) continue;
+    if (!out.empty() && iv.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, iv.second);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::int64_t Length(const Intervals& v) {
+  std::int64_t total = 0;
+  for (const Interval& iv : v) total += iv.second - iv.first;
+  return total;
+}
+
+/// a ∖ b; both must be normalized.
+Intervals Subtract(const Intervals& a, const Intervals& b) {
+  Intervals out;
+  size_t j = 0;
+  for (Interval iv : a) {
+    while (j < b.size() && b[j].second <= iv.first) ++j;
+    std::int64_t lo = iv.first;
+    for (size_t k = j; k < b.size() && b[k].first < iv.second; ++k) {
+      if (b[k].first > lo) out.emplace_back(lo, b[k].first);
+      lo = std::max(lo, b[k].second);
+    }
+    if (lo < iv.second) out.emplace_back(lo, iv.second);
+  }
+  return out;
+}
+
+/// a ∩ b; both must be normalized.
+Intervals Intersect(const Intervals& a, const Intervals& b) {
+  Intervals out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    std::int64_t lo = std::max(a[i].first, b[j].first);
+    std::int64_t hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+Intervals ClipToWindow(Interval iv, Interval window) {
+  iv.first = std::max(iv.first, window.first);
+  iv.second = std::min(iv.second, window.second);
+  if (iv.second <= iv.first) return {};
+  return {iv};
+}
+
+Interval EventInterval(const TimelineEvent& e) {
+  std::int64_t at = std::max<std::int64_t>(e.at_micros, 0);
+  std::int64_t dur = std::max<std::int64_t>(e.dur_micros, 0);
+  return {at - dur, at};
+}
+
+/// True when `span` is `ancestor` or a descendant of it.
+bool Under(const Timeline& t, int span, int ancestor) {
+  for (int depth = 0; span >= 0 && depth < 1024; ++depth) {
+    if (span == ancestor) return true;
+    if (span >= static_cast<int>(t.spans.size())) return false;
+    span = t.spans[static_cast<size_t>(span)].parent;
+  }
+  return false;
+}
+
+void AppendMicros(std::string* out, const char* key, std::int64_t value,
+                  std::int64_t wall) {
+  char buf[128];
+  double pct = wall > 0 ? 100.0 * static_cast<double>(value) /
+                              static_cast<double>(wall)
+                        : 0.0;
+  std::snprintf(buf, sizeof(buf), "  %-12s %10lld us  (%5.1f%%)\n", key,
+                static_cast<long long>(value), pct);
+  out->append(buf);
+}
+
+}  // namespace
+
+double CriticalPathReport::coverage_pct() const {
+  if (wall_micros <= 0) return 100.0;
+  return 100.0 * static_cast<double>(accounted_micros()) /
+         static_cast<double>(wall_micros);
+}
+
+CriticalPathReport AnalyzeCriticalPath(const Timeline& timeline) {
+  CriticalPathReport report;
+  if (timeline.root < 0 ||
+      timeline.root >= static_cast<int>(timeline.spans.size())) {
+    return report;
+  }
+  const TimelineSpan& root = timeline.spans[static_cast<size_t>(timeline.root)];
+  std::int64_t window_end = root.end_micros;
+  for (const TimelineSpan& s : timeline.spans) {
+    window_end = std::max(window_end, s.end_micros);
+  }
+  for (const TimelineEvent& e : timeline.events) {
+    window_end = std::max(window_end, e.at_micros);
+  }
+  Interval window{std::max<std::int64_t>(root.begin_micros, 0),
+                  root.end_micros >= 0 ? root.end_micros : window_end};
+  if (window.second <= window.first) return report;
+  report.wall_micros = window.second - window.first;
+  const int driving = root.lane;
+
+  // 1. Stalls: wait events on the driving lane, attributed innermost
+  //    first so a nested stall (an inline-stolen task waiting on its own
+  //    sub-task) never double-counts an instant.
+  struct Stall {
+    Interval iv;
+    int task = -1;
+  };
+  std::vector<Stall> stalls;
+  for (const TimelineEvent& e : timeline.events) {
+    if (!e.is_wait || e.lane != driving) continue;
+    Intervals clipped = ClipToWindow(EventInterval(e), window);
+    if (clipped.empty()) continue;
+    stalls.push_back({clipped.front(), e.ref_span});
+  }
+  std::sort(stalls.begin(), stalls.end(), [](const Stall& a, const Stall& b) {
+    return (a.iv.second - a.iv.first) < (b.iv.second - b.iv.first);
+  });
+
+  // Source intervals grouped per task span, used both to attribute the
+  // source part of a stall and to compute prefetch-hidden time.
+  std::int64_t stall_source_total = 0;
+  Intervals attributed;
+  for (const Stall& stall : stalls) {
+    Intervals excl = Subtract(Normalize({stall.iv}), attributed);
+    attributed = Normalize([&] {
+      Intervals merged = attributed;
+      merged.push_back(stall.iv);
+      return merged;
+    }());
+    if (excl.empty()) continue;
+    std::int64_t remaining = Length(excl);
+    if (stall.task >= 0 &&
+        stall.task < static_cast<int>(timeline.spans.size())) {
+      const TimelineSpan& task = timeline.spans[static_cast<size_t>(stall.task)];
+      // Queue-wait part: the task had not started running yet.
+      if (task.begin_micros >= 0 && task.queue_micros > 0) {
+        Intervals queue = Intersect(
+            excl, {{task.begin_micros, task.begin_micros + task.queue_micros}});
+        std::int64_t q = std::min(Length(queue), remaining);
+        report.queue_wait_micros += q;
+        remaining -= q;
+      }
+      // Source part: round trips recorded under the awaited task.
+      Intervals task_sources;
+      for (const TimelineEvent& e : timeline.events) {
+        if (!e.is_source || !Under(timeline, e.span, stall.task)) continue;
+        task_sources.push_back(EventInterval(e));
+      }
+      task_sources = Normalize(std::move(task_sources));
+      Intervals src_overlap = Intersect(excl, task_sources);
+      std::int64_t s = std::min(Length(src_overlap), remaining);
+      report.source_wait_micros += s;
+      stall_source_total += s;
+      remaining -= s;
+      if (s > 0) {
+        // Per-source attribution of the same overlap.
+        for (const TimelineEvent& e : timeline.events) {
+          if (!e.is_source || !Under(timeline, e.span, stall.task)) continue;
+          std::int64_t part = Length(
+              Intersect(excl, Normalize({EventInterval(e)})));
+          if (part > 0) report.source_wait_by_source[e.source] += part;
+        }
+      }
+      // Run part: the task was executing mid-tier work.
+      std::int64_t run_begin =
+          task.begin_micros + std::max<std::int64_t>(task.queue_micros, 0);
+      std::int64_t run_end =
+          task.end_micros >= 0 ? task.end_micros : window.second;
+      if (task.begin_micros >= 0 && run_end > run_begin) {
+        Intervals run =
+            Subtract(Intersect(excl, {{run_begin, run_end}}), task_sources);
+        std::int64_t r = std::min(Length(run), remaining);
+        report.compute_micros += r;
+        remaining -= r;
+      }
+    }
+    report.other_micros += remaining;
+  }
+
+  // 2. Inline source waits on the driving lane (outside any stall). A
+  //    running `claimed` set — attributed stalls plus inline intervals
+  //    already counted — keeps virtual-latency overlaps single-counted.
+  std::int64_t inline_src = 0;
+  Intervals claimed = attributed;
+  for (const TimelineEvent& e : timeline.events) {
+    if (!e.is_source || e.lane != driving) continue;
+    Intervals clipped = ClipToWindow(EventInterval(e), window);
+    Intervals fresh = Subtract(clipped, claimed);
+    if (fresh.empty()) continue;
+    std::int64_t part = Length(fresh);
+    inline_src += part;
+    report.source_wait_by_source[e.source] += part;
+    for (const Interval& iv : fresh) claimed.push_back(iv);
+    claimed = Normalize(std::move(claimed));
+  }
+  report.source_wait_micros += inline_src;
+
+  // 3. Everything else on the driving lane is mid-tier compute.
+  std::int64_t stall_total = Length(attributed);
+  std::int64_t compute_main = report.wall_micros - stall_total - inline_src;
+  report.compute_micros += std::max<std::int64_t>(compute_main, 0);
+
+  // 4. Prefetch-hidden time: source work on other lanes that did not
+  //    stall the driving thread (overlapped with its compute).
+  std::int64_t off_lane_source = 0;
+  for (const TimelineEvent& e : timeline.events) {
+    if (!e.is_source || e.lane == driving) continue;
+    off_lane_source += std::max<std::int64_t>(e.dur_micros, 0);
+  }
+  report.prefetch_hidden_micros =
+      std::max<std::int64_t>(off_lane_source - stall_source_total, 0);
+  return report;
+}
+
+std::string RenderCriticalPathText(const CriticalPathReport& report) {
+  std::string out = "=== critical path ===\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  wall         %10lld us\n",
+                static_cast<long long>(report.wall_micros));
+  out += buf;
+  AppendMicros(&out, "source-wait", report.source_wait_micros,
+               report.wall_micros);
+  AppendMicros(&out, "compute", report.compute_micros, report.wall_micros);
+  AppendMicros(&out, "queue-wait", report.queue_wait_micros,
+               report.wall_micros);
+  AppendMicros(&out, "other", report.other_micros, report.wall_micros);
+  std::snprintf(buf, sizeof(buf),
+                "  prefetch-hidden %7lld us (overlapped, not additive)\n",
+                static_cast<long long>(report.prefetch_hidden_micros));
+  out += buf;
+  for (const auto& [source, micros] : report.source_wait_by_source) {
+    std::snprintf(buf, sizeof(buf), "    - wait on %s: %lld us\n",
+                  source.c_str(), static_cast<long long>(micros));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  accounted    %10lld us  (%5.1f%%)\n",
+                static_cast<long long>(report.accounted_micros()),
+                report.coverage_pct());
+  out += buf;
+  return out;
+}
+
+std::string RenderCriticalPathJson(const CriticalPathReport& report) {
+  std::string out = "{";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"wall_micros\":%lld,\"source_wait_micros\":%lld,"
+      "\"compute_micros\":%lld,\"queue_wait_micros\":%lld,"
+      "\"other_micros\":%lld,\"prefetch_hidden_micros\":%lld,"
+      "\"accounted_micros\":%lld,\"coverage_pct\":%.2f,",
+      static_cast<long long>(report.wall_micros),
+      static_cast<long long>(report.source_wait_micros),
+      static_cast<long long>(report.compute_micros),
+      static_cast<long long>(report.queue_wait_micros),
+      static_cast<long long>(report.other_micros),
+      static_cast<long long>(report.prefetch_hidden_micros),
+      static_cast<long long>(report.accounted_micros()),
+      report.coverage_pct());
+  out += buf;
+  out += "\"source_wait_by_source\":{";
+  bool first = true;
+  for (const auto& [source, micros] : report.source_wait_by_source) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, source);
+    std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(micros));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace aldsp::observability

@@ -1,0 +1,60 @@
+#ifndef ALDSP_OBSERVABILITY_CRITICAL_PATH_H_
+#define ALDSP_OBSERVABILITY_CRITICAL_PATH_H_
+
+// Critical-path analysis over a query timeline (paper §9: "instrumenting
+// the system"). Walks the span DAG — including the cross-thread edges a
+// pool-task span creates at its launch point — and attributes the query's
+// wall-clock time on the driving thread to exclusive buckets:
+//
+//   source_wait  blocked on a data-source round trip (inline, or inside
+//                an awaited task),
+//   queue_wait   blocked on a task that was still sitting in the worker
+//                pool queue,
+//   compute      mid-tier work: evaluator/operator CPU plus awaited task
+//                run time that was not itself source wait,
+//   other        residual stall time (scheduling gaps, cv latency).
+//
+// The four buckets partition the root span's wall time, so they sum to
+// it by construction. prefetch_hidden_micros is reported separately and
+// is NOT additive: it is source time spent on worker lanes that did not
+// stall the driving thread (PP-k block overlap working as designed).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "observability/timeline.h"
+
+namespace aldsp::observability {
+
+struct CriticalPathReport {
+  std::int64_t wall_micros = 0;
+  std::int64_t source_wait_micros = 0;
+  std::int64_t compute_micros = 0;
+  std::int64_t queue_wait_micros = 0;
+  std::int64_t other_micros = 0;
+  /// Source time overlapped with driving-thread compute (not additive).
+  std::int64_t prefetch_hidden_micros = 0;
+  /// source_wait_micros broken down by data source id.
+  std::map<std::string, std::int64_t> source_wait_by_source;
+
+  std::int64_t accounted_micros() const {
+    return source_wait_micros + compute_micros + queue_wait_micros +
+           other_micros;
+  }
+  /// accounted / wall as a percentage (100 when wall is 0).
+  double coverage_pct() const;
+};
+
+/// Attributes `timeline.wall_micros` to the buckets above.
+CriticalPathReport AnalyzeCriticalPath(const Timeline& timeline);
+
+/// EXPLAIN ANALYZE-style rendering, one bucket per line.
+std::string RenderCriticalPathText(const CriticalPathReport& report);
+
+/// The same report as a JSON object.
+std::string RenderCriticalPathJson(const CriticalPathReport& report);
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_CRITICAL_PATH_H_

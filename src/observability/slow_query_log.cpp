@@ -63,6 +63,8 @@ std::string SlowQueryLog::RecordJson(const SlowQueryRecord& r) {
   out += "\"profile_json\":";
   // profile_json is already JSON (or empty); embed as-is when present.
   out += r.profile_json.empty() ? "null" : r.profile_json;
+  out += ",\"trace_json\":";
+  out += r.trace_json.empty() ? "null" : r.trace_json;
   out += ",\"profile_text\":";
   AppendJsonString(&out, r.profile_text);
   out += "}";

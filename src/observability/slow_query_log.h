@@ -25,6 +25,7 @@ struct SlowQueryRecord {
   bool full_trace = false;
   std::string profile_text;  // rendered profile / counter summary
   std::string profile_json;
+  std::string trace_json;  // Chrome trace_event JSON (timeline runs only)
 };
 
 /// Bounded ring of slow executions plus the promotion set that upgrades

@@ -1,0 +1,71 @@
+#ifndef ALDSP_OBSERVABILITY_TIMELINE_H_
+#define ALDSP_OBSERVABILITY_TIMELINE_H_
+
+// Runtime-neutral timeline model. `runtime::QueryTrace::BuildTimeline()`
+// converts a timeline-mode trace into these structs so the observability
+// consumers (critical-path analyzer, Chrome trace exporter) can stay
+// below the runtime layer in the link graph: aldsp_runtime depends on
+// aldsp_observability, never the other way around.
+//
+// All timestamps are steady-clock microseconds relative to the trace
+// origin (the moment the QueryTrace was constructed), so a timeline
+// always starts near 0 and is directly usable as Chrome trace_event
+// `ts` values.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aldsp::observability {
+
+/// One span on the timeline: an operator, FLWOR block or pool task.
+struct TimelineSpan {
+  int id = -1;
+  int parent = -1;  ///< Parent span id, -1 for the root.
+  std::string name;
+  std::string detail;
+  int lane = -1;  ///< Thread lane the span ran on (index into lanes).
+  std::int64_t begin_micros = -1;
+  std::int64_t end_micros = -1;
+  /// Pool-task spans only: time spent queued before a worker (or an
+  /// inline-stealing waiter) started running the task. -1 otherwise.
+  std::int64_t queue_micros = -1;
+  std::int64_t rows = 0;
+  std::int64_t micros = 0;  ///< Cumulative self time (pre-timeline metric).
+  std::int64_t bytes = 0;
+  std::int64_t first_row_micros = -1;  ///< When the first row was produced.
+  std::int64_t last_row_micros = -1;   ///< When the last row was produced.
+};
+
+/// One point or interval event: a source round trip, cache hit, task wait.
+struct TimelineEvent {
+  std::string name;    ///< Event kind name ("sql", "ppk-fetch", ...).
+  std::string source;  ///< Data source id, empty for engine-local events.
+  std::string detail;
+  int span = -1;  ///< Enclosing span id at record time.
+  int lane = -1;  ///< Thread lane the event was recorded on.
+  /// Completion timestamp; the event covers [at - dur, at].
+  std::int64_t at_micros = -1;
+  std::int64_t dur_micros = 0;
+  std::int64_t rows = 0;
+  /// Relational source events split dur into the LatencyModel components:
+  /// one round trip plus per-row transfer. roundtrip < 0 means the split
+  /// is unknown and the whole duration counts as round trip.
+  std::int64_t roundtrip_micros = -1;
+  std::int64_t transfer_micros = 0;
+  int ref_span = -1;     ///< Wait events: the task span being joined.
+  bool is_source = false;  ///< A source round trip (sql/ppk/invoke/pushdown).
+  bool is_wait = false;    ///< The recording thread blocked joining ref_span.
+};
+
+struct Timeline {
+  int root = -1;  ///< Root span id (-1 when the trace recorded no spans).
+  std::int64_t wall_micros = 0;  ///< Root span begin→end.
+  std::vector<TimelineSpan> spans;
+  std::vector<TimelineEvent> events;
+  std::vector<std::string> lanes;  ///< Lane index → thread name.
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_TIMELINE_H_

@@ -1,0 +1,167 @@
+#include "observability/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+namespace {
+
+void AppendInt(std::string* out, const char* key, std::int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key,
+                static_cast<long long>(value));
+  out->append(buf);
+}
+
+void AppendStr(std::string* out, const char* key, const std::string& value,
+               size_t max_len = 200) {
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  if (value.size() <= max_len) {
+    AppendJsonString(out, value);
+  } else {
+    AppendJsonString(out, value.substr(0, max_len) + "...");
+  }
+}
+
+/// Opens one trace event with the common ph/pid/tid/name fields.
+void BeginEvent(std::string* out, bool* first, const char* ph, int tid,
+                const std::string& name) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  out->append("{\"ph\":\"");
+  out->append(ph);
+  out->append("\",\"pid\":1,");
+  AppendInt(out, "tid", tid < 0 ? 0 : tid);
+  out->push_back(',');
+  AppendStr(out, "name", name);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Timeline& timeline) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Lane metadata: one named thread per engine lane, sorted so the
+  // driving thread ("main") is on top in the Perfetto UI.
+  BeginEvent(&out, &first, "M", 0, "process_name");
+  out.append(",\"args\":{\"name\":\"aldsp query\"}}");
+  for (size_t lane = 0; lane < timeline.lanes.size(); ++lane) {
+    BeginEvent(&out, &first, "M", static_cast<int>(lane), "thread_name");
+    out.append(",\"args\":{");
+    AppendStr(&out, "name", timeline.lanes[lane]);
+    out.append("}}");
+    BeginEvent(&out, &first, "M", static_cast<int>(lane), "thread_sort_index");
+    out.append(",\"args\":{");
+    AppendInt(&out, "sort_index", static_cast<std::int64_t>(lane));
+    out.append("}}");
+  }
+
+  std::int64_t window_end = timeline.wall_micros;
+  for (const TimelineSpan& s : timeline.spans) {
+    window_end = std::max(window_end, s.end_micros);
+  }
+
+  for (const TimelineSpan& s : timeline.spans) {
+    std::int64_t begin = std::max<std::int64_t>(s.begin_micros, 0);
+    std::int64_t end = s.end_micros >= begin ? s.end_micros
+                                             : std::max(begin, window_end);
+    BeginEvent(&out, &first, "X", s.lane, s.name);
+    out.push_back(',');
+    AppendInt(&out, "ts", begin);
+    out.push_back(',');
+    AppendInt(&out, "dur", end - begin);
+    out.append(",\"args\":{");
+    AppendInt(&out, "span", s.id);
+    out.push_back(',');
+    AppendInt(&out, "rows", s.rows);
+    out.push_back(',');
+    AppendInt(&out, "self_micros", s.micros);
+    if (s.bytes > 0) {
+      out.push_back(',');
+      AppendInt(&out, "bytes", s.bytes);
+    }
+    if (s.queue_micros >= 0) {
+      out.push_back(',');
+      AppendInt(&out, "queue_micros", s.queue_micros);
+    }
+    if (s.first_row_micros >= 0) {
+      out.push_back(',');
+      AppendInt(&out, "first_row_ts", s.first_row_micros);
+      out.push_back(',');
+      AppendInt(&out, "last_row_ts", s.last_row_micros);
+    }
+    if (!s.detail.empty()) {
+      out.push_back(',');
+      AppendStr(&out, "detail", s.detail);
+    }
+    out.append("}}");
+
+    // Queue-wait decomposition: a nested slice covering the time the
+    // task sat in the pool queue before a thread picked it up.
+    if (s.queue_micros > 0) {
+      BeginEvent(&out, &first, "X", s.lane, s.name + " [queued]");
+      out.append(",\"cat\":\"queue\",");
+      AppendInt(&out, "ts", begin);
+      out.push_back(',');
+      AppendInt(&out, "dur", std::min(s.queue_micros, end - begin));
+      out.append(",\"args\":{");
+      AppendInt(&out, "span", s.id);
+      out.append("}}");
+    }
+  }
+
+  for (const TimelineEvent& e : timeline.events) {
+    std::int64_t at = std::max<std::int64_t>(e.at_micros, 0);
+    std::int64_t dur = std::max<std::int64_t>(e.dur_micros, 0);
+    std::string name = e.name;
+    if (!e.source.empty()) name += "[" + e.source + "]";
+    const char* cat =
+        e.is_wait ? "wait" : (e.is_source ? "source" : "event");
+    if (dur > 0) {
+      BeginEvent(&out, &first, "X", e.lane, name);
+      out.append(",\"cat\":\"");
+      out.append(cat);
+      out.append("\",");
+      AppendInt(&out, "ts", at - dur);
+      out.push_back(',');
+      AppendInt(&out, "dur", dur);
+    } else {
+      BeginEvent(&out, &first, "i", e.lane, name);
+      out.append(",\"cat\":\"");
+      out.append(cat);
+      out.append("\",\"s\":\"t\",");
+      AppendInt(&out, "ts", at);
+      out.push_back(',');
+      AppendInt(&out, "dur", 0);
+    }
+    out.append(",\"args\":{");
+    AppendInt(&out, "span", e.span);
+    out.push_back(',');
+    AppendInt(&out, "rows", e.rows);
+    if (e.roundtrip_micros >= 0) {
+      out.push_back(',');
+      AppendInt(&out, "roundtrip_micros", e.roundtrip_micros);
+      out.push_back(',');
+      AppendInt(&out, "transfer_micros", e.transfer_micros);
+    }
+    if (e.ref_span >= 0) {
+      out.push_back(',');
+      AppendInt(&out, "awaited_span", e.ref_span);
+    }
+    if (!e.detail.empty()) {
+      out.push_back(',');
+      AppendStr(&out, "detail", e.detail);
+    }
+    out.append("}}");
+  }
+
+  out.append("\n]}");
+  return out;
+}
+
+}  // namespace aldsp::observability

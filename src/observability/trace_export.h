@@ -1,0 +1,24 @@
+#ifndef ALDSP_OBSERVABILITY_TRACE_EXPORT_H_
+#define ALDSP_OBSERVABILITY_TRACE_EXPORT_H_
+
+// Chrome/Perfetto trace_event exporter. Converts a query timeline into
+// the JSON object format understood by chrome://tracing and
+// ui.perfetto.dev: one process, one lane (tid) per engine thread,
+// complete ("X") slices for spans and interval events, instant ("i")
+// marks for zero-duration events, and "M" metadata naming the lanes.
+// Timestamps are the timeline's origin-relative microseconds, which is
+// exactly trace_event's native `ts` unit.
+
+#include <string>
+
+#include "observability/timeline.h"
+
+namespace aldsp::observability {
+
+/// Renders `timeline` as a self-contained Chrome trace_event JSON
+/// document: {"displayTimeUnit":"ms","traceEvents":[...]}.
+std::string ChromeTraceJson(const Timeline& timeline);
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_TRACE_EXPORT_H_

@@ -14,6 +14,7 @@
 #include "relational/sql_ast.h"
 #include "runtime/physical/builder.h"
 #include "runtime/physical/operator.h"
+#include "runtime/source_timing.h"
 #include "runtime/worker_pool.h"
 #include "xml/node.h"
 
@@ -91,32 +92,6 @@ namespace {
 
 Cell AtomicToCell(const AtomicValue& v) { return Cell::Of(v); }
 
-int64_t MicrosSince(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-// Snapshot of a source's simulated-latency clock: when the LatencyModel
-// runs in virtual time (sleep == false) the wall clock misses the
-// modeled round trips, so trace events fold in the clock's growth.
-int64_t VirtualLatencyMark(relational::Database* db) {
-  if (db == nullptr || db->latency_model().sleep) return -1;
-  return db->stats().simulated_latency_micros.load();
-}
-
-int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
-  if (mark < 0) return 0;
-  return db->stats().simulated_latency_micros.load() - mark;
-}
-
-// Steady-clock "now" for the source health board's breaker timestamps.
-int64_t HealthNowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 // Circuit-breaker admission gate, consulted before every source
 // interaction. An open breaker rejects immediately (fast SourceError, no
 // round trip, no timeout) — fn-bea:fail-over catches it like any other
@@ -141,12 +116,11 @@ void NoteSourceOutcome(const RuntimeContext& ctx, const std::string& source,
 }
 
 // True when the attached trace will replay its source observations into
-// the observed-cost model at completion (FeedObservedCost): only a full
-// trace keeps the event list that replay walks. With a counters-mode
-// trace (or none) observations must be recorded inline.
+// the observed-cost model at completion (FeedObservedCost): only full
+// and timeline traces keep the event list that replay walks. With a
+// counters-mode trace (or none) observations must be recorded inline.
 bool TraceReplaysObservations(const RuntimeContext& ctx) {
-  return ctx.trace != nullptr &&
-         ctx.trace->mode() == QueryTrace::Mode::kFull;
+  return ctx.trace != nullptr && ctx.trace->keeps_events();
 }
 
 class Evaluator {
@@ -314,21 +288,48 @@ class Evaluator {
     std::vector<WorkerPool::Task> tasks(children.size());
     std::vector<std::shared_ptr<AsyncSlot>> slots(children.size());
     std::vector<Sequence> results(children.size());
+    std::vector<int> task_spans(children.size(), -1);
     // Worker threads have an empty scope stack; capture the launching
     // thread's innermost span so the async subtree's events attach there.
+    // In timeline mode each hoisted subtree additionally gets its own
+    // task span, opened at submit time so its begin marks the enqueue
+    // and SetSpanQueueMicros splits queue wait from run time.
     int parent_span = QueryTrace::CurrentSpan(ctx_.trace);
-    auto launch = [&](size_t i, ExprPtr body) {
+    auto launch = [&](size_t i, ExprPtr body, const char* what) {
       auto slot = std::make_shared<AsyncSlot>();
       slots[i] = slot;
       Tuple env_copy = env;
-      tasks[i] =
-          pool.Submit([this, body, env_copy, depth, parent_span, slot]() {
-            std::optional<QueryTrace::Scope> scope;
-            if (ctx_.trace != nullptr) {
-              scope.emplace(ctx_.trace, parent_span);
-            }
-            slot->result = Eval(*body, env_copy, depth + 1);
-          });
+      QueryTrace* trace = ctx_.trace;
+      int task_span = -1;
+      int64_t enqueue_rel = 0;
+      if (trace != nullptr && trace->has_timeline()) {
+        task_span = trace->BeginSpanUnder(parent_span, "task[async]", what);
+        enqueue_rel = trace->NowRelMicros();
+      }
+      task_spans[i] = task_span;
+      tasks[i] = pool.Submit([this, body, env_copy, depth, parent_span, slot,
+                              trace, task_span, enqueue_rel]() {
+        std::optional<QueryTrace::Scope> scope;
+        if (trace != nullptr) {
+          scope.emplace(trace, task_span >= 0 ? task_span : parent_span);
+        }
+        int64_t run_begin = 0;
+        if (task_span >= 0) {
+          trace->SetSpanQueueMicros(task_span,
+                                    trace->NowRelMicros() - enqueue_rel);
+          run_begin = trace->NowRelMicros();
+        }
+        slot->result = Eval(*body, env_copy, depth + 1);
+        if (task_span >= 0) {
+          trace->AddSpanMetrics(
+              task_span,
+              slot->result.ok()
+                  ? static_cast<int64_t>(slot->result.value().size())
+                  : 0,
+              trace->NowRelMicros() - run_begin);
+          trace->EndSpan(task_span);
+        }
+      });
     };
     for (size_t i = 0; i < children.size(); ++i) {
       const ExprPtr& c = children[i];
@@ -338,13 +339,13 @@ class Evaluator {
           ctx_.trace->AddEvent(QueryTrace::EventKind::kAsyncTask, "",
                                "fn-bea:async", 0, 0);
         }
-        launch(i, c->children[0]);
+        launch(i, c->children[0], "fn-bea:async");
       } else if (ContainsHoistableAsync(*c)) {
         if (ctx_.trace != nullptr) {
           ctx_.trace->AddEvent(QueryTrace::EventKind::kAsyncTask, "",
                                "hoisted async subtree", 0, 0);
         }
-        launch(i, c);
+        launch(i, c, "hoisted async subtree");
       }
     }
     Status first_error = Status::OK();
@@ -359,7 +360,15 @@ class Evaluator {
     }
     for (size_t i = 0; i < children.size(); ++i) {
       if (!tasks[i].valid()) continue;
+      bool timed = ctx_.trace != nullptr && ctx_.trace->has_timeline() &&
+                   task_spans[i] >= 0;
+      int64_t wait_begin = timed ? ctx_.trace->NowRelMicros() : 0;
       tasks[i].Wait();
+      if (timed) {
+        ctx_.trace->AddWaitEvent(task_spans[i],
+                                 ctx_.trace->NowRelMicros() - wait_begin,
+                                 "async-join");
+      }
       Result<Sequence> r = std::move(slots[i]->result);
       if (!r.ok()) {
         if (first_error.ok()) first_error = r.status();
@@ -803,10 +812,17 @@ class Evaluator {
       ctx_.metrics->RecordSourceLatency(fn.Property("source"), micros);
     }
     if (ctx_.trace != nullptr) {
+      int64_t roundtrip = -1;
+      int64_t transfer = 0;
+      if (db != nullptr) {
+        SplitSourceMicros(db, static_cast<int64_t>(result.size()), micros,
+                          &roundtrip, &transfer);
+      }
       ctx_.trace->AddEvent(QueryTrace::EventKind::kSourceInvoke,
                            fn.Property("source"), fn.name,
                            static_cast<int64_t>(result.size()), micros,
-                           fn.is_relational() ? fn.Property("table") : "");
+                           fn.is_relational() ? fn.Property("table") : "",
+                           roundtrip, transfer);
     }
     // A full trace replays its events into the observed-cost model at
     // completion (FeedObservedCost), so inline recording would double
@@ -867,10 +883,15 @@ class Evaluator {
       ctx_.metrics->RecordSourceLatency(spec->source, micros);
     }
     if (ctx_.trace != nullptr) {
+      int64_t roundtrip = -1;
+      int64_t transfer = 0;
+      SplitSourceMicros(db, static_cast<int64_t>(rs.rows.size()), micros,
+                        &roundtrip, &transfer);
       ctx_.trace->AddEvent(QueryTrace::EventKind::kSql, spec->source,
                            relational::DebugString(*spec->select),
                            static_cast<int64_t>(rs.rows.size()), micros,
-                           bare_scan ? s.from.table_name : "");
+                           bare_scan ? s.from.table_name : "", roundtrip,
+                           transfer);
     }
     // Only a full trace replays observations at completion; under the
     // counters trace (or none) the model is fed inline.

@@ -118,6 +118,11 @@ class PhysicalOperator {
   int64_t micros_ = 0;
   bool opened_ = false;
   bool flushed_ = false;
+  // Timeline mode: origin-relative first/last row production marks,
+  // flushed onto the span with the row/time metrics.
+  bool timeline_ = false;
+  int64_t first_row_micros_ = -1;
+  int64_t last_row_micros_ = -1;
 };
 
 }  // namespace aldsp::runtime::physical

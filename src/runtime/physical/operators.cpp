@@ -17,6 +17,7 @@
 
 #include "relational/sql_ast.h"
 #include "runtime/evaluator.h"
+#include "runtime/source_timing.h"
 #include "runtime/tuple_repr.h"
 #include "runtime/worker_pool.h"
 #include "xml/node.h"
@@ -34,32 +35,6 @@ using xquery::Expr;
 using xquery::ExprKind;
 using xquery::ExprPtr;
 using xquery::JoinMethod;
-
-int64_t MicrosSince(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-// Snapshot of a source's simulated-latency clock: when the LatencyModel
-// runs in virtual time (sleep == false) the wall clock misses the
-// modeled round trips, so trace events fold in the clock's growth.
-int64_t VirtualLatencyMark(relational::Database* db) {
-  if (db == nullptr || db->latency_model().sleep) return -1;
-  return db->stats().simulated_latency_micros.load();
-}
-
-int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
-  if (mark < 0) return 0;
-  return db->stats().simulated_latency_micros.load() - mark;
-}
-
-// Steady-clock "now" for the source health board's breaker timestamps.
-int64_t HealthNowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 // Orders two atomized singleton-or-empty sequences; empty sorts first.
 int OrderCompareKeys(const Sequence& a, const Sequence& b) {
@@ -94,6 +69,7 @@ Status PhysicalOperator::Open(ExecEnv* env) {
   // calling thread's innermost scope — the enclosing flwor span.
   if (trace_ != nullptr && !explain_.label.empty()) {
     span_ = trace_->BeginSpan(explain_.label, span_detail_);
+    timeline_ = trace_->has_timeline() && span_ >= 0;
   }
   opened_ = true;
   return OpenImpl();
@@ -110,8 +86,16 @@ Result<bool> PhysicalOperator::Next(Tuple* out) {
   QueryTrace::Scope scope(trace_, span_);
   auto t0 = std::chrono::steady_clock::now();
   Result<bool> r = NextImpl(out);
-  micros_ += MicrosSince(t0);
-  if (r.ok() && r.value()) ++rows_;
+  auto t1 = std::chrono::steady_clock::now();
+  micros_ +=
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+  if (r.ok() && r.value()) {
+    ++rows_;
+    if (timeline_) {
+      last_row_micros_ = trace_->RelMicros(t1);
+      if (first_row_micros_ < 0) first_row_micros_ = last_row_micros_;
+    }
+  }
   return r;
 }
 
@@ -128,6 +112,9 @@ void PhysicalOperator::FlushSpan() {
   flushed_ = true;
   if (trace_ != nullptr && span_ >= 0) {
     trace_->AddSpanMetrics(span_, rows_, micros_);
+    if (timeline_ && first_row_micros_ >= 0) {
+      trace_->SetSpanRowMarks(span_, first_row_micros_, last_row_micros_);
+    }
     trace_->EndSpan(span_);
   }
 }
@@ -485,7 +472,14 @@ class PPkJoinOp final : public JoinOpBase {
   Result<bool> Refill() override {
     Block block;
     if (task_.valid()) {
+      QueryTrace* tr = trace();
+      bool timed = tr != nullptr && tr->has_timeline() && task_span_ >= 0;
+      int64_t wait_begin = timed ? tr->NowRelMicros() : 0;
       task_.Wait();
+      if (timed) {
+        tr->AddWaitEvent(task_span_, tr->NowRelMicros() - wait_begin,
+                         "ppk-prefetch");
+      }
       Result<Block> r = std::move(*slot_);
       task_ = WorkerPool::Task();
       slot_.reset();
@@ -520,13 +514,36 @@ class PPkJoinOp final : public JoinOpBase {
     slot_ = slot;
     QueryTrace* tr = trace();
     int sp = span();
-    task_ = WorkerPool::For(ctx()->pool).Submit([this, slot, tr, sp] {
+    // In timeline mode the prefetch gets its own task span under the
+    // join span, opened at enqueue so queue wait and run time separate.
+    int task_span = -1;
+    int64_t enqueue_rel = 0;
+    if (tr != nullptr && tr->has_timeline()) {
+      task_span = tr->BeginSpanUnder(sp, "task[ppk-prefetch]", "");
+      enqueue_rel = tr->NowRelMicros();
+    }
+    task_span_ = task_span;
+    task_ = WorkerPool::For(ctx()->pool).Submit([this, slot, tr, sp,
+                                                 task_span, enqueue_rel] {
       // Worker threads start with an empty scope stack; re-establish the
-      // join span so the block's fetch event and the upstream reads
-      // attach where they would have inline.
+      // task span (or the join span) so the block's fetch event and the
+      // upstream reads attach where they would have inline.
       std::optional<QueryTrace::Scope> scope;
-      if (tr != nullptr) scope.emplace(tr, sp);
+      if (tr != nullptr) scope.emplace(tr, task_span >= 0 ? task_span : sp);
+      int64_t run_begin = 0;
+      if (task_span >= 0) {
+        tr->SetSpanQueueMicros(task_span, tr->NowRelMicros() - enqueue_rel);
+        run_begin = tr->NowRelMicros();
+      }
       *slot = ReadAndFetchBlock();
+      if (task_span >= 0) {
+        tr->AddSpanMetrics(
+            task_span,
+            slot->ok() ? static_cast<int64_t>(slot->value().fetched.size())
+                       : 0,
+            tr->NowRelMicros() - run_begin);
+        tr->EndSpan(task_span);
+      }
     });
   }
 
@@ -608,9 +625,14 @@ class PPkJoinOp final : public JoinOpBase {
         ctx()->metrics->RecordSourceLatency(spec.source, micros);
       }
       if (trace() != nullptr) {
+        int64_t roundtrip = -1;
+        int64_t transfer = 0;
+        SplitSourceMicros(db, static_cast<int64_t>(rs.rows.size()), micros,
+                          &roundtrip, &transfer);
         trace()->AddEvent(QueryTrace::EventKind::kPPkFetch, spec.source,
                           relational::DebugString(*select),
-                          static_cast<int64_t>(rs.rows.size()), micros);
+                          static_cast<int64_t>(rs.rows.size()), micros, "",
+                          roundtrip, transfer);
       }
       block.fetched = RowsToItems(rs, spec.row_name);
     }
@@ -633,6 +655,7 @@ class PPkJoinOp final : public JoinOpBase {
 
   bool prefetch_ = false;
   WorkerPool::Task task_;
+  int task_span_ = -1;
   std::shared_ptr<Result<Block>> slot_;
 };
 

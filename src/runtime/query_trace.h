@@ -2,11 +2,16 @@
 #define ALDSP_RUNTIME_QUERY_TRACE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "observability/timeline.h"
 
 namespace aldsp::runtime {
 
@@ -28,17 +33,29 @@ class ObservedCostModel;
 ///    round-trip micros (including a source's simulated latency when its
 ///    LatencyModel runs in virtual time).
 ///
-/// A trace runs in one of two modes. kFull records the span tree and
-/// the event list above (opt-in, ExecuteProfiled). kCounters is the
-/// always-on observability mode: BeginSpan returns -1 so operators keep
-/// their no-span fast path, and AddEvent folds into per-kind atomic
-/// counters plus a touched-source set — no span tree, no per-event
-/// strings, no mutex on the counter path — cheap enough to leave on for
-/// every execution while still feeding audit records (pushed-SQL count,
-/// cache hits, sources touched, timeout/fail-over firings). A null trace
-/// pointer still skips every instrumentation branch. A trace must be
-/// thread-safe because fn-bea:async and fn-bea:timeout evaluate subtrees
-/// on worker threads that share the RuntimeContext.
+/// A trace runs in one of three modes. kFull records the span tree and
+/// the event list above. kTimeline is kFull plus a *timeline*: every
+/// span gets steady-clock begin/end timestamps (relative to the trace's
+/// construction) and a thread lane; operators mark first-row/last-row
+/// production; pool-task spans record how long they sat queued before a
+/// thread ran them; task joins record how long the waiting thread
+/// stalled (kTaskWait events); relational source events split their
+/// micros into round-trip vs per-row transfer. ExecuteProfiled and
+/// slow-query promotion use kTimeline so the run can be rendered as a
+/// critical-path report or exported as a Chrome trace_event JSON
+/// document (see BuildTimeline and observability/{critical_path,
+/// trace_export}). kCounters is the always-on observability mode:
+/// BeginSpan returns -1 so operators keep their no-span fast path, and
+/// AddEvent folds into per-kind atomic counters plus a touched-source
+/// set — no span tree, no per-event strings, no mutex on the counter
+/// path — cheap enough to leave on for every execution while still
+/// feeding audit records (pushed-SQL count, cache hits, sources touched,
+/// timeout/fail-over firings). The atomic tallies are maintained in
+/// every mode, so CountEvents/SumEventMicros/SourcesTouched never scan
+/// the event list. A null trace pointer still skips every
+/// instrumentation branch. A trace must be thread-safe because
+/// fn-bea:async and fn-bea:timeout evaluate subtrees on worker threads
+/// that share the RuntimeContext.
 ///
 /// Spans form a tree. Parentage is tracked per thread: a Scope pushes a
 /// span onto the calling thread's stack, and spans/events created while
@@ -46,10 +63,14 @@ class ObservedCostModel;
 /// thread's innermost span via the span id captured at launch.
 class QueryTrace {
  public:
-  enum class Mode { kFull, kCounters };
+  enum class Mode { kFull, kCounters, kTimeline };
 
-  explicit QueryTrace(Mode mode = Mode::kFull) : mode_(mode) {}
+  explicit QueryTrace(Mode mode = Mode::kFull);
   Mode mode() const { return mode_; }
+  /// True when the trace records the span tree and event list.
+  bool keeps_events() const { return mode_ != Mode::kCounters; }
+  /// True when spans/events additionally carry timestamps and lanes.
+  bool has_timeline() const { return mode_ == Mode::kTimeline; }
 
   struct Span {
     int id = -1;
@@ -60,6 +81,16 @@ class QueryTrace {
     int64_t micros = 0;    // cumulative wall time (inclusive of inputs)
     int64_t bytes = 0;     // peak bytes materialized by this operator
     bool finished = false;
+    // Timeline mode only (-1 otherwise): steady-clock micros relative to
+    // the trace origin, and the thread lane the span was opened on.
+    int64_t begin_micros = -1;
+    int64_t end_micros = -1;
+    int lane = -1;
+    // Pool-task spans: micros spent queued before a thread ran the task.
+    int64_t queue_micros = -1;
+    // First/last row production marks (operators with a span).
+    int64_t first_row_micros = -1;
+    int64_t last_row_micros = -1;
   };
 
   enum class EventKind {
@@ -72,6 +103,7 @@ class QueryTrace {
     kAsyncTask,       // fn-bea:async subtree hoisted to a worker thread
     kTimeout,         // fn-bea:timeout abandoned the primary
     kFailOver,        // fn-bea:fail-over / timeout took the alternate
+    kTaskWait,        // calling thread blocked joining a pool task
   };
   static const char* EventKindName(EventKind kind);
 
@@ -83,36 +115,73 @@ class QueryTrace {
     std::string table;   // non-empty when the event observed a table scan
     int64_t rows = 0;    // rows / items transferred
     int64_t micros = 0;  // round-trip time (virtual latency folded in)
+    // Timeline mode only: completion timestamp (the event covers
+    // [at - micros, at]) and the recording thread's lane.
+    int64_t at_micros = -1;
+    int lane = -1;
+    // Relational source events: micros split into the LatencyModel
+    // components. roundtrip < 0 means no split was recorded.
+    int64_t roundtrip_micros = -1;
+    int64_t transfer_micros = 0;
+    // kTaskWait: the pool-task span the thread was joining.
+    int ref_span = -1;
   };
 
   /// Opens a span whose parent is the calling thread's innermost open
   /// scope (or the root). Returns the span id.
   int BeginSpan(const std::string& kind, const std::string& detail = "");
+  /// Opens a span under an explicit parent, ignoring the thread's scope
+  /// stack. Used at async-launch points: the task span is created by the
+  /// launching thread (so enqueue time is its begin) but runs elsewhere.
+  int BeginSpanUnder(int parent, const std::string& kind,
+                     const std::string& detail = "");
   /// Accumulates rows/micros onto a span (operators flush incrementally).
   void AddSpanMetrics(int id, int64_t rows, int64_t micros);
   /// Raises the span's materialized-bytes high-water mark.
   void AddSpanBytes(int id, int64_t bytes);
+  /// Records how long a pool-task span sat queued before running.
+  void SetSpanQueueMicros(int id, int64_t micros);
+  /// Records when a span produced its first and most recent row
+  /// (origin-relative micros).
+  void SetSpanRowMarks(int id, int64_t first_micros, int64_t last_micros);
   void EndSpan(int id);
 
   /// Records a source-interaction event under the calling thread's
-  /// innermost open span.
+  /// innermost open span. `roundtrip_micros`/`transfer_micros` split
+  /// `micros` into the LatencyModel components when the source is
+  /// relational (-1 = unknown, whole duration counts as round trip).
   void AddEvent(EventKind kind, const std::string& source,
                 const std::string& detail, int64_t rows, int64_t micros,
-                const std::string& table = "");
+                const std::string& table = "", int64_t roundtrip_micros = -1,
+                int64_t transfer_micros = 0);
+  /// Timeline mode only (no-op otherwise): records that the calling
+  /// thread just spent `micros` blocked joining pool-task span
+  /// `ref_span`. The stall interval is [now - micros, now].
+  void AddWaitEvent(int ref_span, int64_t micros, const std::string& detail);
+
+  /// Micros elapsed since the trace was constructed (steady clock).
+  int64_t NowRelMicros() const;
+  /// Converts a steady-clock time point to origin-relative micros.
+  int64_t RelMicros(std::chrono::steady_clock::time_point tp) const;
 
   /// Empty in counters mode.
   std::vector<Span> spans() const;
   /// Empty in counters mode.
   std::vector<Event> events() const;
-  /// Works in both modes (atomic counters in kCounters, event scan in
-  /// kFull).
+  /// Per-kind atomic tally, O(1) in every mode.
   int64_t CountEvents(EventKind kind) const;
-  /// Total micros attributed to events of `kind` (both modes).
+  /// Total micros attributed to events of `kind`, O(1) in every mode.
   int64_t SumEventMicros(EventKind kind) const;
-  /// Sorted unique source ids touched by any recorded event (both
-  /// modes). Function-cache hits count their source as touched even
+  /// Sorted unique source ids touched by any recorded event (every
+  /// mode). Function-cache hits count their source as touched even
   /// though no backend round trip happened.
   std::vector<std::string> SourcesTouched() const;
+
+  /// Converts a timeline-mode trace into the runtime-neutral model the
+  /// observability consumers (critical path, Chrome export) operate on.
+  /// Traces without timestamps degrade gracefully: spans land at ts 0
+  /// with their cumulative micros as duration.
+  observability::Timeline BuildTimeline() const;
 
   /// Replays the trace's source observations into the observed-cost
   /// model: SQL statements feed round-trip averages, and events that
@@ -139,14 +208,24 @@ class QueryTrace {
 
  private:
   static constexpr int kNumEventKinds =
-      static_cast<int>(EventKind::kFailOver) + 1;
+      static_cast<int>(EventKind::kTaskWait) + 1;
+
+  /// Lane index for the calling thread, registering it on first use.
+  /// Requires mutex_ to be held.
+  int LaneLocked();
 
   Mode mode_;
+  std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::vector<Event> events_;
-  // Counters-mode state: lock-free per-kind tallies plus a touched-source
-  // set updated only on events that carry a source id.
+  // Timeline-mode lane registry: lane 0 is the constructing thread
+  // ("main"), workers are named in registration order. Guarded by mutex_.
+  std::map<std::thread::id, int> lanes_;
+  std::vector<std::string> lane_names_;
+  // Lock-free per-kind tallies plus a touched-source set updated only on
+  // events that carry a source id. Maintained in every mode so the audit
+  // path never scans the event list.
   std::atomic<int64_t> event_counts_[kNumEventKinds] = {};
   std::atomic<int64_t> event_micros_[kNumEventKinds] = {};
   mutable std::mutex sources_mutex_;

@@ -1,0 +1,65 @@
+#ifndef ALDSP_RUNTIME_SOURCE_TIMING_H_
+#define ALDSP_RUNTIME_SOURCE_TIMING_H_
+
+// Timing helpers shared by the evaluator and the physical operators:
+// wall-clock deltas around source round trips, the virtual-latency
+// correction for LatencyModels that run without sleeping, the health
+// board's steady timestamps, and the round-trip vs per-row-transfer
+// split the timeline trace records on relational source events.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "relational/engine.h"
+
+namespace aldsp::runtime {
+
+inline int64_t MicrosSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Snapshot of a source's simulated-latency clock: when the LatencyModel
+// runs in virtual time (sleep == false) the wall clock misses the
+// modeled round trips, so trace events fold in the clock's growth.
+inline int64_t VirtualLatencyMark(relational::Database* db) {
+  if (db == nullptr || db->latency_model().sleep) return -1;
+  return db->stats().simulated_latency_micros.load();
+}
+
+inline int64_t VirtualLatencyDelta(relational::Database* db, int64_t mark) {
+  if (mark < 0) return 0;
+  return db->stats().simulated_latency_micros.load() - mark;
+}
+
+// Steady-clock "now" for the source health board's breaker timestamps.
+inline int64_t HealthNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Splits a relational source event's observed micros into the
+// LatencyModel components: one round trip plus `rows` per-row transfer
+// micros, each clipped to what was actually observed. Without a
+// configured model (or a db) the split is unknown: the whole duration
+// is reported as round trip (*roundtrip = micros).
+inline void SplitSourceMicros(relational::Database* db, int64_t rows,
+                              int64_t micros, int64_t* roundtrip,
+                              int64_t* transfer) {
+  *roundtrip = micros;
+  *transfer = 0;
+  if (db == nullptr) return;
+  const relational::LatencyModel& lm = db->latency_model();
+  if (lm.roundtrip_micros <= 0 && lm.per_row_micros <= 0) return;
+  *roundtrip = std::min<int64_t>(micros, std::max<int64_t>(lm.roundtrip_micros, 0));
+  *transfer =
+      std::min<int64_t>(micros - *roundtrip,
+                        std::max<int64_t>(rows, 0) * lm.per_row_micros);
+}
+
+}  // namespace aldsp::runtime
+
+#endif  // ALDSP_RUNTIME_SOURCE_TIMING_H_

@@ -4,6 +4,16 @@
 
 namespace aldsp::runtime {
 
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 WorkerPool::WorkerPool(int size) {
   if (size <= 0) {
     size = std::max(2u, std::thread::hardware_concurrency());
@@ -28,12 +38,22 @@ WorkerPool::~WorkerPool() {
 WorkerPool::Task WorkerPool::Submit(std::function<void()> fn) {
   auto state = std::make_shared<TaskState>();
   state->fn = std::move(fn);
+  state->enqueue_micros = SteadyNowMicros();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(state);
   }
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return Task(this, std::move(state));
+}
+
+bool WorkerPool::Claim(const std::shared_ptr<TaskState>& task) {
+  int expected = 0;
+  if (!task->claimed.compare_exchange_strong(expected, 1)) return false;
+  task->start_micros.store(SteadyNowMicros(), std::memory_order_relaxed);
+  queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
 }
 
 void WorkerPool::WorkerLoop() {
@@ -46,8 +66,7 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    int expected = 0;
-    if (task->claimed.compare_exchange_strong(expected, 1)) {
+    if (Claim(task)) {
       RunTask(task, /*inline_run=*/false);
     }
     // Otherwise a waiter claimed it first and runs it inline.
@@ -58,6 +77,15 @@ void WorkerPool::RunTask(const std::shared_ptr<TaskState>& task,
                          bool inline_run) {
   task->fn();
   task->fn = nullptr;  // release captures promptly
+  int64_t finish = SteadyNowMicros();
+  task->finish_micros.store(finish, std::memory_order_relaxed);
+  int64_t start = task->start_micros.load(std::memory_order_relaxed);
+  total_queue_wait_micros_.fetch_add(
+      std::max<int64_t>(start - task->enqueue_micros, 0),
+      std::memory_order_relaxed);
+  total_run_micros_.fetch_add(std::max<int64_t>(finish - start, 0),
+                              std::memory_order_relaxed);
+  tasks_completed_.fetch_add(1, std::memory_order_relaxed);
   (inline_run ? inline_runs_ : async_runs_).fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(task->mutex);
@@ -68,8 +96,7 @@ void WorkerPool::RunTask(const std::shared_ptr<TaskState>& task,
 
 void WorkerPool::Task::Wait() {
   if (state_ == nullptr) return;
-  int expected = 0;
-  if (state_->claimed.compare_exchange_strong(expected, 1)) {
+  if (pool_->Claim(state_)) {
     pool_->RunTask(state_, /*inline_run=*/true);
     return;
   }
@@ -81,6 +108,21 @@ bool WorkerPool::Task::WaitFor(std::chrono::milliseconds timeout) {
   if (state_ == nullptr) return true;
   std::unique_lock<std::mutex> lock(state_->mutex);
   return state_->cv.wait_for(lock, timeout, [this] { return state_->done; });
+}
+
+int64_t WorkerPool::Task::queue_wait_micros() const {
+  if (state_ == nullptr) return -1;
+  int64_t start = state_->start_micros.load(std::memory_order_relaxed);
+  if (start < 0) return -1;
+  return std::max<int64_t>(start - state_->enqueue_micros, 0);
+}
+
+int64_t WorkerPool::Task::run_micros() const {
+  if (state_ == nullptr) return -1;
+  int64_t start = state_->start_micros.load(std::memory_order_relaxed);
+  int64_t finish = state_->finish_micros.load(std::memory_order_relaxed);
+  if (start < 0 || finish < 0) return -1;
+  return std::max<int64_t>(finish - start, 0);
 }
 
 WorkerPool& WorkerPool::Default() {

@@ -33,6 +33,12 @@ namespace aldsp::runtime {
 /// A task abandoned by WaitFor keeps running (or stays queued) until the
 /// pool is destroyed; the destructor joins running tasks, so everything a
 /// task references must outlive the pool.
+///
+/// Every task records its enqueue→start→finish steady-clock timestamps.
+/// Per task they feed the timeline trace's queue-wait vs run split
+/// (Task::queue_wait_micros / run_micros); aggregated they feed the
+/// metrics snapshot (total_queue_wait_micros / total_run_micros /
+/// tasks_completed).
 class WorkerPool {
   struct TaskState;
 
@@ -58,6 +64,12 @@ class WorkerPool {
     /// Returns true when the task completed within the deadline.
     bool WaitFor(std::chrono::milliseconds timeout);
 
+    /// Micros the task spent queued before a thread started it, or -1
+    /// when it has not started yet.
+    int64_t queue_wait_micros() const;
+    /// Micros the task spent running, or -1 when it has not finished.
+    int64_t run_micros() const;
+
    private:
     friend class WorkerPool;
     Task(WorkerPool* pool, std::shared_ptr<TaskState> state)
@@ -70,19 +82,21 @@ class WorkerPool {
 
   int size() const { return static_cast<int>(threads_.size()); }
   /// Tasks submitted but not yet claimed by a worker or inline waiter —
-  /// the queue-depth gauge the metrics snapshot exports.
+  /// the queue-depth gauge the metrics snapshot polls. An atomic gauge
+  /// (incremented on enqueue, decremented on claim), not a queue scan.
   int64_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    int64_t depth = 0;
-    for (const auto& task : queue_) {
-      if (task->claimed.load(std::memory_order_relaxed) == 0) ++depth;
-    }
-    return depth;
+    return queue_depth_.load(std::memory_order_relaxed);
   }
   /// Counters for tests: completions on pool threads vs claimed inline
   /// by a waiter.
   int64_t async_runs() const { return async_runs_.load(); }
   int64_t inline_runs() const { return inline_runs_.load(); }
+  /// Lifetime aggregates across completed tasks.
+  int64_t tasks_completed() const { return tasks_completed_.load(); }
+  int64_t total_queue_wait_micros() const {
+    return total_queue_wait_micros_.load();
+  }
+  int64_t total_run_micros() const { return total_run_micros_.load(); }
 
   /// Process-wide pool used when a RuntimeContext supplies none.
   /// Deliberately leaked: like the detached threads it replaces, tasks
@@ -98,6 +112,11 @@ class WorkerPool {
     std::function<void()> fn;
     /// 0 = queued, 1 = claimed (by a worker or an inline waiter).
     std::atomic<int> claimed{0};
+    /// Steady-clock micros: enqueue set by Submit, start when a thread
+    /// claims the task, finish when fn returns.
+    int64_t enqueue_micros = 0;
+    std::atomic<int64_t> start_micros{-1};
+    std::atomic<int64_t> finish_micros{-1};
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
@@ -105,14 +124,21 @@ class WorkerPool {
 
   void WorkerLoop();
   void RunTask(const std::shared_ptr<TaskState>& task, bool inline_run);
+  /// CAS-claims `task` for the calling thread; on success stamps its
+  /// start time and drops the queue-depth gauge.
+  bool Claim(const std::shared_ptr<TaskState>& task);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<TaskState>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  std::atomic<int64_t> queue_depth_{0};
   std::atomic<int64_t> async_runs_{0};
   std::atomic<int64_t> inline_runs_{0};
+  std::atomic<int64_t> tasks_completed_{0};
+  std::atomic<int64_t> total_queue_wait_micros_{0};
+  std::atomic<int64_t> total_run_micros_{0};
 };
 
 }  // namespace aldsp::runtime

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <vector>
 
+#include "observability/critical_path.h"
+#include "observability/json_util.h"
+#include "observability/trace_export.h"
 #include "relational/sql_ast.h"
 #include "runtime/physical/builder.h"
 #include "runtime/physical/operator.h"
@@ -18,33 +21,12 @@ using runtime::QueryTrace;
 using xquery::Expr;
 using xquery::ExprKind;
 
+// The one JSON string escaper (observability/json_util) behind the
+// ostream interface this renderer uses throughout.
 void AppendJsonString(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  std::string buf;
+  observability::AppendJsonString(&buf, s);
+  os << buf;
 }
 
 /// EXPLAIN and execution see the same operator tree: a FLWOR is lowered
@@ -188,6 +170,17 @@ std::string SpanLine(const QueryTrace::Span& span) {
   if (!span.detail.empty()) os << " (" << span.detail << ")";
   os << "  rows=" << span.rows << " time=" << span.micros << "us";
   if (span.bytes > 0) os << " bytes=" << span.bytes;
+  // Timeline annotations ride after the legacy fields (the prefix is a
+  // compatibility surface for profile-text consumers).
+  if (span.begin_micros >= 0 && span.end_micros >= 0) {
+    os << " @[" << span.begin_micros << ".." << span.end_micros << "]us";
+  }
+  if (span.lane > 0) os << " lane=" << span.lane;
+  if (span.queue_micros >= 0) os << " queue=" << span.queue_micros << "us";
+  if (span.first_row_micros >= 0) {
+    os << " first-row=@" << span.first_row_micros << "us last-row=@"
+       << span.last_row_micros << "us";
+  }
   if (!span.finished) os << " [unfinished]";
   return os.str();
 }
@@ -198,6 +191,10 @@ std::string EventLine(const QueryTrace::Event& event) {
   if (!event.source.empty()) os << "[" << event.source << "]";
   if (!event.detail.empty()) os << " " << event.detail;
   os << "  rows=" << event.rows << " time=" << event.micros << "us";
+  if (event.roundtrip_micros >= 0) {
+    os << " (roundtrip=" << event.roundtrip_micros
+       << "us transfer=" << event.transfer_micros << "us)";
+  }
   return os.str();
 }
 
@@ -246,7 +243,16 @@ void RenderEventJson(const QueryTrace::Event& event, std::ostream& os) {
     os << ",\"table\":";
     AppendJsonString(os, event.table);
   }
-  os << ",\"rows\":" << event.rows << ",\"micros\":" << event.micros << "}";
+  os << ",\"rows\":" << event.rows << ",\"micros\":" << event.micros;
+  if (event.at_micros >= 0) {
+    os << ",\"at_micros\":" << event.at_micros << ",\"lane\":" << event.lane;
+  }
+  if (event.roundtrip_micros >= 0) {
+    os << ",\"roundtrip_micros\":" << event.roundtrip_micros
+       << ",\"transfer_micros\":" << event.transfer_micros;
+  }
+  if (event.ref_span >= 0) os << ",\"awaited_span\":" << event.ref_span;
+  os << "}";
 }
 
 void RenderSpanJson(const ProfileIndex& index, int id, std::ostream& os) {
@@ -257,8 +263,19 @@ void RenderSpanJson(const ProfileIndex& index, int id, std::ostream& os) {
   AppendJsonString(os, span.detail);
   os << ",\"rows\":" << span.rows << ",\"micros\":" << span.micros
      << ",\"bytes\":" << span.bytes
-     << ",\"finished\":" << (span.finished ? "true" : "false")
-     << ",\"events\":[";
+     << ",\"finished\":" << (span.finished ? "true" : "false");
+  if (span.begin_micros >= 0) {
+    os << ",\"begin_micros\":" << span.begin_micros
+       << ",\"end_micros\":" << span.end_micros << ",\"lane\":" << span.lane;
+    if (span.queue_micros >= 0) {
+      os << ",\"queue_micros\":" << span.queue_micros;
+    }
+    if (span.first_row_micros >= 0) {
+      os << ",\"first_row_micros\":" << span.first_row_micros
+         << ",\"last_row_micros\":" << span.last_row_micros;
+    }
+  }
+  os << ",\"events\":[";
   bool first = true;
   auto ev = index.span_events.find(id);
   if (ev != index.span_events.end()) {
@@ -328,6 +345,12 @@ std::string RenderProfileText(const CompiledPlan& plan,
       os << EventLine(index.events[i]) << "\n";
     }
   }
+  // Timeline traces get the wall-time attribution appended, EXPLAIN
+  // ANALYZE style.
+  if (trace.has_timeline()) {
+    os << observability::RenderCriticalPathText(
+        observability::AnalyzeCriticalPath(trace.BuildTimeline()));
+  }
   return os.str();
 }
 
@@ -374,8 +397,18 @@ std::string RenderProfileJson(const CompiledPlan& plan,
       RenderEventJson(index.events[i], os);
     }
   }
-  os << "]}";
+  os << "]";
+  if (trace.has_timeline()) {
+    os << ",\"critical_path\":"
+       << observability::RenderCriticalPathJson(
+              observability::AnalyzeCriticalPath(trace.BuildTimeline()));
+  }
+  os << "}";
   return os.str();
+}
+
+std::string RenderChromeTrace(const runtime::QueryTrace& trace) {
+  return observability::ChromeTraceJson(trace.BuildTimeline());
 }
 
 }  // namespace aldsp::server

@@ -27,6 +27,13 @@ std::string RenderProfileText(const CompiledPlan& plan,
 std::string RenderProfileJson(const CompiledPlan& plan,
                               const runtime::QueryTrace& trace);
 
+/// Chrome/Perfetto trace_event JSON of one profiled run: one lane per
+/// engine thread, spans and source round trips as complete ("X") slices,
+/// queue waits nested under their task slices. Open in chrome://tracing
+/// or ui.perfetto.dev. Meaningful for timeline-mode traces; other traces
+/// degrade to a flat ts=0 layout.
+std::string RenderChromeTrace(const runtime::QueryTrace& trace);
+
 /// The source-health scoreboard section EXPLAIN appends once the server
 /// has observed any source: per-source breaker state, EWMA latency and
 /// error/timeout tallies, so a plan reading a tripped source is visible

@@ -293,14 +293,14 @@ Result<xml::Sequence> DataServicePlatform::ExecutePlan(
 std::shared_ptr<runtime::QueryTrace> DataServicePlatform::MakeObservedTrace(
     const CompiledPlan& plan) const {
   if (!options_.always_on_observability) return nullptr;
-  // A query an earlier slow run promoted re-executes under a full trace
-  // so its rendered profile can be captured; everything else pays only
-  // the counters-mode cost.
+  // A query an earlier slow run promoted re-executes under a timeline
+  // trace so its rendered profile and an openable Chrome trace can be
+  // captured; everything else pays only the counters-mode cost.
   if (options_.slow_query_threshold_micros > 0 &&
       slow_queries_.IsPromoted(
           observability::ExecutionAuditLog::HashQuery(plan.text))) {
     return std::make_shared<runtime::QueryTrace>(
-        runtime::QueryTrace::Mode::kFull);
+        runtime::QueryTrace::Mode::kTimeline);
   }
   return std::make_shared<runtime::QueryTrace>(
       runtime::QueryTrace::Mode::kCounters);
@@ -352,10 +352,13 @@ void DataServicePlatform::FinishObservation(
   slow.query_head = plan.text.substr(0, 80);
   slow.wall_micros = wall_micros;
   slow.threshold_micros = options_.slow_query_threshold_micros;
-  if (trace.mode() == runtime::QueryTrace::Mode::kFull) {
+  if (trace.keeps_events()) {
     slow.full_trace = true;
     slow.profile_text = RenderProfileText(plan, trace);
     slow.profile_json = RenderProfileJson(plan, trace);
+    // The timeline makes the slow run openable in Perfetto; the second
+    // slow run of a promoted query always has one.
+    if (trace.has_timeline()) slow.trace_json = RenderChromeTrace(trace);
   } else {
     // First slow sighting: keep the cheap counter summary and promote
     // the hash so the next run executes under a full trace.
@@ -406,7 +409,7 @@ Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
   int64_t wall = NowMicros() - t0;
   int64_t rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
   int64_t bytes = result.ok() ? xml::SequenceMemoryBytes(*result) : 0;
-  if (trace->mode() == runtime::QueryTrace::Mode::kFull) {
+  if (trace->keeps_events()) {
     trace->FeedObservedCost(&observed_);
   }
   FinishObservation(plan, plan_cache_hit, *trace,
@@ -493,7 +496,7 @@ Status DataServicePlatform::ExecuteStream(
   int64_t t0 = NowMicros();
   Status st = runtime::EvaluateStream(*plan->plan, ctx, counting_sink);
   int64_t wall = NowMicros() - t0;
-  if (trace->mode() == runtime::QueryTrace::Mode::kFull) {
+  if (trace->keeps_events()) {
     trace->FeedObservedCost(&observed_);
   }
   // Streamed items are not retained, so bytes_returned stays 0.
@@ -534,7 +537,8 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
                          Prepare(query, &cache_hit));
   ProfiledExecution out;
   out.plan = plan;
-  out.trace = std::make_shared<runtime::QueryTrace>();
+  out.trace = std::make_shared<runtime::QueryTrace>(
+      runtime::QueryTrace::Mode::kTimeline);
   // A context copy carries the trace so concurrent unprofiled executions
   // through ctx_ stay untraced; trace_owner keeps the trace alive for
   // any evaluation a fn-bea:timeout abandons on a pool thread.
@@ -565,6 +569,12 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
   if (!result.ok()) return result.status();
   out.result = std::move(result).value();
   return out;
+}
+
+Result<std::string> DataServicePlatform::ChromeTraceJson(
+    const std::string& query) {
+  ALDSP_ASSIGN_OR_RETURN(ProfiledExecution run, ExecuteProfiled(query));
+  return RenderChromeTrace(*run.trace);
 }
 
 runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
@@ -605,6 +615,10 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
                       static_cast<int64_t>(function_cache_.size()));
   metrics_.SetCounter("worker_pool.size", pool_.size());
   metrics_.SetCounter("worker_pool.queue_depth", pool_.queue_depth());
+  metrics_.SetCounter("worker_pool.tasks_completed", pool_.tasks_completed());
+  metrics_.SetCounter("worker_pool.queue_wait_micros",
+                      pool_.total_queue_wait_micros());
+  metrics_.SetCounter("worker_pool.run_micros", pool_.total_run_micros());
   metrics_.SetCounter("audit_log.records", exec_audit_.total_appended());
   metrics_.SetCounter("slow_query_log.records",
                       slow_queries_.total_appended());
@@ -634,6 +648,13 @@ std::string DataServicePlatform::RenderSlowQueryText(int64_t seq) {
     if (!r.profile_text.empty() && r.profile_text.back() != '\n') os << "\n";
   }
   return os.str();
+}
+
+std::string DataServicePlatform::SlowQueryChromeTrace(int64_t seq) {
+  for (const auto& r : slow_queries_.Records()) {
+    if (r.seq == seq) return r.trace_json;
+  }
+  return "";
 }
 
 std::string DataServicePlatform::SourceHealthJson() {

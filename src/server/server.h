@@ -221,6 +221,12 @@ class DataServicePlatform {
   /// runs with a null trace and pays no instrumentation cost.
   Result<ProfiledExecution> ExecuteProfiled(const std::string& query);
 
+  /// Runs `query` under a timeline trace and renders it as Chrome
+  /// trace_event JSON (one lane per engine thread; spans, queue waits
+  /// and source round trips as slices). Open in chrome://tracing or
+  /// ui.perfetto.dev.
+  Result<std::string> ChromeTraceJson(const std::string& query);
+
   /// Server-wide metrics: per-source latency histograms and rolling
   /// 1m/5m windows recorded by the runtime and the execution wrapper,
   /// with runtime/cache counters and pool gauges folded in at snapshot
@@ -245,6 +251,11 @@ class DataServicePlatform {
   std::string RenderSlowQueryText(int64_t seq = -1);
   /// JSON snapshot of the per-source health scoreboard.
   std::string SourceHealthJson();
+  /// Chrome trace_event JSON stored with the slow-query capture `seq`
+  /// (promoted runs execute under a timeline trace whose exported
+  /// timeline is retained), or "" when the record is absent or was a
+  /// counters-only first offense.
+  std::string SlowQueryChromeTrace(int64_t seq);
 
   observability::ExecutionAuditLog& execution_audit() { return exec_audit_; }
   observability::SlowQueryLog& slow_query_log() { return slow_queries_; }

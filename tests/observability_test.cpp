@@ -8,6 +8,7 @@
 
 #include "adaptors/webservice_adaptor.h"
 #include "observability/audit_log.h"
+#include "observability/json_util.h"
 #include "observability/rolling_window.h"
 #include "observability/slow_query_log.h"
 #include "observability/source_health.h"
@@ -169,6 +170,58 @@ TEST(RollingWindowTest, StaleSlotIsReusedAfterWrapAround) {
   EXPECT_EQ(s.total.count, 2);
 }
 
+TEST(RollingWindowTest, EpochRolloverAtWindowBoundaries) {
+  RollingWindow w;
+  int64_t t0 = 7'000'000'000;
+  w.Record(100, t0);
+  // Just inside the 1m window: the sample's 10s slot still overlaps it.
+  auto s = w.GetSnapshot(t0 + RollingWindow::kMinuteMicros - 1);
+  EXPECT_EQ(s.last_1m.count, 1);
+  // Slot-aligned clocks age out deterministically: one minute past the
+  // *end* of the sample's slot, that slot is outside the 1m horizon.
+  int64_t slot_end = (t0 / RollingWindow::kSlotMicros + 1) *
+                     RollingWindow::kSlotMicros;
+  s = w.GetSnapshot(slot_end + RollingWindow::kMinuteMicros);
+  EXPECT_EQ(s.last_1m.count, 0);
+  EXPECT_EQ(s.last_5m.count, 1);
+  // ...and five minutes past it, the 5m horizon too.
+  s = w.GetSnapshot(slot_end + 5 * RollingWindow::kMinuteMicros);
+  EXPECT_EQ(s.last_5m.count, 0);
+  EXPECT_EQ(s.total.count, 1);
+}
+
+TEST(RollingWindowTest, MultipleRingWrapsNeverDoubleCount) {
+  RollingWindow w;
+  int64_t t0 = 123'456'789;
+  // Hit the same slot index across three full ring revolutions; each
+  // revolution must evict the stale epoch, so a snapshot only ever sees
+  // the newest sample in the windows while the total keeps all of them.
+  int64_t ring = RollingWindow::kSlots * RollingWindow::kSlotMicros;
+  for (int rev = 0; rev < 3; ++rev) {
+    w.Record(100 + rev, t0 + rev * ring);
+  }
+  auto s = w.GetSnapshot(t0 + 2 * ring);
+  EXPECT_EQ(s.last_1m.count, 1);
+  EXPECT_EQ(s.last_1m.sum_micros, 102);
+  EXPECT_EQ(s.last_5m.count, 1);
+  EXPECT_EQ(s.total.count, 3);
+  EXPECT_EQ(s.total.sum_micros, 303);
+}
+
+TEST(RollingCounterTest, StaleSlotIsEvictedAfterWrapAround) {
+  RollingCounter c;
+  int64_t t0 = 90'000'000;
+  c.Add(7, t0);
+  // One full ring later the same slot is reused: the old sum must not
+  // leak into the new epoch's windows.
+  int64_t t1 = t0 + RollingWindow::kSlots * RollingWindow::kSlotMicros;
+  c.Add(5, t1);
+  auto s = c.GetSnapshot(t1);
+  EXPECT_EQ(s.last_1m, 5);
+  EXPECT_EQ(s.last_5m, 5);
+  EXPECT_EQ(s.total, 12);
+}
+
 TEST(RollingCounterTest, WindowedSums) {
   RollingCounter c;
   int64_t t0 = 10'000'000;
@@ -231,6 +284,58 @@ TEST(ExecutionAuditLogTest, BoundedRingAndJsonl) {
   EXPECT_NE(jsonl.find("\"query_hash\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"outcome\":\"ok\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"wall_micros\""), std::string::npos);
+}
+
+TEST(ExecutionAuditLogTest, ControlCharactersStayOnOneJsonlLine) {
+  // Regression: a query head containing newlines, tabs and raw control
+  // bytes must not break the one-record-per-line JSONL contract or leak
+  // unescaped bytes into the JSON string literal.
+  ExecutionAuditLog log(/*capacity=*/4);
+  observability::AuditRecord r;
+  r.query_head = "for $c in\nns3:CUSTOMER()\treturn\r$c \x01\x1f end";
+  r.outcome = "ok";
+  log.Append(std::move(r));
+  std::string jsonl = ExecutionAuditLog::RenderJsonl(log.Records());
+  // Exactly one line (one trailing newline) despite the embedded \n.
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  int newlines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') {
+      // The only permitted control character is the record separator.
+      ++newlines;
+      continue;
+    }
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+        << "raw control byte " << static_cast<int>(c);
+  }
+  EXPECT_EQ(newlines, 1);
+  EXPECT_NE(jsonl.find("\\n"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\t"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\r"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\u0001"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\u001f"), std::string::npos);
+}
+
+TEST(JsonUtilTest, EveryControlCharacterIsEscaped) {
+  std::string raw;
+  for (int c = 0; c < 0x20; ++c) raw.push_back(static_cast<char>(c));
+  raw += "\"\\plain";
+  std::string out;
+  observability::AppendJsonString(&out, raw);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front(), '"');
+  EXPECT_EQ(out.back(), '"');
+  for (char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+        << "raw control byte " << static_cast<int>(c);
+  }
+  // Quotes and backslashes escaped, printable text untouched.
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\\\"), std::string::npos);
+  EXPECT_NE(out.find("plain"), std::string::npos);
+  EXPECT_NE(out.find("\\u0000"), std::string::npos);
+  EXPECT_NE(out.find("\\u000b"), std::string::npos);
 }
 
 TEST(ExecutionAuditLogTest, HashIsStableAndSensitive) {

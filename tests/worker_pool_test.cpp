@@ -130,6 +130,85 @@ TEST(WorkerPoolTest, NestedAsyncUnderSmallPoolCompletes) {
   EXPECT_GE(env.stats.async_tasks.load(), 8);
 }
 
+TEST(WorkerPoolTest, QueueDepthGaugeTracksEnqueueAndClaim) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  WorkerPool::Task blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  // Wait until the worker claimed the blocker (claiming drops the gauge),
+  // then park further submissions behind it: they pile up on the gauge
+  // (no queue scan involved).
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  EXPECT_EQ(pool.queue_depth(), 0);
+  std::vector<WorkerPool::Task> queued;
+  for (int i = 0; i < 3; ++i) queued.push_back(pool.Submit([] {}));
+  EXPECT_EQ(pool.queue_depth(), 3);
+  // An inline steal claims a task and drops the gauge immediately.
+  queued[0].Wait();
+  EXPECT_EQ(pool.queue_depth(), 2);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.Wait();
+  for (auto& t : queued) t.Wait();
+  EXPECT_EQ(pool.queue_depth(), 0);
+}
+
+TEST(WorkerPoolTest, TasksRecordQueueWaitAndRunTime) {
+  WorkerPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  WorkerPool::Task blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  WorkerPool::Task queued = pool.Submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  // Not started yet: no split available.
+  EXPECT_EQ(queued.queue_wait_micros(), -1);
+  EXPECT_EQ(queued.run_micros(), -1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.Wait();
+  queued.Wait();
+  // The task sat queued behind the blocker, then ran for >= 5ms.
+  EXPECT_GE(queued.queue_wait_micros(), 0);
+  EXPECT_GE(queued.run_micros(), 5000);
+  EXPECT_GE(blocker.queue_wait_micros(), 0);
+}
+
+TEST(WorkerPoolTest, AggregatesAccumulateAcrossCompletions) {
+  WorkerPool pool(2);
+  EXPECT_EQ(pool.tasks_completed(), 0);
+  std::vector<WorkerPool::Task> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }));
+  }
+  for (auto& t : tasks) t.Wait();
+  EXPECT_EQ(pool.tasks_completed(), 6);
+  EXPECT_GE(pool.total_run_micros(), 6 * 1000);
+  EXPECT_GE(pool.total_queue_wait_micros(), 0);
+}
+
 TEST(RuntimeStatsTest, NotePeakBytesSurvivesConcurrentReset) {
   // Reset and NotePeakBytes may race (a monitoring reset while queries
   // run); the generation re-check republishes a watermark the reset
