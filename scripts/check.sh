@@ -64,9 +64,9 @@ cmake -B "$repo/build-tsan" -S "$repo" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" \
-  --target physical_parity_test worker_pool_test join_methods_test \
-  observability_test
+  --target physical_parity_test parallel_exec_test worker_pool_test \
+  join_methods_test observability_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|worker_pool_test|join_methods_test|observability_test)$'
+  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test)$'
 
 echo "== all checks passed =="

@@ -120,6 +120,11 @@ class Optimizer::Impl {
         break;
       }
     }
+    // Post-pass annotations, outside the fixpoint loop: they decorate
+    // clauses for the physical planner (observed cardinalities, parallel
+    // let groups) without rewriting the tree, so they must not feed
+    // `changed` or they would pin the loop at max_passes.
+    AnnotatePass(root);
     return Status::OK();
   }
 
@@ -164,6 +169,97 @@ class Optimizer::Impl {
                                    st.message());
     }
     return Status::OK();
+  }
+
+  // ----- Planner annotations (post-pass) ---------------------------------
+
+  void AnnotatePass(ExprPtr& e) {
+    xquery::ForEachChildSlot(*e, [&](ExprPtr& c) {
+      if (c) AnnotatePass(c);
+    });
+    if (e->kind != ExprKind::kFLWOR) return;
+    AnnotateCardinalities(*e);
+    MarkParallelLets(*e);
+  }
+
+  // Stamps for/join clauses whose binding scans a full relational table
+  // with the observed row count (§5.4: statistics from earlier runs feed
+  // later compilations), so the physical planner knows where an exchange
+  // pays for itself.
+  void AnnotateCardinalities(Expr& flwor) {
+    if (options_.observed == nullptr) return;
+    for (auto& cl : flwor.clauses) {
+      if (cl.kind != Clause::Kind::kFor && cl.kind != Clause::Kind::kJoin) {
+        continue;
+      }
+      if (cl.expr == nullptr) continue;
+      const Expr* binding = cl.expr.get();
+      while (binding->kind == ExprKind::kFilter) {
+        binding = binding->children[0].get();
+      }
+      if (binding->kind != ExprKind::kFunctionCall) continue;
+      const ExternalFunction* fn = functions_->FindExternal(binding->fn_name);
+      if (fn == nullptr || !fn->is_relational()) continue;
+      cl.estimated_rows = options_.observed->ObservedRows(
+          fn->Property("source"), fn->Property("table"));
+    }
+  }
+
+  // True if `e` contains a call to any external (source-backed) function —
+  // the only lets worth fanning out, since everything else is CPU-cheap.
+  bool CallsExternal(Expr& e) const {
+    if (e.kind == ExprKind::kFunctionCall &&
+        functions_->FindExternal(e.fn_name) != nullptr) {
+      return true;
+    }
+    bool found = false;
+    xquery::ForEachChildSlot(e, [&](ExprPtr& c) {
+      if (c && !found) found = CallsExternal(*c);
+    });
+    return found;
+  }
+
+  // Marks runs of consecutive lets that each call out to a source and do
+  // not reference each other's variables: their source round trips can
+  // overlap, so the planner fans them out to the worker pool as a group.
+  void MarkParallelLets(Expr& flwor) {
+    size_t i = 0;
+    while (i < flwor.clauses.size()) {
+      if (flwor.clauses[i].kind != Clause::Kind::kLet ||
+          flwor.clauses[i].expr == nullptr ||
+          !CallsExternal(*flwor.clauses[i].expr)) {
+        ++i;
+        continue;
+      }
+      // Extend the run while the next let stays independent of every
+      // variable bound earlier in the run.
+      size_t j = i + 1;
+      std::set<std::string> bound = {flwor.clauses[i].var};
+      while (j < flwor.clauses.size()) {
+        const Clause& cand = flwor.clauses[j];
+        if (cand.kind != Clause::Kind::kLet || cand.expr == nullptr ||
+            !CallsExternal(*cand.expr)) {
+          break;
+        }
+        bool independent = true;
+        for (const std::string& v : bound) {
+          if (IsFreeVar(*cand.expr, v)) {
+            independent = false;
+            break;
+          }
+        }
+        if (!independent) break;
+        bound.insert(cand.var);
+        ++j;
+      }
+      if (j - i >= 2) {
+        int group = (*rename_serial_)++;
+        for (size_t k = i; k < j; ++k) {
+          flwor.clauses[k].parallel_group = group;
+        }
+      }
+      i = j;
+    }
   }
 
   // ----- View unfolding (function inlining), paper §4.2 -----------------
@@ -874,13 +970,17 @@ class Optimizer::Impl {
           cl.method = JoinMethod::kIndexNestedLoop;
           return true;
         }
+        std::string fetch_source = spec->source;
         spec->select_template = std::move(select);
         cl.ppk_fetch = std::move(spec);
         cl.method = options_.cross_source_method;
+        // Source-aware sizing: observed round-trip vs per-row transfer
+        // time can push k above the pure-cardinality heuristic.
         cl.ppk_block_size =
             options_.ppk_k_hinted
                 ? options_.ppk_k
-                : options_.observed->AdvisePPkBlockSize(outer_rows);
+                : options_.observed->AdvisePPkBlockSize(fetch_source,
+                                                        outer_rows);
         return true;
       }
       spec->select_template = std::move(select);

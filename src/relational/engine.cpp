@@ -792,7 +792,7 @@ const Database::TableStorage* Database::FindStorage(
   return nullptr;
 }
 
-Status Database::ChargeStatement() {
+Status Database::ChargeStatement(int64_t* sleep_micros) {
   int expected = fail_next_.load();
   while (expected > 0) {
     if (fail_next_.compare_exchange_weak(expected, expected - 1)) {
@@ -802,45 +802,57 @@ Status Database::ChargeStatement() {
   stats_.statements += 1;
   stats_.simulated_latency_micros += latency_.roundtrip_micros;
   if (latency_.sleep && latency_.roundtrip_micros > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(latency_.roundtrip_micros));
+    *sleep_micros += latency_.roundtrip_micros;
   }
   return Status::OK();
 }
 
-void Database::ChargeRows(size_t n) {
+void Database::ChargeRows(size_t n, int64_t* sleep_micros) {
   stats_.rows_shipped += static_cast<int64_t>(n);
   int64_t cost = latency_.per_row_micros * static_cast<int64_t>(n);
   stats_.simulated_latency_micros += cost;
   if (latency_.sleep && cost > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(cost));
+    *sleep_micros += cost;
+  }
+}
+
+void Database::SimulateLatency(int64_t sleep_micros) const {
+  if (sleep_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
   }
 }
 
 Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
                                           const std::vector<Cell>& params) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ALDSP_RETURN_NOT_OK(ChargeStatement());
-  auto lookup = [this](const std::string& name, const TableDef** def,
-                       const std::vector<Row>** rows) -> Status {
-    const TableStorage* s = FindStorage(name);
-    if (s == nullptr) {
-      return Status::NotFound("no such table in " + name_ + ": " + name);
-    }
-    *def = &s->def;
-    *rows = &s->rows;
-    return Status::OK();
-  };
-  Executor exec(lookup, &params, &stats_);
-  ALDSP_ASSIGN_OR_RETURN(ResultSet rs, exec.Run(stmt));
-  ChargeRows(rs.rows.size());
-  return rs;
+  int64_t sleep_micros = 0;
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ALDSP_RETURN_NOT_OK(ChargeStatement(&sleep_micros));
+    auto lookup = [this](const std::string& name, const TableDef** def,
+                         const std::vector<Row>** rows) -> Status {
+      const TableStorage* s = FindStorage(name);
+      if (s == nullptr) {
+        return Status::NotFound("no such table in " + name_ + ": " + name);
+      }
+      *def = &s->def;
+      *rows = &s->rows;
+      return Status::OK();
+    };
+    Executor exec(lookup, &params, &stats_);
+    ALDSP_ASSIGN_OR_RETURN(ResultSet rs, exec.Run(stmt));
+    ChargeRows(rs.rows.size(), &sleep_micros);
+    return rs;
+  }();
+  SimulateLatency(sleep_micros);
+  return result;
 }
 
 Result<int64_t> Database::ExecuteUpdate(const UpdateStmt& stmt,
                                         const std::vector<Cell>& params) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ALDSP_RETURN_NOT_OK(ChargeStatement());
+  int64_t sleep_micros = 0;
+  ALDSP_RETURN_NOT_OK(ChargeStatement(&sleep_micros));
+  SimulateLatency(sleep_micros);
   TableStorage* storage = FindStorage(stmt.table_name);
   if (storage == nullptr) {
     return Status::NotFound("no such table: " + stmt.table_name);
@@ -886,7 +898,9 @@ Result<int64_t> Database::ExecuteUpdate(const UpdateStmt& stmt,
 Result<int64_t> Database::ExecuteInsert(const InsertStmt& stmt,
                                         const std::vector<Cell>& params) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ALDSP_RETURN_NOT_OK(ChargeStatement());
+  int64_t sleep_micros = 0;
+  ALDSP_RETURN_NOT_OK(ChargeStatement(&sleep_micros));
+  SimulateLatency(sleep_micros);
   TableStorage* storage = FindStorage(stmt.table_name);
   if (storage == nullptr) {
     return Status::NotFound("no such table: " + stmt.table_name);
@@ -914,7 +928,9 @@ Result<int64_t> Database::ExecuteInsert(const InsertStmt& stmt,
 Result<int64_t> Database::ExecuteDelete(const DeleteStmt& stmt,
                                         const std::vector<Cell>& params) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ALDSP_RETURN_NOT_OK(ChargeStatement());
+  int64_t sleep_micros = 0;
+  ALDSP_RETURN_NOT_OK(ChargeStatement(&sleep_micros));
+  SimulateLatency(sleep_micros);
   TableStorage* storage = FindStorage(stmt.table_name);
   if (storage == nullptr) {
     return Status::NotFound("no such table: " + stmt.table_name);

@@ -101,8 +101,14 @@ class Database {
 
   TableStorage* FindStorage(const std::string& name);
   const TableStorage* FindStorage(const std::string& name) const;
-  Status ChargeStatement();
-  void ChargeRows(size_t n);
+  /// Accounts the round-trip / per-row transfer cost in stats and adds the
+  /// micros to sleep to *sleep_micros. The caller sleeps AFTER releasing
+  /// mutex_ (see SimulateLatency) so that concurrent statements against the
+  /// same backend overlap their simulated wire time, the way independent
+  /// connections to a real RDBMS would.
+  Status ChargeStatement(int64_t* sleep_micros);
+  void ChargeRows(size_t n, int64_t* sleep_micros);
+  void SimulateLatency(int64_t sleep_micros) const;
   Status CheckRow(const TableDef& def, const Row& row) const;
 
   std::string name_;

@@ -29,6 +29,10 @@ struct RuntimeStats {
   std::atomic<int64_t> failovers_fired{0};
   std::atomic<int64_t> group_sort_fallbacks{0};
   std::atomic<int64_t> streaming_groups{0};
+  /// Chunks shipped through exchange operators (scatter side).
+  std::atomic<int64_t> exchange_chunks{0};
+  /// Parallel fan-outs of independent let-bound source calls.
+  std::atomic<int64_t> parallel_let_fanouts{0};
   /// Peak bytes materialized by a single blocking operator instance
   /// (group-by / sort / join build side) — the memory axis of the
   /// grouping and PP-k experiments.
@@ -50,6 +54,8 @@ struct RuntimeStats {
     failovers_fired.store(0, std::memory_order_relaxed);
     group_sort_fallbacks.store(0, std::memory_order_relaxed);
     streaming_groups.store(0, std::memory_order_relaxed);
+    exchange_chunks.store(0, std::memory_order_relaxed);
+    parallel_let_fanouts.store(0, std::memory_order_relaxed);
     peak_operator_bytes.store(0, std::memory_order_relaxed);
     reset_generation.fetch_add(1, std::memory_order_release);
   }
@@ -118,6 +124,22 @@ struct RuntimeContext {
   /// Double-buffer PP-k parameter blocks: overlap the next block's
   /// round trip with mid-tier consumption of the current one.
   bool ppk_prefetch = true;
+  /// Outstanding PP-k block fetches when prefetching (the pipeline depth).
+  /// 0 = adaptive: ask the ObservedCostModel per source (falls back to 1,
+  /// the classic double buffer, with no observations). Capped at 8.
+  int ppk_prefetch_depth = 0;
+  /// Maximum degree of intra-query parallelism (exchange operators and
+  /// partitioned join probes). 1 = serial execution; the server wires
+  /// this to its worker-pool size by default.
+  int max_query_dop = 1;
+  /// Minimum estimated upstream rows before the planner inserts an
+  /// exchange above a join probe or for-scan.
+  int64_t parallel_row_threshold = 64;
+  /// Tuples per exchange chunk (0 = auto).
+  int exchange_chunk_size = 0;
+  /// Ordered mode: exchange gather preserves input order (deterministic
+  /// results). False allows chunks to interleave as they complete.
+  bool exchange_ordered = true;
 };
 
 }  // namespace aldsp::runtime

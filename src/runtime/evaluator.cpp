@@ -658,6 +658,17 @@ class Evaluator {
     int depth_;
   };
 
+  // Planner knobs from the runtime context: the server wires DOP to its
+  // pool size, embedders and tests get the serial defaults.
+  physical::BuildOptions PlanOptions() const {
+    physical::BuildOptions opts;
+    opts.max_dop = ctx_.max_query_dop;
+    opts.parallel_row_threshold = ctx_.parallel_row_threshold;
+    opts.exchange_chunk_size = ctx_.exchange_chunk_size;
+    opts.ordered = ctx_.exchange_ordered;
+    return opts;
+  }
+
   Result<Sequence> EvalFLWOR(const Expr& e, const Tuple& env, int depth) {
     int span = -1;
     std::optional<QueryTrace::Scope> scope;
@@ -669,7 +680,8 @@ class Evaluator {
     Sequence out;
     InterpreterShim shim(this, depth);
     physical::ExecEnv xenv{&ctx_, &shim, env};
-    std::unique_ptr<physical::PhysicalOperator> plan = physical::BuildPlan(e);
+    std::unique_ptr<physical::PhysicalOperator> plan =
+        physical::BuildPlan(e, PlanOptions());
     Status result = [&]() -> Status {
       ALDSP_RETURN_NOT_OK(plan->Open(&xenv));
       Tuple t;
@@ -705,7 +717,8 @@ class Evaluator {
     int64_t produced = 0;
     InterpreterShim shim(this, 0);
     physical::ExecEnv xenv{&ctx_, &shim, env};
-    std::unique_ptr<physical::PhysicalOperator> plan = physical::BuildPlan(e);
+    std::unique_ptr<physical::PhysicalOperator> plan =
+        physical::BuildPlan(e, PlanOptions());
     Status result = [&]() -> Status {
       ALDSP_RETURN_NOT_OK(plan->Open(&xenv));
       Tuple t;
@@ -896,7 +909,17 @@ class Evaluator {
     // Only a full trace replays observations at completion; under the
     // counters trace (or none) the model is fed inline.
     if (!TraceReplaysObservations(ctx_) && ctx_.observed != nullptr) {
-      ctx_.observed->RecordStatement(spec->source, micros);
+      int64_t roundtrip = -1;
+      int64_t transfer = 0;
+      SplitSourceMicros(db, static_cast<int64_t>(rs.rows.size()), micros,
+                        &roundtrip, &transfer);
+      if (roundtrip >= 0) {
+        ctx_.observed->RecordStatementSplit(spec->source, roundtrip, transfer,
+                                            static_cast<int64_t>(
+                                                rs.rows.size()));
+      } else {
+        ctx_.observed->RecordStatement(spec->source, micros);
+      }
       if (bare_scan) {
         ctx_.observed->RecordTableScan(spec->source, s.from.table_name,
                                        static_cast<int64_t>(rs.rows.size()),

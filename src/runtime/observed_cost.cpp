@@ -1,8 +1,42 @@
 #include "runtime/observed_cost.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace aldsp::runtime {
+
+namespace {
+
+int BucketOf(int64_t micros) {
+  int b = 0;
+  while (micros > 0 && b < ObservedCostModel::LatencyHistogram::kBuckets - 1) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void ObservedCostModel::LatencyHistogram::Record(int64_t micros) {
+  counts[BucketOf(micros)] += 1;
+  samples += 1;
+}
+
+int64_t ObservedCostModel::LatencyHistogram::Percentile(double p) const {
+  if (samples <= 0) return -1;
+  int64_t target = static_cast<int64_t>(p * static_cast<double>(samples - 1));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen > target) {
+      if (b == 0) return 0;
+      // Geometric midpoint of [2^(b-1), 2^b).
+      return (int64_t{3} << (b - 1)) / 2;
+    }
+  }
+  return -1;
+}
 
 void ObservedCostModel::RecordTableScan(const std::string& source,
                                         const std::string& table,
@@ -24,6 +58,37 @@ void ObservedCostModel::RecordStatement(const std::string& source,
   avg = (avg * static_cast<double>(n) + static_cast<double>(micros)) /
         static_cast<double>(n + 1);
   n += 1;
+}
+
+void ObservedCostModel::RecordStatementSplit(const std::string& source,
+                                             int64_t roundtrip_micros,
+                                             int64_t transfer_micros,
+                                             int64_t rows) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SourceObservation& obs = splits_[source];
+    obs.roundtrip.Record(roundtrip_micros);
+    if (rows > 0 && transfer_micros >= 0) {
+      obs.transfer_micros_total += transfer_micros;
+      obs.rows_total += rows;
+    }
+  }
+  RecordStatement(source, roundtrip_micros + std::max<int64_t>(
+                                                 transfer_micros, 0));
+}
+
+int64_t ObservedCostModel::RoundTripP50Micros(const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = splits_.find(source);
+  return it == splits_.end() ? -1 : it->second.roundtrip.Percentile(0.5);
+}
+
+double ObservedCostModel::TransferMicrosPerRow(const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = splits_.find(source);
+  if (it == splits_.end() || it->second.rows_total <= 0) return -1.0;
+  return static_cast<double>(it->second.transfer_micros_total) /
+         static_cast<double>(it->second.rows_total);
 }
 
 int64_t ObservedCostModel::ObservedRows(const std::string& source,
@@ -68,10 +133,40 @@ int ObservedCostModel::AdvisePPkBlockSize(
   return static_cast<int>(std::clamp<int64_t>(k, 20, 500));
 }
 
+int ObservedCostModel::AdvisePPkBlockSize(const std::string& source,
+                                          int64_t estimated_outer_rows) const {
+  int base = AdvisePPkBlockSize(estimated_outer_rows);
+  int64_t rtt = RoundTripP50Micros(source);
+  double per_row = TransferMicrosPerRow(source);
+  if (rtt > 0 && per_row > 0) {
+    // Raise k until the fixed round trip is <= ~10% of the block's
+    // transfer time: k * per_row >= 9 * rtt.
+    int64_t k_amortized = static_cast<int64_t>(
+        std::ceil(static_cast<double>(rtt) / (9.0 * per_row)));
+    base = std::max(base,
+                    static_cast<int>(std::clamp<int64_t>(k_amortized, 20, 500)));
+  }
+  return base;
+}
+
+int ObservedCostModel::AdvisePrefetchDepth(const std::string& source,
+                                           int block_rows) const {
+  int64_t rtt = RoundTripP50Micros(source);
+  if (rtt <= 0) return 1;
+  double per_row = TransferMicrosPerRow(source);
+  // Time the consumer spends absorbing one block: per-row transfer plus
+  // a floor for mid-tier join work (which we do not observe directly).
+  double consume = std::max(per_row > 0 ? per_row * block_rows : 0.0, 200.0);
+  int64_t depth = static_cast<int64_t>(
+      std::ceil(static_cast<double>(rtt) / consume));
+  return static_cast<int>(std::clamp<int64_t>(depth, 1, 8));
+}
+
 void ObservedCostModel::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   tables_.clear();
   statements_.clear();
+  splits_.clear();
 }
 
 }  // namespace aldsp::runtime

@@ -27,17 +27,42 @@ class ObservedCostModel {
     double avg_scan_micros = 0;   // running average full-scan time
   };
 
+  /// Log2-bucketed latency histogram: bucket b holds samples in
+  /// [2^(b-1), 2^b) microseconds, so forty buckets cover sub-micro
+  /// through ~15 minutes with constant memory and a cheap percentile.
+  struct LatencyHistogram {
+    static constexpr int kBuckets = 40;
+    int64_t counts[kBuckets] = {0};
+    int64_t samples = 0;
+
+    void Record(int64_t micros);
+    /// Representative value (geometric bucket midpoint) at percentile
+    /// `p` in [0, 1], or -1 when empty.
+    int64_t Percentile(double p) const;
+  };
+
   /// Records a completed table fetch.
   void RecordTableScan(const std::string& source, const std::string& table,
                        int64_t rows, int64_t micros);
   /// Records a statement round trip (any SQL execution).
   void RecordStatement(const std::string& source, int64_t micros);
+  /// Records a statement with its cost split into the fixed round-trip
+  /// part and the per-row transfer part (rows shipped). Also feeds the
+  /// aggregate RecordStatement average with the total. The histograms
+  /// these populate drive the adaptive PP-k block size / prefetch depth.
+  void RecordStatementSplit(const std::string& source,
+                            int64_t roundtrip_micros, int64_t transfer_micros,
+                            int64_t rows);
 
   /// Last observed cardinality of a table, or -1 if never observed.
   int64_t ObservedRows(const std::string& source,
                        const std::string& table) const;
   /// Running average statement round-trip time for a source (-1 unknown).
   double ObservedRoundTripMicros(const std::string& source) const;
+  /// Median fixed round-trip cost from the split histogram (-1 unknown).
+  int64_t RoundTripP50Micros(const std::string& source) const;
+  /// Average transfer micros per shipped row (-1 unknown).
+  double TransferMicrosPerRow(const std::string& source) const;
 
   TableObservation TableStats(const std::string& source,
                               const std::string& table) const;
@@ -56,12 +81,33 @@ class ObservedCostModel {
   /// empirical default is the floor.
   int AdvisePPkBlockSize(int64_t estimated_outer_rows) const;
 
+  /// Source-aware block-size advice: starts from the cardinality-only
+  /// heuristic above, then (when split observations exist) raises k until
+  /// the fixed round-trip cost amortizes to <= ~10% of the block's
+  /// transfer time. Same [20, 500] clamp.
+  int AdvisePPkBlockSize(const std::string& source,
+                         int64_t estimated_outer_rows) const;
+
+  /// Prefetch-depth advice for a depth-d PP-k pipeline against `source`
+  /// with blocks of `block_rows` parameters: roughly round-trip / block
+  /// consumption time, so enough fetches are in flight to keep the
+  /// consumer from stalling. Clamped to [1, 8]; 1 (the classic double
+  /// buffer) when the source has no split observations yet.
+  int AdvisePrefetchDepth(const std::string& source, int block_rows) const;
+
   void Clear();
 
  private:
+  struct SourceObservation {
+    LatencyHistogram roundtrip;
+    int64_t transfer_micros_total = 0;
+    int64_t rows_total = 0;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::pair<std::string, std::string>, TableObservation> tables_;
   std::map<std::string, std::pair<int64_t, double>> statements_;  // n, avg
+  std::map<std::string, SourceObservation> splits_;
 };
 
 }  // namespace aldsp::runtime

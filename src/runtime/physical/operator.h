@@ -74,7 +74,10 @@ class PhysicalOperator {
   void Close();
 
   /// Appends this subtree's descriptors in pipeline order (input first).
-  void Describe(std::vector<ExplainNode>* out) const;
+  /// Virtual so composite operators (the exchange pair) can emit more
+  /// than one descriptor; the default walks the input then appends
+  /// explain_ when labeled.
+  virtual void Describe(std::vector<ExplainNode>* out) const;
 
   /// Descriptor access for the plan builder (to attach expr/condition/
   /// ppk pointers or extend the detail).
@@ -95,6 +98,7 @@ class PhysicalOperator {
   virtual void CloseImpl() {}
 
   PhysicalOperator* input() { return input_.get(); }
+  const PhysicalOperator* input() const { return input_.get(); }
   const RuntimeContext* ctx() const { return env_->ctx; }
   ExprEvaluator* eval() const { return env_->eval; }
   const Tuple& base_env() const { return env_->base_env; }

@@ -5,10 +5,13 @@
 // for/let/where scans, and pushed SQL region scans.
 
 #include "runtime/physical/builder.h"
+#include "runtime/physical/exchange.h"
 #include "runtime/physical/operator.h"
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -247,48 +250,31 @@ class FilterOp final : public PhysicalOperator {
 
 // ----- Join operators (paper §5.2) ---------------------------------------
 
-/// Shared machinery for the join repertoire: equi-key encoding, residual
-/// conditions, the per-left probe (including the left-outer null row),
-/// and the pending-output buffer subclasses refill a batch at a time.
-class JoinOpBase : public PhysicalOperator {
- public:
-  JoinOpBase(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
-             JoinMethod method, std::string label, std::string span_detail)
-      : PhysicalOperator(std::move(input), std::move(label),
-                         std::move(span_detail)),
-        cl_(cl),
-        method_(method) {}
+using JoinIndex = std::unordered_map<std::string, std::vector<size_t>>;
 
- protected:
-  Result<bool> NextImpl(Tuple* out) override {
-    while (true) {
-      if (pending_pos_ < pending_.size()) {
-        *out = std::move(pending_[pending_pos_++]);
-        return true;
-      }
-      pending_.clear();
-      pending_pos_ = 0;
-      ALDSP_ASSIGN_OR_RETURN(bool more, Refill());
-      if (!more) return false;
-    }
-  }
-
-  /// Produces the next batch of joined tuples into pending(); returns
-  /// false when the input is exhausted.
-  virtual Result<bool> Refill() = 0;
-
-  std::vector<Tuple>* pending() { return &pending_; }
+/// The join micro-kernel shared by the serial join repertoire and the
+/// parallel probe exchange: equi-key encoding, residual conditions, and
+/// the per-left probe (including the left-outer null row). All methods
+/// are const over immutable state, so several worker threads may probe
+/// at once (the evaluator already supports concurrent EvalExpr — the
+/// async fan-out relies on it).
+struct JoinMatcher {
+  const Clause* cl = nullptr;
+  JoinMethod method = JoinMethod::kNestedLoop;
+  const RuntimeContext* ctx = nullptr;
+  ExprEvaluator* eval = nullptr;
+  Tuple base_env;
 
   // Evaluates a key expression to its atomized value sequence.
-  Result<Sequence> EvalKey(const ExprPtr& expr, const Tuple& env) {
-    ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*expr, env));
+  Result<Sequence> EvalKey(const ExprPtr& expr, const Tuple& env) const {
+    ALDSP_ASSIGN_OR_RETURN(Sequence v, eval->EvalExpr(*expr, env));
     return xml::Atomize(v);
   }
 
-  Result<std::string> LeftKey(const Tuple& left, bool* has_empty) {
+  Result<std::string> LeftKey(const Tuple& left, bool* has_empty) const {
     std::string key;
     *has_empty = false;
-    for (const auto& [le, re] : cl_.equi_keys) {
+    for (const auto& [le, re] : cl->equi_keys) {
       ALDSP_ASSIGN_OR_RETURN(Sequence k, EvalKey(le, left));
       if (k.empty()) *has_empty = true;
       key += EncodeAtomicSequence(k);
@@ -297,11 +283,11 @@ class JoinOpBase : public PhysicalOperator {
     return key;
   }
 
-  Result<std::string> RightKey(const Item& item, bool* has_empty) {
-    Tuple env = base_env().Bind(cl_.var, Sequence{item});
+  Result<std::string> RightKey(const Item& item, bool* has_empty) const {
+    Tuple env = base_env.Bind(cl->var, Sequence{item});
     std::string key;
     *has_empty = false;
-    for (const auto& [le, re] : cl_.equi_keys) {
+    for (const auto& [le, re] : cl->equi_keys) {
       ALDSP_ASSIGN_OR_RETURN(Sequence k, EvalKey(re, env));
       if (k.empty()) *has_empty = true;
       key += EncodeAtomicSequence(k);
@@ -311,15 +297,16 @@ class JoinOpBase : public PhysicalOperator {
   }
 
   // Checks residual condition with the join variable bound.
-  Result<bool> Residual(const Tuple& joined) {
-    if (!cl_.condition) return true;
-    ALDSP_ASSIGN_OR_RETURN(Sequence c, eval()->EvalExpr(*cl_.condition, joined));
+  Result<bool> Residual(const Tuple& joined) const {
+    if (!cl->condition) return true;
+    ALDSP_ASSIGN_OR_RETURN(Sequence c,
+                           eval->EvalExpr(*cl->condition, joined));
     return xml::EffectiveBooleanValue(c);
   }
 
   // For plain NL, the equi keys must also be verified per combination.
-  Result<bool> EquiMatch(const Tuple& joined) {
-    for (const auto& [le, re] : cl_.equi_keys) {
+  Result<bool> EquiMatch(const Tuple& joined) const {
+    for (const auto& [le, re] : cl->equi_keys) {
       ALDSP_ASSIGN_OR_RETURN(Sequence l, EvalKey(le, joined));
       ALDSP_ASSIGN_OR_RETURN(Sequence r, EvalKey(re, joined));
       if (l.empty() || r.empty()) return false;
@@ -332,15 +319,14 @@ class JoinOpBase : public PhysicalOperator {
   // method (NL or INL), appending matches (and the outer-join null row).
   Status JoinOneLeft(const Tuple& left, const Sequence& right,
                      std::vector<Tuple>* out,
-                     const std::unordered_map<std::string, std::vector<size_t>>*
-                         index = nullptr) {
+                     const JoinIndex* index = nullptr) const {
     bool matched = false;
     auto try_item = [&](const Item& item) -> Status {
-      Tuple joined = left.Bind(cl_.var, Sequence{item});
-      if (ctx()->stats != nullptr) ctx()->stats->join_probe_rows += 1;
+      Tuple joined = left.Bind(cl->var, Sequence{item});
+      if (ctx->stats != nullptr) ctx->stats->join_probe_rows += 1;
       if (index == nullptr &&
-          (method_ == JoinMethod::kNestedLoop ||
-           method_ == JoinMethod::kPPkNestedLoop)) {
+          (method == JoinMethod::kNestedLoop ||
+           method == JoinMethod::kPPkNestedLoop)) {
         ALDSP_ASSIGN_OR_RETURN(bool em, EquiMatch(joined));
         if (!em) return Status::OK();
       }
@@ -367,10 +353,62 @@ class JoinOpBase : public PhysicalOperator {
         ALDSP_RETURN_NOT_OK(try_item(item));
       }
     }
-    if (!matched && cl_.left_outer) {
-      out->push_back(left.Bind(cl_.var, Sequence{}));
+    if (!matched && cl->left_outer) {
+      out->push_back(left.Bind(cl->var, Sequence{}));
     }
     return Status::OK();
+  }
+};
+
+/// Shared base for the serial join operators: a JoinMatcher bound at
+/// Open, and the pending-output buffer subclasses refill a batch at a
+/// time.
+class JoinOpBase : public PhysicalOperator {
+ public:
+  JoinOpBase(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+             JoinMethod method, std::string label, std::string span_detail)
+      : PhysicalOperator(std::move(input), std::move(label),
+                         std::move(span_detail)),
+        cl_(cl),
+        method_(method) {}
+
+ protected:
+  Status OpenImpl() override {
+    matcher_.emplace(JoinMatcher{&cl_, method_, ctx(), eval(), base_env()});
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    while (true) {
+      if (pending_pos_ < pending_.size()) {
+        *out = std::move(pending_[pending_pos_++]);
+        return true;
+      }
+      pending_.clear();
+      pending_pos_ = 0;
+      ALDSP_ASSIGN_OR_RETURN(bool more, Refill());
+      if (!more) return false;
+    }
+  }
+
+  /// Produces the next batch of joined tuples into pending(); returns
+  /// false when the input is exhausted.
+  virtual Result<bool> Refill() = 0;
+
+  std::vector<Tuple>* pending() { return &pending_; }
+
+  Result<Sequence> EvalKey(const ExprPtr& expr, const Tuple& env) {
+    return matcher_->EvalKey(expr, env);
+  }
+
+  Result<std::string> RightKey(const Item& item, bool* has_empty) {
+    return matcher_->RightKey(item, has_empty);
+  }
+
+  Status JoinOneLeft(const Tuple& left, const Sequence& right,
+                     std::vector<Tuple>* out,
+                     const JoinIndex* index = nullptr) {
+    return matcher_->JoinOneLeft(left, right, out, index);
   }
 
   const Clause& cl() const { return cl_; }
@@ -381,6 +419,7 @@ class JoinOpBase : public PhysicalOperator {
   JoinMethod method_;
   std::vector<Tuple> pending_;
   size_t pending_pos_ = 0;
+  std::optional<JoinMatcher> matcher_;
 };
 
 /// Nested loop and index nested loop joins: the right side materializes
@@ -437,127 +476,105 @@ class IndexNLJoinOp final : public NestedLoopJoinOp {
 /// PP-k join (paper §4.2): pulls up to k left tuples, issues one
 /// disjunctive (IN-list) fetch for the block, and joins in the mid-tier.
 ///
-/// With ctx.ppk_prefetch (default), blocks are double-buffered: while the
-/// mid-tier joins and downstream consumes block N, a worker-pool task is
-/// already reading block N+1's left tuples and running its round trip.
-/// Exactly one fetch task is ever outstanding, and the task is the sole
-/// user of the upstream input while it runs (the main thread drains
-/// already-joined tuples), so upstream operators never see two threads
-/// at once — Task::Wait's synchronization orders each handoff.
+/// With ctx.ppk_prefetch (default), block fetches run as a depth-d
+/// pipeline of worker-pool tasks: the driving thread reads blocks of
+/// left tuples and their key parameters (upstream is only ever touched
+/// by one thread), keeps up to d parameterized fetches in flight, and
+/// joins each block as its fetch completes. d=1 is the classic double
+/// buffer; larger depths overlap several round trips, chosen adaptively
+/// from the ObservedCostModel's per-source round-trip/transfer
+/// observations (ctx.ppk_prefetch_depth pins it).
+///
+/// Close and the destructor cancel and drain the pipeline, so an early
+/// teardown (LIMIT-style close, timeout abandonment) never leaves a
+/// fetch task running against destroyed operator state.
 class PPkJoinOp final : public JoinOpBase {
  public:
   using JoinOpBase::JoinOpBase;
 
-  ~PPkJoinOp() override {
-    // An in-flight prefetch captures `this` and the operators upstream;
-    // it must finish before any of that is torn down.
-    if (task_.valid()) task_.Wait();
-  }
+  ~PPkJoinOp() override { Drain(); }
 
  protected:
   Status OpenImpl() override {
-    prefetch_ = ctx()->ppk_prefetch;
-    if (prefetch_) ScheduleFetch();
+    ALDSP_RETURN_NOT_OK(JoinOpBase::OpenImpl());
+    if (!ctx()->ppk_prefetch) {
+      depth_ = 0;
+    } else if (ctx()->ppk_prefetch_depth > 0) {
+      depth_ = std::min(ctx()->ppk_prefetch_depth, 8);
+    } else if (ctx()->observed != nullptr && cl().ppk_fetch != nullptr) {
+      depth_ = ctx()->observed->AdvisePrefetchDepth(
+          cl().ppk_fetch->source, std::max(1, cl().ppk_block_size));
+    } else {
+      depth_ = 1;
+    }
+    if (depth_ > 0) group_.emplace(&WorkerPool::For(ctx()->pool));
     return Status::OK();
   }
 
-  void CloseImpl() override {
-    if (task_.valid()) {
-      task_.Wait();
-      task_ = WorkerPool::Task();
-      slot_.reset();
-    }
-  }
+  void CloseImpl() override { Drain(); }
 
   Result<bool> Refill() override {
-    Block block;
-    if (task_.valid()) {
-      QueryTrace* tr = trace();
-      bool timed = tr != nullptr && tr->has_timeline() && task_span_ >= 0;
-      int64_t wait_begin = timed ? tr->NowRelMicros() : 0;
-      task_.Wait();
-      if (timed) {
-        tr->AddWaitEvent(task_span_, tr->NowRelMicros() - wait_begin,
-                         "ppk-prefetch");
-      }
-      Result<Block> r = std::move(*slot_);
-      task_ = WorkerPool::Task();
-      slot_.reset();
-      if (!r.ok()) return r.status();
-      block = std::move(r).value();
-      // Overlap the next round trip with joining/consuming this block.
-      if (!block.lefts.empty() && !block.input_done) ScheduleFetch();
-    } else {
-      ALDSP_ASSIGN_OR_RETURN(block, ReadAndFetchBlock());
+    if (depth_ == 0) {
+      // No prefetch: read and fetch inline under the join span.
+      ALDSP_ASSIGN_OR_RETURN(PendingBlock block, ReadBlock());
+      if (block.lefts.empty()) return false;
+      Result<Fetched> fetched = FetchBlock(std::move(block.params));
+      if (!fetched.ok()) return fetched.status();
+      return JoinBlock(block.lefts, fetched.value());
     }
-    if (block.lefts.empty()) return false;
-    NoteOperatorBytes(block.fetched_bytes);
-    const auto* idx = block.index_built ? &block.index : nullptr;
-    for (const auto& left : block.lefts) {
-      ALDSP_RETURN_NOT_OK(JoinOneLeft(left, block.fetched, pending(), idx));
+    ALDSP_RETURN_NOT_OK(FillPipeline());
+    if (inflight_.empty()) return false;
+    Inflight f = std::move(inflight_.front());
+    inflight_.pop_front();
+    QueryTrace* tr = trace();
+    bool timed = tr != nullptr && tr->has_timeline() && f.task_span >= 0;
+    int64_t wait_begin = timed ? tr->NowRelMicros() : 0;
+    f.task.Wait();
+    if (timed) {
+      tr->AddWaitEvent(f.task_span, tr->NowRelMicros() - wait_begin,
+                       "ppk-prefetch");
     }
-    return true;
+    // Top the pipeline back up before joining, so the next round trips
+    // overlap this block's mid-tier join work.
+    ALDSP_RETURN_NOT_OK(FillPipeline());
+    Result<Fetched>& r = *f.slot;
+    if (!r.ok()) return r.status();
+    return JoinBlock(f.lefts, r.value());
   }
 
  private:
-  struct Block {
+  /// A block read on the driving thread: left tuples plus the distinct
+  /// first-equi-key parameter cells for the IN-list fetch.
+  struct PendingBlock {
     std::vector<Tuple> lefts;
-    Sequence fetched;
-    std::unordered_map<std::string, std::vector<size_t>> index;
-    bool index_built = false;
-    int64_t fetched_bytes = 0;
-    bool input_done = false;
+    std::vector<Cell> params;
   };
 
-  void ScheduleFetch() {
-    auto slot = std::make_shared<Result<Block>>(Block{});
-    slot_ = slot;
-    QueryTrace* tr = trace();
-    int sp = span();
-    // In timeline mode the prefetch gets its own task span under the
-    // join span, opened at enqueue so queue wait and run time separate.
-    int task_span = -1;
-    int64_t enqueue_rel = 0;
-    if (tr != nullptr && tr->has_timeline()) {
-      task_span = tr->BeginSpanUnder(sp, "task[ppk-prefetch]", "");
-      enqueue_rel = tr->NowRelMicros();
-    }
-    task_span_ = task_span;
-    task_ = WorkerPool::For(ctx()->pool).Submit([this, slot, tr, sp,
-                                                 task_span, enqueue_rel] {
-      // Worker threads start with an empty scope stack; re-establish the
-      // task span (or the join span) so the block's fetch event and the
-      // upstream reads attach where they would have inline.
-      std::optional<QueryTrace::Scope> scope;
-      if (tr != nullptr) scope.emplace(tr, task_span >= 0 ? task_span : sp);
-      int64_t run_begin = 0;
-      if (task_span >= 0) {
-        tr->SetSpanQueueMicros(task_span, tr->NowRelMicros() - enqueue_rel);
-        run_begin = tr->NowRelMicros();
-      }
-      *slot = ReadAndFetchBlock();
-      if (task_span >= 0) {
-        tr->AddSpanMetrics(
-            task_span,
-            slot->ok() ? static_cast<int64_t>(slot->value().fetched.size())
-                       : 0,
-            tr->NowRelMicros() - run_begin);
-        tr->EndSpan(task_span);
-      }
-    });
-  }
+  /// The fetch task's product.
+  struct Fetched {
+    Sequence fetched;
+    JoinIndex index;
+    bool index_built = false;
+    int64_t fetched_bytes = 0;
+  };
 
-  // Reads up to k left tuples and runs the block's parameterized fetch.
-  // Runs either inline (under the join span via Next) or on a pool
-  // thread (under the Scope established by ScheduleFetch).
-  Result<Block> ReadAndFetchBlock() {
-    Block block;
+  struct Inflight {
+    std::vector<Tuple> lefts;
+    std::shared_ptr<Result<Fetched>> slot;
+    WorkerPool::Task task;
+    int task_span = -1;
+  };
+
+  /// Reads up to k left tuples and their key parameters. Main thread
+  /// only: the sole reader of the upstream input.
+  Result<PendingBlock> ReadBlock() {
+    PendingBlock block;
     int k = std::max(1, cl().ppk_block_size);
     Tuple t;
     while (static_cast<int>(block.lefts.size()) < k) {
       ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
       if (!more) {
-        block.input_done = true;
+        input_exhausted_ = true;
         break;
       }
       block.lefts.push_back(t);
@@ -567,7 +584,6 @@ class PPkJoinOp final : public JoinOpBase {
 
     // Collect distinct key values from the block's first equi key (the
     // parameterized IN-list column).
-    std::vector<Cell> params;
     std::unordered_map<std::string, bool> seen;
     for (const auto& left : block.lefts) {
       ALDSP_ASSIGN_OR_RETURN(Sequence key,
@@ -575,10 +591,70 @@ class PPkJoinOp final : public JoinOpBase {
       if (key.empty()) continue;
       const AtomicValue& v = key.front().atomic();
       if (seen.emplace(EncodeAtomic(v), true).second) {
-        params.push_back(Cell::Of(v));
+        block.params.push_back(Cell::Of(v));
       }
     }
+    return block;
+  }
 
+  /// Schedules fetch tasks until `depth_` are in flight or the input is
+  /// exhausted.
+  Status FillPipeline() {
+    while (static_cast<int>(inflight_.size()) < depth_ && !input_exhausted_) {
+      ALDSP_ASSIGN_OR_RETURN(PendingBlock block, ReadBlock());
+      if (block.lefts.empty()) break;
+      SchedulePrefetch(std::move(block));
+    }
+    return Status::OK();
+  }
+
+  void SchedulePrefetch(PendingBlock block) {
+    Inflight f;
+    f.lefts = std::move(block.lefts);
+    f.slot = std::make_shared<Result<Fetched>>(Fetched{});
+    QueryTrace* tr = trace();
+    int sp = span();
+    // In timeline mode each prefetch gets its own task span under the
+    // join span, opened at enqueue so queue wait and run time separate.
+    int task_span = -1;
+    int64_t enqueue_rel = 0;
+    if (tr != nullptr && tr->has_timeline()) {
+      task_span = tr->BeginSpanUnder(sp, "task[ppk-prefetch]", "");
+      enqueue_rel = tr->NowRelMicros();
+    }
+    f.task_span = task_span;
+    auto slot = f.slot;
+    auto params = std::make_shared<std::vector<Cell>>(std::move(block.params));
+    f.task = group_->Submit([this, slot, params, tr, sp, task_span,
+                             enqueue_rel] {
+      // Worker threads start with an empty scope stack; re-establish the
+      // task span (or the join span) so the block's fetch event attaches
+      // where it would have inline.
+      std::optional<QueryTrace::Scope> scope;
+      if (tr != nullptr) scope.emplace(tr, task_span >= 0 ? task_span : sp);
+      int64_t run_begin = 0;
+      if (task_span >= 0) {
+        tr->SetSpanQueueMicros(task_span, tr->NowRelMicros() - enqueue_rel);
+        run_begin = tr->NowRelMicros();
+      }
+      *slot = FetchBlock(std::move(*params));
+      if (task_span >= 0) {
+        tr->AddSpanMetrics(
+            task_span,
+            slot->ok() ? static_cast<int64_t>(slot->value().fetched.size())
+                       : 0,
+            tr->NowRelMicros() - run_begin);
+        tr->EndSpan(task_span);
+      }
+    });
+    inflight_.push_back(std::move(f));
+  }
+
+  /// Runs the block's parameterized fetch and builds the mid-tier index.
+  /// Called inline (depth 0) or on a pool thread; touches only
+  /// thread-safe services plus the immutable clause/matcher state.
+  Result<Fetched> FetchBlock(std::vector<Cell> params) {
+    Fetched result;
     if (!params.empty()) {
       const auto& spec = *cl().ppk_fetch;
       relational::Database* db =
@@ -634,29 +710,215 @@ class PPkJoinOp final : public JoinOpBase {
                           static_cast<int64_t>(rs.rows.size()), micros, "",
                           roundtrip, transfer);
       }
-      block.fetched = RowsToItems(rs, spec.row_name);
+      result.fetched = RowsToItems(rs, spec.row_name);
     }
 
     // Mid-tier join of the block against the fetched rows; PP-k can use
     // any join method for this step (paper §5.2) — here NL or INL.
     if (method() == JoinMethod::kPPkIndexNestedLoop) {
-      for (size_t i = 0; i < block.fetched.size(); ++i) {
+      for (size_t i = 0; i < result.fetched.size(); ++i) {
         bool has_empty;
         ALDSP_ASSIGN_OR_RETURN(std::string key,
-                               RightKey(block.fetched[i], &has_empty));
-        if (!has_empty) block.index[key].push_back(i);
+                               RightKey(result.fetched[i], &has_empty));
+        if (!has_empty) result.index[key].push_back(i);
       }
-      block.index_built = true;
+      result.index_built = true;
     }
-    block.fetched_bytes =
-        static_cast<int64_t>(xml::SequenceMemoryBytes(block.fetched));
-    return block;
+    result.fetched_bytes =
+        static_cast<int64_t>(xml::SequenceMemoryBytes(result.fetched));
+    return result;
   }
 
-  bool prefetch_ = false;
-  WorkerPool::Task task_;
-  int task_span_ = -1;
-  std::shared_ptr<Result<Block>> slot_;
+  Result<bool> JoinBlock(const std::vector<Tuple>& lefts, const Fetched& fr) {
+    NoteOperatorBytes(fr.fetched_bytes);
+    const JoinIndex* idx = fr.index_built ? &fr.index : nullptr;
+    for (const auto& left : lefts) {
+      ALDSP_RETURN_NOT_OK(JoinOneLeft(left, fr.fetched, pending(), idx));
+    }
+    return true;
+  }
+
+  /// Cancels unstarted fetches and waits out running ones; after this no
+  /// task references `this` or the upstream operators.
+  void Drain() {
+    if (group_.has_value()) group_->CancelAndWait();
+    inflight_.clear();
+  }
+
+  int depth_ = 0;
+  bool input_exhausted_ = false;
+  std::optional<WorkerPool::TaskGroup> group_;
+  std::deque<Inflight> inflight_;
+};
+
+// ----- Parallel operators (exchange-based) -------------------------------
+
+/// Partitioned NL/INL join probe: the right side materializes once on
+/// the driving thread (OpenShared), then chunks of left tuples probe it
+/// concurrently on worker threads. Build side and index are immutable
+/// during the probe, and the JoinMatcher is a const kernel, so chunks
+/// share them without locks.
+class ParallelJoinProbeOp final : public ExchangeOpBase {
+ public:
+  ParallelJoinProbeOp(std::unique_ptr<PhysicalOperator> input,
+                      const Clause& cl, JoinMethod method, std::string label,
+                      std::string span_detail, int dop, int chunk_size,
+                      bool ordered)
+      : ExchangeOpBase(std::move(input), std::move(label),
+                       std::move(span_detail), dop, chunk_size, ordered),
+        cl_(cl),
+        method_(method) {}
+
+  ~ParallelJoinProbeOp() override { DrainForDestruction(); }
+
+ protected:
+  Status OpenShared() override {
+    matcher_.emplace(JoinMatcher{&cl_, method_, ctx(), eval(), base_env()});
+    ALDSP_ASSIGN_OR_RETURN(Sequence items,
+                           eval()->EvalExpr(*cl_.expr, base_env()));
+    right_items_ = std::move(items);
+    NoteOperatorBytes(
+        static_cast<int64_t>(xml::SequenceMemoryBytes(right_items_)));
+    if (method_ == JoinMethod::kIndexNestedLoop) {
+      for (size_t i = 0; i < right_items_.size(); ++i) {
+        bool has_empty;
+        ALDSP_ASSIGN_OR_RETURN(std::string key,
+                               matcher_->RightKey(right_items_[i], &has_empty));
+        if (!has_empty) index_[key].push_back(i);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ProcessTuple(const Tuple& in, std::vector<Tuple>* out) override {
+    const JoinIndex* idx =
+        method_ == JoinMethod::kIndexNestedLoop ? &index_ : nullptr;
+    return matcher_->JoinOneLeft(in, right_items_, out, idx);
+  }
+
+ private:
+  const Clause& cl_;
+  JoinMethod method_;
+  std::optional<JoinMatcher> matcher_;
+  Sequence right_items_;
+  JoinIndex index_;
+};
+
+/// Partitioned for-scan: evaluates the binding expression for chunks of
+/// input tuples concurrently. Positional variables stay per-tuple
+/// (1-based within each tuple's item sequence), so the output is
+/// identical to the serial ForScanOp in ordered mode.
+class ParallelForScanOp final : public ExchangeOpBase {
+ public:
+  ParallelForScanOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
+                    std::string label, std::string span_detail, int dop,
+                    int chunk_size, bool ordered)
+      : ExchangeOpBase(std::move(input), std::move(label),
+                       std::move(span_detail), dop, chunk_size, ordered),
+        cl_(cl) {}
+
+  ~ParallelForScanOp() override { DrainForDestruction(); }
+
+ protected:
+  Status ProcessTuple(const Tuple& in, std::vector<Tuple>* out) override {
+    ALDSP_ASSIGN_OR_RETURN(Sequence seq, eval()->EvalExpr(*cl_.expr, in));
+    for (size_t i = 0; i < seq.size(); ++i) {
+      Tuple t = in.Bind(cl_.var, Sequence{seq[i]});
+      if (!cl_.positional_var.empty()) {
+        t = t.Bind(cl_.positional_var,
+                   Sequence{Item(AtomicValue::Integer(
+                       static_cast<int64_t>(i + 1)))});
+      }
+      out->push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Clause& cl_;
+};
+
+/// Parallel fan-out of a run of independent let clauses (paper §5.4
+/// applied by the planner): per input tuple, every let's binding
+/// expression dispatches as its own worker-pool task — they share the
+/// same input environment (the optimizer verified mutual independence),
+/// so k source calls overlap instead of paying their latencies in
+/// sequence. All tasks complete before NextImpl returns, so no task can
+/// outlive the operator.
+class ParallelLetOp final : public PhysicalOperator {
+ public:
+  ParallelLetOp(std::unique_ptr<PhysicalOperator> input,
+                std::vector<const Clause*> lets, std::string label,
+                std::string span_detail)
+      : PhysicalOperator(std::move(input), std::move(label),
+                         std::move(span_detail)),
+        lets_(std::move(lets)) {}
+
+ protected:
+  Result<bool> NextImpl(Tuple* out) override {
+    Tuple t;
+    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+    if (!more) return false;
+    if (ctx()->stats != nullptr) ctx()->stats->parallel_let_fanouts += 1;
+    WorkerPool& pool = WorkerPool::For(ctx()->pool);
+    QueryTrace* tr = trace();
+    int sp = span();
+    size_t n = lets_.size();
+    std::vector<std::shared_ptr<Result<Sequence>>> slots(n);
+    std::vector<WorkerPool::Task> tasks(n);
+    std::vector<int> task_spans(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = std::make_shared<Result<Sequence>>(Sequence{});
+      const Expr* body = lets_[i]->expr.get();
+      int task_span = -1;
+      int64_t enqueue_rel = 0;
+      if (tr != nullptr && tr->has_timeline()) {
+        task_span = tr->BeginSpanUnder(sp, "task[let]", "$" + lets_[i]->var);
+        enqueue_rel = tr->NowRelMicros();
+      }
+      task_spans[i] = task_span;
+      auto slot = slots[i];
+      ExprEvaluator* ev = eval();
+      tasks[i] = pool.Submit([ev, body, t, slot, tr, sp, task_span,
+                              enqueue_rel] {
+        std::optional<QueryTrace::Scope> scope;
+        if (tr != nullptr) scope.emplace(tr, task_span >= 0 ? task_span : sp);
+        int64_t run_begin = 0;
+        if (task_span >= 0) {
+          tr->SetSpanQueueMicros(task_span, tr->NowRelMicros() - enqueue_rel);
+          run_begin = tr->NowRelMicros();
+        }
+        *slot = ev->EvalExpr(*body, t);
+        if (task_span >= 0) {
+          tr->AddSpanMetrics(
+              task_span,
+              slot->ok() ? static_cast<int64_t>(slot->value().size()) : 0,
+              tr->NowRelMicros() - run_begin);
+          tr->EndSpan(task_span);
+        }
+      });
+    }
+    // Every task must finish before we return (error or not): they
+    // borrow the evaluator and this tuple's bindings.
+    for (size_t i = 0; i < n; ++i) {
+      bool timed = tr != nullptr && tr->has_timeline() && task_spans[i] >= 0;
+      int64_t wait_begin = timed ? tr->NowRelMicros() : 0;
+      tasks[i].Wait();
+      if (timed) {
+        tr->AddWaitEvent(task_spans[i], tr->NowRelMicros() - wait_begin,
+                         "let-fanout");
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!slots[i]->ok()) return slots[i]->status();
+      t = t.Bind(lets_[i]->var, std::move(*slots[i]).value());
+    }
+    *out = std::move(t);
+    return true;
+  }
+
+ private:
+  std::vector<const Clause*> lets_;
 };
 
 // ----- Grouping (paper §4.2) ---------------------------------------------
@@ -961,30 +1223,90 @@ JoinMethod ResolveJoinMethod(const Clause& cl) {
 // ----- Lowering ----------------------------------------------------------
 
 std::unique_ptr<PhysicalOperator> BuildPlan(const Expr& flwor) {
+  return BuildPlan(flwor, BuildOptions{});
+}
+
+std::unique_ptr<PhysicalOperator> BuildPlan(const Expr& flwor,
+                                            const BuildOptions& opts) {
   std::unique_ptr<PhysicalOperator> op = std::make_unique<SingletonSourceOp>();
-  for (const auto& cl : flwor.clauses) {
+  const bool parallel = opts.max_dop > 1;
+  // Running estimate of the tuple stream flowing into the next clause,
+  // from the optimizer's observed-cost annotations. The singleton source
+  // emits exactly one tuple; an unknown estimate (-1) stays unknown and
+  // never triggers an exchange.
+  int64_t upstream_rows = 1;
+  auto combine = [](int64_t a, int64_t b) -> int64_t {
+    return (a >= 0 && b >= 0) ? a * b : -1;
+  };
+  auto crosses = [&](int64_t est) {
+    return parallel && est >= 0 && est >= opts.parallel_row_threshold;
+  };
+  std::string dop_detail = "dop=" + std::to_string(opts.max_dop);
+  for (size_t ci = 0; ci < flwor.clauses.size(); ++ci) {
+    const Clause& cl = flwor.clauses[ci];
     switch (cl.kind) {
       case Clause::Kind::kFor: {
         std::string label = "for $" + cl.var;
-        std::unique_ptr<ForScanOp> scan;
         bool sql_region =
             cl.expr != nullptr && cl.expr->kind == ExprKind::kSqlQuery;
-        if (sql_region) {
-          scan = std::make_unique<SqlRegionScanOp>(std::move(op), cl,
-                                                   std::move(label));
-        } else {
-          scan = std::make_unique<ForScanOp>(std::move(op), cl,
-                                             std::move(label));
-        }
         std::string detail;
         if (!cl.positional_var.empty()) detail = "at $" + cl.positional_var;
         if (sql_region) detail += detail.empty() ? "sql-region" : " sql-region";
-        scan->explain().detail = std::move(detail);
-        scan->explain().expr = cl.expr.get();
-        op = std::move(scan);
+        // Parallelize across input tuples when the upstream stream is
+        // known to be large; the leading for's input is the singleton,
+        // so it always stays serial. SQL regions stay serial too (one
+        // pushed statement — nothing to partition).
+        if (!sql_region && crosses(upstream_rows)) {
+          auto scan = std::make_unique<ParallelForScanOp>(
+              std::move(op), cl, std::move(label), dop_detail, opts.max_dop,
+              opts.exchange_chunk_size, opts.ordered);
+          detail += detail.empty() ? dop_detail : " " + dop_detail;
+          scan->explain().detail = std::move(detail);
+          scan->explain().expr = cl.expr.get();
+          op = std::move(scan);
+        } else {
+          std::unique_ptr<ForScanOp> scan;
+          if (sql_region) {
+            scan = std::make_unique<SqlRegionScanOp>(std::move(op), cl,
+                                                     std::move(label));
+          } else {
+            scan = std::make_unique<ForScanOp>(std::move(op), cl,
+                                               std::move(label));
+          }
+          scan->explain().detail = std::move(detail);
+          scan->explain().expr = cl.expr.get();
+          op = std::move(scan);
+        }
+        upstream_rows = combine(upstream_rows, cl.estimated_rows);
         break;
       }
       case Clause::Kind::kLet: {
+        // A run of consecutive lets the optimizer marked as one parallel
+        // group fans out as a single operator.
+        if (parallel && cl.parallel_group >= 0) {
+          std::vector<const Clause*> run;
+          size_t cj = ci;
+          while (cj < flwor.clauses.size() &&
+                 flwor.clauses[cj].kind == Clause::Kind::kLet &&
+                 flwor.clauses[cj].parallel_group == cl.parallel_group) {
+            run.push_back(&flwor.clauses[cj]);
+            ++cj;
+          }
+          if (run.size() >= 2) {
+            std::string vars;
+            for (const Clause* lc : run) {
+              vars += vars.empty() ? "$" + lc->var : " $" + lc->var;
+            }
+            auto fan = std::make_unique<ParallelLetOp>(
+                std::move(op), std::move(run), "let[parallel]",
+                "n=" + std::to_string(cj - ci));
+            fan->explain().detail = vars;
+            fan->explain().expr = cl.expr.get();
+            op = std::move(fan);
+            ci = cj - 1;
+            break;
+          }
+        }
         auto let = std::make_unique<LetBindOp>(std::move(op), cl,
                                                "let $" + cl.var);
         let->explain().expr = cl.expr.get();
@@ -1012,36 +1334,62 @@ std::unique_ptr<PhysicalOperator> BuildPlan(const Expr& flwor) {
         if (cl.left_outer) {
           span_detail += span_detail.empty() ? "left-outer" : " left-outer";
         }
-        std::unique_ptr<JoinOpBase> join;
-        switch (m) {
-          case JoinMethod::kNestedLoop:
-            join = std::make_unique<NestedLoopJoinOp>(
-                std::move(op), cl, m, std::move(label), std::move(span_detail));
-            break;
-          case JoinMethod::kIndexNestedLoop:
-            join = std::make_unique<IndexNLJoinOp>(
-                std::move(op), cl, m, std::move(label), std::move(span_detail));
-            break;
-          default:
-            join = std::make_unique<PPkJoinOp>(
-                std::move(op), cl, m, std::move(label), std::move(span_detail));
-            break;
+        // NL/INL probes partition across worker threads when the probe
+        // stream is known to be large; PP-k parallelizes internally via
+        // its prefetch pipeline instead.
+        bool partitioned = !ppk && crosses(upstream_rows);
+        std::unique_ptr<PhysicalOperator> join_op;
+        ExplainNode* explain = nullptr;
+        if (partitioned) {
+          std::string par_detail =
+              span_detail.empty() ? dop_detail : dop_detail + " " + span_detail;
+          auto join = std::make_unique<ParallelJoinProbeOp>(
+              std::move(op), cl, m, std::move(label), std::move(par_detail),
+              opts.max_dop, opts.exchange_chunk_size, opts.ordered);
+          join->explain().detail = dop_detail;
+          explain = &join->explain();
+          join_op = std::move(join);
+        } else {
+          std::unique_ptr<JoinOpBase> join;
+          switch (m) {
+            case JoinMethod::kNestedLoop:
+              join = std::make_unique<NestedLoopJoinOp>(
+                  std::move(op), cl, m, std::move(label),
+                  std::move(span_detail));
+              break;
+            case JoinMethod::kIndexNestedLoop:
+              join = std::make_unique<IndexNLJoinOp>(
+                  std::move(op), cl, m, std::move(label),
+                  std::move(span_detail));
+              break;
+            default:
+              join = std::make_unique<PPkJoinOp>(
+                  std::move(op), cl, m, std::move(label),
+                  std::move(span_detail));
+              break;
+          }
+          explain = &join->explain();
+          join_op = std::move(join);
         }
         if (ppk) {
-          join->explain().detail += join->explain().detail.empty()
-                                        ? "prefetch"
-                                        : " prefetch";
-          join->explain().ppk = cl.ppk_fetch.get();
+          explain->detail +=
+              explain->detail.empty() ? "prefetch" : " prefetch";
+          explain->ppk = cl.ppk_fetch.get();
         }
-        join->explain().expr = cl.expr.get();
-        join->explain().condition = cl.condition.get();
-        op = std::move(join);
+        explain->expr = cl.expr.get();
+        explain->condition = cl.condition.get();
+        op = std::move(join_op);
+        // An equi join on a key/foreign-key pair emits about one tuple
+        // per right-side row, so a known annotation propagates; anything
+        // unknown stays unknown.
+        upstream_rows = upstream_rows >= 0 ? cl.estimated_rows : -1;
         break;
       }
       case Clause::Kind::kGroupBy: {
         op = std::make_unique<StreamGroupByOp>(
             std::move(op), cl,
             cl.pre_clustered ? "group-by[streaming]" : "group-by[sort]");
+        upstream_rows = -1;
         break;
       }
       case Clause::Kind::kOrderBy: {

@@ -322,7 +322,12 @@ void QueryTrace::FeedObservedCost(ObservedCostModel* model) const {
     switch (e.kind) {
       case EventKind::kSql:
       case EventKind::kPPkFetch:
-        model->RecordStatement(e.source, e.micros);
+        if (e.roundtrip_micros >= 0) {
+          model->RecordStatementSplit(e.source, e.roundtrip_micros,
+                                      e.transfer_micros, e.rows);
+        } else {
+          model->RecordStatement(e.source, e.micros);
+        }
         if (!e.table.empty()) {
           model->RecordTableScan(e.source, e.table, e.rows, e.micros);
         }

@@ -80,6 +80,62 @@ class WorkerPool {
 
   Task Submit(std::function<void()> fn);
 
+  /// A set of related tasks with shared cancellation, used by operators
+  /// that keep several pool tasks in flight (exchange chunks, deep PP-k
+  /// prefetch). Submit wraps each task so a cancelled group's unstarted
+  /// tasks become no-ops; tasks already running can poll `cancelled()`
+  /// at their own checkpoints. Not thread-safe: one owner thread submits
+  /// and waits (the tasks themselves only touch the shared flag).
+  ///
+  /// The destructor cancels and drains, so an operator tree torn down
+  /// early (LIMIT-style close, timeout abandonment) never leaves a task
+  /// running against freed operator state.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(WorkerPool* pool) : pool_(pool) {}
+    ~TaskGroup() { CancelAndWait(); }
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Submits `fn` gated on the group's cancel flag and tracks the task.
+    Task Submit(std::function<void()> fn) {
+      // Finished tasks retire from the front so a long pipeline does not
+      // accumulate handles (submissions complete roughly in FIFO order).
+      while (!tasks_.empty() && tasks_.front().run_micros() >= 0) {
+        tasks_.erase(tasks_.begin());
+      }
+      Task t = pool_->Submit(
+          [flag = cancelled_, fn = std::move(fn)] {
+            if (!flag->load(std::memory_order_acquire)) fn();
+          });
+      tasks_.push_back(t);
+      return t;
+    }
+
+    bool cancelled() const {
+      return cancelled_->load(std::memory_order_acquire);
+    }
+    void Cancel() { cancelled_->store(true, std::memory_order_release); }
+
+    /// Blocks until every tracked task finished (claiming unstarted ones
+    /// inline, so this is deadlock-free even from a pool thread).
+    void WaitAll() {
+      for (Task& t : tasks_) t.Wait();
+      tasks_.clear();
+    }
+
+    void CancelAndWait() {
+      Cancel();
+      WaitAll();
+    }
+
+   private:
+    WorkerPool* pool_;
+    std::shared_ptr<std::atomic<bool>> cancelled_ =
+        std::make_shared<std::atomic<bool>>(false);
+    std::vector<Task> tasks_;
+  };
+
   int size() const { return static_cast<int>(threads_.size()); }
   /// Tasks submitted but not yet claimed by a worker or inline waiter —
   /// the queue-depth gauge the metrics snapshot polls. An atomic gauge

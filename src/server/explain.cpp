@@ -36,9 +36,10 @@ std::string PlanNodeLabel(const runtime::physical::ExplainNode& n) {
   return n.detail.empty() ? n.label : n.label + " " + n.detail;
 }
 
-std::vector<runtime::physical::ExplainNode> DescribeFLWOR(const Expr& e) {
+std::vector<runtime::physical::ExplainNode> DescribeFLWOR(
+    const Expr& e, const runtime::physical::BuildOptions& opts) {
   std::vector<runtime::physical::ExplainNode> nodes;
-  runtime::physical::BuildPlan(e)->Describe(&nodes);
+  runtime::physical::BuildPlan(e, opts)->Describe(&nodes);
   return nodes;
 }
 
@@ -78,15 +79,18 @@ std::string ExprLabel(const Expr& e) {
 }
 
 void RenderExprText(const Expr& e, const std::string& indent,
+                    const runtime::physical::BuildOptions& opts,
                     std::ostream& os) {
   os << indent << ExprLabel(e) << "\n";
   if (e.kind == ExprKind::kFLWOR) {
-    for (const auto& n : DescribeFLWOR(e)) {
+    for (const auto& n : DescribeFLWOR(e, opts)) {
       os << indent << "  " << PlanNodeLabel(n) << "\n";
-      if (n.expr != nullptr) RenderExprText(*n.expr, indent + "    ", os);
+      if (n.expr != nullptr) {
+        RenderExprText(*n.expr, indent + "    ", opts, os);
+      }
       if (n.condition != nullptr) {
         os << indent << "    on\n";
-        RenderExprText(*n.condition, indent + "      ", os);
+        RenderExprText(*n.condition, indent + "      ", opts, os);
       }
       if (n.ppk != nullptr) {
         os << indent << "    ppk-fetch[" << n.ppk->source << "] "
@@ -97,11 +101,13 @@ void RenderExprText(const Expr& e, const std::string& indent,
     return;
   }
   for (const auto& c : e.children) {
-    if (c) RenderExprText(*c, indent + "  ", os);
+    if (c) RenderExprText(*c, indent + "  ", opts, os);
   }
 }
 
-void RenderExprJson(const Expr& e, std::ostream& os) {
+void RenderExprJson(const Expr& e,
+                    const runtime::physical::BuildOptions& opts,
+                    std::ostream& os) {
   os << "{\"label\":";
   AppendJsonString(os, ExprLabel(e));
   os << ",\"kind\":";
@@ -114,11 +120,11 @@ void RenderExprJson(const Expr& e, std::ostream& os) {
     os << "{\"label\":";
     AppendJsonString(os, label);
     os << ",\"children\":[";
-    if (child != nullptr) RenderExprJson(*child, os);
+    if (child != nullptr) RenderExprJson(*child, opts, os);
     os << "]}";
   };
   if (e.kind == ExprKind::kFLWOR) {
-    for (const auto& n : DescribeFLWOR(e)) {
+    for (const auto& n : DescribeFLWOR(e, opts)) {
       emit_labeled(PlanNodeLabel(n), n.expr);
     }
   } else {
@@ -126,7 +132,7 @@ void RenderExprJson(const Expr& e, std::ostream& os) {
       if (!c) continue;
       if (!first) os << ",";
       first = false;
-      RenderExprJson(*c, os);
+      RenderExprJson(*c, opts, os);
     }
   }
   os << "]}";
@@ -300,16 +306,22 @@ void RenderSpanJson(const ProfileIndex& index, int id, std::ostream& os) {
 
 }  // namespace
 
-std::string RenderPlanText(const CompiledPlan& plan) {
+std::string RenderPlanText(const CompiledPlan& plan,
+                           const runtime::physical::BuildOptions& opts) {
   std::ostringstream os;
   os << "=== plan ===\n";
   os << "query: " << plan.text << "\n";
   RenderCompileHeader(plan, os);
-  if (plan.plan != nullptr) RenderExprText(*plan.plan, "", os);
+  if (plan.plan != nullptr) RenderExprText(*plan.plan, "", opts, os);
   return os.str();
 }
 
-std::string RenderPlanJson(const CompiledPlan& plan) {
+std::string RenderPlanText(const CompiledPlan& plan) {
+  return RenderPlanText(plan, runtime::physical::BuildOptions{});
+}
+
+std::string RenderPlanJson(const CompiledPlan& plan,
+                           const runtime::physical::BuildOptions& opts) {
   std::ostringstream os;
   os << "{\"query\":";
   AppendJsonString(os, plan.text);
@@ -317,12 +329,16 @@ std::string RenderPlanJson(const CompiledPlan& plan) {
   RenderCompileJson(plan, os);
   os << ",\"plan\":";
   if (plan.plan != nullptr) {
-    RenderExprJson(*plan.plan, os);
+    RenderExprJson(*plan.plan, opts, os);
   } else {
     os << "null";
   }
   os << "}";
   return os.str();
+}
+
+std::string RenderPlanJson(const CompiledPlan& plan) {
+  return RenderPlanJson(plan, runtime::physical::BuildOptions{});
 }
 
 std::string RenderProfileText(const CompiledPlan& plan,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "observability/source_health.h"
+#include "runtime/physical/builder.h"
 #include "runtime/query_trace.h"
 #include "server/server.h"
 
@@ -14,7 +15,16 @@ namespace aldsp::server {
 /// compiler knows — per-phase compile micros, pushdown statistics, called
 /// functions, join methods with their PP-k parameters, and the SQL text
 /// of every pushed-down region (the paper's §4.1 query-plan view).
+///
+/// The BuildOptions overloads describe the plan the server would actually
+/// run under those parallelism knobs — exchange scatter/gather pairs and
+/// their DOP appear as plan nodes. The plain overloads describe the
+/// serial plan.
+std::string RenderPlanText(const CompiledPlan& plan,
+                           const runtime::physical::BuildOptions& opts);
 std::string RenderPlanText(const CompiledPlan& plan);
+std::string RenderPlanJson(const CompiledPlan& plan,
+                           const runtime::physical::BuildOptions& opts);
 std::string RenderPlanJson(const CompiledPlan& plan);
 
 /// EXPLAIN ANALYZE: the executed span tree of one profiled run — rows,

@@ -62,6 +62,12 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
   ctx_.metrics = &metrics_;
   ctx_.health = &health_;
   ctx_.pool = &pool_;
+  // Intra-query parallelism knobs. pool_ is the last member, so its
+  // size() is valid here in the constructor body.
+  ctx_.max_query_dop = options_.max_query_dop > 0
+                           ? options_.max_query_dop
+                           : static_cast<int>(pool_.size());
+  ctx_.ppk_prefetch_depth = options_.ppk_prefetch_depth;
   options_.optimizer.observed = &observed_;
 }
 
@@ -505,10 +511,22 @@ Status DataServicePlatform::ExecuteStream(
   return st;
 }
 
+// EXPLAIN describes the plan the evaluator would actually run, so the
+// renderer gets the same parallelism knobs the runtime context carries.
+static runtime::physical::BuildOptions PlanBuildOptions(
+    const runtime::RuntimeContext& ctx) {
+  runtime::physical::BuildOptions opts;
+  opts.max_dop = ctx.max_query_dop;
+  opts.parallel_row_threshold = ctx.parallel_row_threshold;
+  opts.exchange_chunk_size = ctx.exchange_chunk_size;
+  opts.ordered = ctx.exchange_ordered;
+  return opts;
+}
+
 Result<std::string> DataServicePlatform::Explain(const std::string& query) {
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
                          Prepare(query));
-  std::string out = RenderPlanText(*plan);
+  std::string out = RenderPlanText(*plan, PlanBuildOptions(ctx_));
   std::vector<observability::SourceHealthSnapshot> health =
       health_.GetSnapshot(NowMicros());
   if (!health.empty()) out += RenderSourceHealthText(health);
@@ -518,7 +536,7 @@ Result<std::string> DataServicePlatform::Explain(const std::string& query) {
 Result<std::string> DataServicePlatform::ExplainJson(const std::string& query) {
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
                          Prepare(query));
-  std::string json = RenderPlanJson(*plan);
+  std::string json = RenderPlanJson(*plan, PlanBuildOptions(ctx_));
   std::vector<observability::SourceHealthSnapshot> health =
       health_.GetSnapshot(NowMicros());
   if (!health.empty() && !json.empty() && json.back() == '}') {

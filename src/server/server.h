@@ -54,6 +54,14 @@ struct ServerOptions {
   /// Threads in the shared runtime worker pool (fn-bea:async, timeout
   /// evaluation, PP-k prefetch); <= 0 means hardware_concurrency.
   int worker_pool_size = 0;
+  /// Maximum intra-query degree of parallelism: the planner may insert
+  /// exchange operators running up to this many probe/scan partitions
+  /// concurrently. 0 sizes it to the worker pool; 1 forces serial plans.
+  int max_query_dop = 0;
+  /// PP-k prefetch pipeline depth: 0 adapts per source from observed
+  /// round-trip/transfer times (capped at 8); >= 1 forces that depth
+  /// (1 reproduces the classic double-buffered overlap).
+  int ppk_prefetch_depth = 0;
 
   // ----- Always-on observability plane ---------------------------------
 

@@ -124,6 +124,15 @@ struct Clause {
   JoinMethod method = JoinMethod::kAuto;
   int ppk_block_size = 20;      // the paper's empirically chosen default k
   std::shared_ptr<PPkFetchSpec> ppk_fetch;  // set for PP-k methods
+  /// Observed-cost annotations (optimizer post-pass, -1/-1 = none).
+  /// For kFor/kJoin: the ObservedCostModel's cardinality estimate for the
+  /// binding source call; the plan builder inserts exchange operators
+  /// when the running estimate crosses its threshold.
+  int64_t estimated_rows = -1;
+  /// For kLet: consecutive let clauses sharing a non-negative group id
+  /// are mutually independent source calls the runtime may fan out
+  /// concurrently (paper Â§5.4 async evaluation, applied by the planner).
+  int parallel_group = -1;
 };
 
 /// A pushed-down SQL region (paper §4.4). The node's children are the

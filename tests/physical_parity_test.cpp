@@ -152,6 +152,160 @@ TEST(PhysicalParityTest, PrefetchOnAndOffAreByteIdentical) {
   }
 }
 
+// ----- Parallel vs serial parity (exchange insertion) --------------------
+//
+// The planner inserts exchange operators when ctx.max_query_dop > 1 and
+// the optimizer's cardinality annotations cross the threshold. Tests
+// patch Clause::estimated_rows directly (the annotation the observed-cost
+// post-pass would produce) so plans parallelize deterministically without
+// warming a model.
+
+void MarkLargeClauses(xquery::Expr& flwor) {
+  for (auto& cl : flwor.clauses) {
+    if (cl.kind == xquery::Clause::Kind::kFor ||
+        cl.kind == xquery::Clause::Kind::kJoin) {
+      cl.estimated_rows = 100000;
+    }
+  }
+}
+
+std::multiset<std::string> ItemStrings(const xml::Sequence& seq) {
+  std::multiset<std::string> out;
+  for (const auto& item : seq) {
+    out.insert(xml::SerializeSequence(xml::Sequence{item}));
+  }
+  return out;
+}
+
+class ParallelParityTest : public ::testing::TestWithParam<JoinMethod> {};
+
+TEST_P(ParallelParityTest, OrderedParallelJoinMatchesSerialExactly) {
+  RunningExample env(30, 3);
+  ExprPtr plan = PlanWithMethod(env, GetParam());
+  MarkLargeClauses(*plan);
+
+  env.ctx.max_query_dop = 1;
+  auto serial = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const std::string expected = xml::SerializeSequence(*serial);
+
+  for (int dop : {2, 8}) {
+    env.ctx.max_query_dop = dop;
+    env.ctx.exchange_ordered = true;
+    auto parallel = Evaluate(*plan, env.ctx);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(expected, xml::SerializeSequence(*parallel)) << "dop=" << dop;
+    auto streamed = CollectStream(*plan, env.ctx);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_EQ(expected, xml::SerializeSequence(*streamed)) << "dop=" << dop;
+  }
+  env.ctx.max_query_dop = 1;
+}
+
+TEST_P(ParallelParityTest, UnorderedParallelJoinIsMultisetEqual) {
+  RunningExample env(30, 3);
+  ExprPtr plan = PlanWithMethod(env, GetParam());
+  MarkLargeClauses(*plan);
+
+  env.ctx.max_query_dop = 1;
+  auto serial = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int dop : {2, 8}) {
+    env.ctx.max_query_dop = dop;
+    env.ctx.exchange_ordered = false;
+    auto parallel = Evaluate(*plan, env.ctx);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(ItemStrings(*serial), ItemStrings(*parallel)) << "dop=" << dop;
+  }
+  env.ctx.max_query_dop = 1;
+  env.ctx.exchange_ordered = true;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Repertoire, ParallelParityTest,
+    ::testing::Values(JoinMethod::kNestedLoop, JoinMethod::kIndexNestedLoop,
+                      JoinMethod::kPPkNestedLoop,
+                      JoinMethod::kPPkIndexNestedLoop),
+    [](const auto& info) {
+      switch (info.param) {
+        case JoinMethod::kNestedLoop:
+          return "NestedLoop";
+        case JoinMethod::kIndexNestedLoop:
+          return "IndexNestedLoop";
+        case JoinMethod::kPPkNestedLoop:
+          return "PPkNestedLoop";
+        case JoinMethod::kPPkIndexNestedLoop:
+          return "PPkIndexNestedLoop";
+        default:
+          return "Auto";
+      }
+    });
+
+TEST(ParallelParityTest, ParallelForScanMatchesSerial) {
+  // Two cascaded for-scans (join introduction disabled) so the second
+  // scan sits above a multi-tuple stream and parallelizes.
+  RunningExample env(30, 3);
+  auto parsed = xquery::ParseExpression(kJoinQuery);
+  ASSERT_TRUE(parsed.ok());
+  ExprPtr plan = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  ASSERT_TRUE(analyzer.Analyze(plan, {}).ok());
+  OptimizerOptions options;
+  options.introduce_joins = false;
+  Optimizer opt(&env.functions, &env.schemas, nullptr, options);
+  ASSERT_TRUE(opt.Optimize(plan).ok());
+  MarkLargeClauses(*plan);
+
+  env.ctx.max_query_dop = 1;
+  auto serial = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int dop : {2, 8}) {
+    env.ctx.max_query_dop = dop;
+    auto parallel = Evaluate(*plan, env.ctx);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(xml::SerializeSequence(*serial),
+              xml::SerializeSequence(*parallel))
+        << "dop=" << dop;
+  }
+  env.ctx.max_query_dop = 1;
+}
+
+TEST(ParallelParityTest, ParallelGroupByMatchesSerial) {
+  RunningExample env(30, 3);
+  const char* q =
+      "for $c in ns3:CUSTOMER(), $o in ns3:ORDER() "
+      "where $c/CID eq $o/CID "
+      "group $o as $p by fn:data($c/CID) as $k "
+      "return <G><K>{$k}</K><N>{fn:count($p)}</N></G>";
+  auto parsed = xquery::ParseExpression(q);
+  ASSERT_TRUE(parsed.ok());
+  ExprPtr plan = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  ASSERT_TRUE(analyzer.Analyze(plan, {}).ok());
+  Optimizer opt(&env.functions, &env.schemas, nullptr, {});
+  ASSERT_TRUE(opt.Optimize(plan).ok());
+  MarkLargeClauses(*plan);
+
+  env.ctx.max_query_dop = 1;
+  auto serial = Evaluate(*plan, env.ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int dop : {2, 8}) {
+    env.ctx.max_query_dop = dop;
+    env.ctx.exchange_ordered = true;  // group-by relies on input order
+    auto parallel = Evaluate(*plan, env.ctx);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(xml::SerializeSequence(*serial),
+              xml::SerializeSequence(*parallel))
+        << "dop=" << dop;
+  }
+  env.ctx.max_query_dop = 1;
+}
+
 TEST(PhysicalParityTest, GroupByStreamingAndFallbackAcrossDrivers) {
   RunningExample env(20, 3);
   const char* q =
