@@ -44,6 +44,36 @@ assert "query" in names, "root query slice missing"
 print(f"trace ok: {len(events)} events, {slices} slices, {len(lanes)} lane(s)")
 PYEOF
 
+# Insight-plane validation: run the statement-insight demo (which ends
+# with a cooperative cancel) and round-trip its StatStatements and
+# LiveQueries JSON exports through a real JSON parser.
+echo "== tier-1: statement insight plane JSON validation =="
+cmake --build "$repo/build" -j "$jobs" --target insight_demo
+"$repo/build/examples/insight_demo" --json 2>/dev/null > "$repo/build/insight_demo.json"
+python3 -m json.tool "$repo/build/insight_demo.json" >/dev/null
+python3 - "$repo/build/insight_demo.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+stats = doc["stat_statements"]
+assert stats["entry_count"] >= 2, stats
+assert stats["statements"], "no statement entries exported"
+top = stats["statements"][0]
+for field in ("fingerprint", "calls", "errors", "cancels", "total_wall_micros",
+              "mean_wall_micros", "p95_wall_micros_upper", "rows_returned"):
+    assert field in top, f"missing {field}: {top}"
+folded = [s for s in stats["statements"] if s["calls"] >= 4]
+assert folded, "literal-varied statements did not fold into one fingerprint"
+cancelled = [s for s in stats["statements"] if s["cancels"] >= 1]
+assert cancelled, "the demo's cancelled join is missing from the stats"
+live = doc["live_queries"]
+assert live["live_count"] == 0, live
+assert live["total_started"] >= 6, live
+assert live["total_cancel_requests"] >= 1, live
+print(f"insight ok: {stats['entry_count']} statements, "
+      f"{live['total_started']} executions, "
+      f"{live['total_cancel_requests']} cancel(s)")
+PYEOF
+
 echo "== tier-1: ASan/UBSan build + ctest =="
 cmake -B "$repo/build-asan" -S "$repo" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -65,8 +95,8 @@ cmake -B "$repo/build-tsan" -S "$repo" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target physical_parity_test parallel_exec_test worker_pool_test \
-  join_methods_test observability_test
+  join_methods_test observability_test insight_plane_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test)$'
+  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test)$'
 
 echo "== all checks passed =="

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "SourceError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kSecurityError:
       return "SecurityError";
     case StatusCode::kUpdateError:

@@ -18,6 +18,7 @@ enum class StatusCode {
   kRuntimeError,      // Dynamic evaluation error.
   kSourceError,       // Data source (adaptor) failure.
   kTimeout,           // Evaluation exceeded a deadline (fn-bea:timeout).
+  kCancelled,         // Query cancelled via the live query registry.
   kSecurityError,     // Access denied.
   kUpdateError,       // Update decomposition / propagation failure.
   kConcurrencyError,  // Optimistic concurrency check failed at submit time.
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Timeout(std::string m) {
     return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
   static Status SecurityError(std::string m) {
     return Status(StatusCode::kSecurityError, std::move(m));

@@ -1,0 +1,148 @@
+#include "observability/query_registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+
+namespace {
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kCompiling:
+      return "compiling";
+    case QueryPhase::kExecuting:
+      return "executing";
+    case QueryPhase::kSecurityFilter:
+      return "security-filter";
+    case QueryPhase::kFinishing:
+      return "finishing";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<QueryControl> QueryRegistry::Register(
+    uint64_t fingerprint, const std::string& tenant,
+    const std::string& query_head) {
+  auto ctl = std::make_shared<QueryControl>();
+  ctl->query_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ctl->fingerprint = fingerprint;
+  ctl->tenant = tenant;
+  ctl->query_head = query_head;
+  ctl->start_micros = NowMicros();
+  total_started_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[ctl->query_id] = ctl;
+  return ctl;
+}
+
+void QueryRegistry::Unregister(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(query_id);
+}
+
+bool QueryRegistry::Cancel(uint64_t query_id) {
+  std::shared_ptr<QueryControl> ctl;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(query_id);
+    if (it == live_.end()) return false;
+    ctl = it->second;
+  }
+  ctl->cancelled.store(true, std::memory_order_relaxed);
+  total_cancels_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<LiveQueryInfo> QueryRegistry::Snapshot() const {
+  std::vector<std::shared_ptr<QueryControl>> blocks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks.reserve(live_.size());
+    for (const auto& [id, ctl] : live_) blocks.push_back(ctl);
+  }
+  const int64_t now = NowMicros();
+  std::vector<LiveQueryInfo> out;
+  out.reserve(blocks.size());
+  for (const auto& ctl : blocks) {
+    LiveQueryInfo info;
+    info.query_id = ctl->query_id;
+    info.fingerprint = ctl->fingerprint;
+    info.tenant = ctl->tenant;
+    info.query_head = ctl->query_head;
+    info.start_micros = ctl->start_micros;
+    info.elapsed_micros = std::max<int64_t>(0, now - ctl->start_micros);
+    info.phase =
+        static_cast<QueryPhase>(ctl->phase.load(std::memory_order_relaxed));
+    info.rows_produced = ctl->rows_produced.load(std::memory_order_relaxed);
+    info.peak_bytes = ctl->peak_bytes.load(std::memory_order_relaxed);
+    info.cancel_requested = ctl->cancelled.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LiveQueryInfo& a, const LiveQueryInfo& b) {
+              return a.query_id < b.query_id;
+            });
+  return out;
+}
+
+int64_t QueryRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(live_.size());
+}
+
+std::string QueryRegistry::RenderText() const {
+  auto live = Snapshot();
+  std::string out = "live queries: " + std::to_string(live.size()) + "\n";
+  for (const auto& q : live) {
+    out += "  #" + std::to_string(q.query_id);
+    out += " fp=" + std::to_string(q.fingerprint);
+    out += " tenant=" + q.tenant;
+    out += " phase=" + std::string(QueryPhaseName(q.phase));
+    out += " rows=" + std::to_string(q.rows_produced);
+    out += " peak_bytes=" + std::to_string(q.peak_bytes);
+    out += " elapsed_ms=" + std::to_string(q.elapsed_micros / 1000);
+    if (q.cancel_requested) out += " CANCELLING";
+    out += "  " + q.query_head + "\n";
+  }
+  return out;
+}
+
+std::string QueryRegistry::RenderJson() const {
+  auto live = Snapshot();
+  std::string out = "{\"live_count\":" + std::to_string(live.size());
+  out += ",\"total_started\":" + std::to_string(total_started());
+  out += ",\"total_cancel_requests\":" + std::to_string(total_cancel_requests());
+  out += ",\"queries\":[";
+  bool first = true;
+  for (const auto& q : live) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"query_id\":" + std::to_string(q.query_id);
+    out += ",\"fingerprint\":\"" + std::to_string(q.fingerprint) + "\"";
+    out += ",\"tenant\":";
+    AppendJsonString(&out, q.tenant);
+    out += ",\"query_head\":";
+    AppendJsonString(&out, q.query_head);
+    out += ",\"phase\":";
+    AppendJsonString(&out, QueryPhaseName(q.phase));
+    out += ",\"elapsed_micros\":" + std::to_string(q.elapsed_micros);
+    out += ",\"rows_produced\":" + std::to_string(q.rows_produced);
+    out += ",\"peak_bytes\":" + std::to_string(q.peak_bytes);
+    out += ",\"cancel_requested\":";
+    out += q.cancel_requested ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aldsp::observability

@@ -1,0 +1,119 @@
+#ifndef ALDSP_OBSERVABILITY_QUERY_REGISTRY_H_
+#define ALDSP_OBSERVABILITY_QUERY_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aldsp::observability {
+
+/// Execution phases a query moves through. Stored as an int in QueryControl
+/// so phase transitions are a single relaxed store.
+enum class QueryPhase : int {
+  kCompiling = 0,
+  kExecuting,
+  kSecurityFilter,
+  kFinishing,
+};
+
+const char* QueryPhaseName(QueryPhase phase);
+
+/// Shared control block for one in-flight query. The server hands a pointer
+/// to this block to the runtime via RuntimeContext::exec; physical operators
+/// poll `cancelled` at the top of Next() and pool workers poll it per tuple,
+/// so a CancelQuery() call propagates cooperatively within one scheduling
+/// quantum. All fields are atomics: writers are the evaluator / operator
+/// threads, readers are registry snapshots taken from other threads.
+///
+/// Lifetime: the registry and the executing query both hold shared_ptr
+/// references, so a snapshot or a cancel can never race with teardown.
+struct QueryControl {
+  uint64_t query_id = 0;
+  uint64_t fingerprint = 0;
+  std::string tenant;        // principal user, "(anonymous)" if none
+  std::string query_head;    // first ~120 chars of the statement text
+  int64_t start_micros = 0;  // wall-clock epoch micros at registration
+
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> phase{static_cast<int>(QueryPhase::kCompiling)};
+  std::atomic<int64_t> rows_produced{0};
+  std::atomic<int64_t> peak_bytes{0};
+
+  bool IsCancelled() const {
+    return cancelled.load(std::memory_order_relaxed);
+  }
+  void SetPhase(QueryPhase p) {
+    phase.store(static_cast<int>(p), std::memory_order_relaxed);
+  }
+  void AddRows(int64_t n) {
+    rows_produced.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// CAS-max, mirroring RuntimeStats::NotePeakBytes.
+  void NotePeakBytes(int64_t bytes) {
+    int64_t prev = peak_bytes.load(std::memory_order_relaxed);
+    while (bytes > prev && !peak_bytes.compare_exchange_weak(
+                               prev, bytes, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Point-in-time copy of one live query, safe to render after the query
+/// finished.
+struct LiveQueryInfo {
+  uint64_t query_id = 0;
+  uint64_t fingerprint = 0;
+  std::string tenant;
+  std::string query_head;
+  int64_t start_micros = 0;
+  int64_t elapsed_micros = 0;
+  QueryPhase phase = QueryPhase::kCompiling;
+  int64_t rows_produced = 0;
+  int64_t peak_bytes = 0;
+  bool cancel_requested = false;
+};
+
+/// Registry of in-flight queries. Register/Unregister bracket every observed
+/// Execute* on the server; Cancel flips the cooperative flag on the matching
+/// control block. The map is tiny (bounded by concurrent queries), so a
+/// plain mutex is fine — the hot path per query is two map operations total.
+class QueryRegistry {
+ public:
+  /// Creates and registers a control block; assigns a fresh query id.
+  std::shared_ptr<QueryControl> Register(uint64_t fingerprint,
+                                         const std::string& tenant,
+                                         const std::string& query_head);
+  void Unregister(uint64_t query_id);
+
+  /// Requests cooperative cancellation. Returns false if the id is not
+  /// (or no longer) in flight.
+  bool Cancel(uint64_t query_id);
+
+  std::vector<LiveQueryInfo> Snapshot() const;
+
+  std::string RenderText() const;
+  std::string RenderJson() const;
+
+  /// Cumulative totals since construction.
+  int64_t total_started() const {
+    return total_started_.load(std::memory_order_relaxed);
+  }
+  int64_t total_cancel_requests() const {
+    return total_cancels_.load(std::memory_order_relaxed);
+  }
+  int64_t live_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<QueryControl>> live_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> total_started_{0};
+  std::atomic<int64_t> total_cancels_{0};
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_QUERY_REGISTRY_H_

@@ -47,9 +47,11 @@ std::string SlowQueryLog::RecordJson(const SlowQueryRecord& r) {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "{\"seq\":%lld,\"query_hash\":\"%016llx\",",
+                "{\"seq\":%lld,\"query_hash\":\"%016llx\","
+                "\"fingerprint\":\"%llu\",",
                 static_cast<long long>(r.seq),
-                static_cast<unsigned long long>(r.query_hash));
+                static_cast<unsigned long long>(r.query_hash),
+                static_cast<unsigned long long>(r.fingerprint));
   out += buf;
   out += "\"query_head\":";
   AppendJsonString(&out, r.query_head);

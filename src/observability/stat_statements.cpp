@@ -1,0 +1,178 @@
+#include "observability/stat_statements.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+
+int64_t StatementStats::P95WallMicrosEstimate() const {
+  if (wall.count == 0) return 0;
+  const int64_t rank =
+      (wall.count * 95 + 99) / 100;  // ceil(0.95 * count), 1-based
+  int64_t seen = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    seen += wall.counts[i];
+    if (seen >= rank) {
+      // Upper bucket bound, clamped to the observed max (exact for the
+      // overflow bucket and for single-sample histograms).
+      int64_t upper = (i < LatencyHistogram::kBuckets - 1)
+                          ? LatencyHistogram::kUpperMicros[i]
+                          : wall.max_micros;
+      return std::min(upper, wall.max_micros);
+    }
+  }
+  return wall.max_micros;
+}
+
+void StatStatements::Record(const StatementSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(sample.fingerprint);
+  if (it == stats_.end()) {
+    if (stats_.size() >= max_entries_) {
+      // Evict the entry with the least cumulative wall time.
+      auto victim = stats_.begin();
+      for (auto jt = stats_.begin(); jt != stats_.end(); ++jt) {
+        if (jt->second.total_wall_micros < victim->second.total_wall_micros) {
+          victim = jt;
+        }
+      }
+      stats_.erase(victim);
+      ++evictions_;
+    }
+    StatementStats fresh;
+    fresh.fingerprint = sample.fingerprint;
+    fresh.query_head = sample.query_head;
+    it = stats_.emplace(sample.fingerprint, std::move(fresh)).first;
+  }
+  StatementStats& s = it->second;
+  ++s.calls;
+  if (sample.error) ++s.errors;
+  if (sample.cancelled) ++s.cancels;
+  s.total_wall_micros += sample.wall_micros;
+  s.wall.Record(sample.wall_micros);
+  s.rows_returned += sample.rows_returned;
+  s.max_peak_bytes = std::max(s.max_peak_bytes, sample.peak_bytes);
+  s.source_wait_micros += sample.source_wait_micros;
+  s.compute_micros += sample.compute_micros;
+  s.queue_wait_micros += sample.queue_wait_micros;
+  if (sample.plan_cache_hit) {
+    ++s.plan_cache_hits;
+  } else {
+    ++s.plan_cache_misses;
+  }
+  s.function_cache_hits += sample.function_cache_hits;
+  s.function_cache_misses += sample.function_cache_misses;
+}
+
+void StatStatements::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+  evictions_ = 0;
+}
+
+std::vector<StatementStats> StatStatements::TopK(int top_k) const {
+  std::vector<StatementStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(stats_.size());
+    for (const auto& [fp, s] : stats_) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StatementStats& a, const StatementStats& b) {
+              if (a.total_wall_micros != b.total_wall_micros) {
+                return a.total_wall_micros > b.total_wall_micros;
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+  if (top_k > 0 && out.size() > static_cast<size_t>(top_k)) {
+    out.resize(static_cast<size_t>(top_k));
+  }
+  return out;
+}
+
+int64_t StatStatements::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(stats_.size());
+}
+
+int64_t StatStatements::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::string StatStatements::RenderText(int top_k) const {
+  auto top = TopK(top_k);
+  std::string out =
+      "statement statistics (top " + std::to_string(top.size()) + ")\n";
+  int rank = 0;
+  for (const auto& s : top) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  [%d] fp=%llu calls=%lld errors=%lld cancels=%lld "
+                  "total_ms=%.1f mean_ms=%.2f p95_ms<=%.1f rows=%lld "
+                  "peak_bytes=%lld\n",
+                  ++rank, static_cast<unsigned long long>(s.fingerprint),
+                  static_cast<long long>(s.calls),
+                  static_cast<long long>(s.errors),
+                  static_cast<long long>(s.cancels),
+                  s.total_wall_micros / 1000.0, s.MeanWallMicros() / 1000.0,
+                  s.P95WallMicrosEstimate() / 1000.0,
+                  static_cast<long long>(s.rows_returned),
+                  static_cast<long long>(s.max_peak_bytes));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "      source_ms=%.1f compute_ms=%.1f queue_ms=%.1f "
+                  "plan_cache=%lld/%lld fn_cache=%lld/%lld\n",
+                  s.source_wait_micros / 1000.0, s.compute_micros / 1000.0,
+                  s.queue_wait_micros / 1000.0,
+                  static_cast<long long>(s.plan_cache_hits),
+                  static_cast<long long>(s.plan_cache_hits +
+                                         s.plan_cache_misses),
+                  static_cast<long long>(s.function_cache_hits),
+                  static_cast<long long>(s.function_cache_hits +
+                                         s.function_cache_misses));
+    out += line;
+    out += "      " + s.query_head + "\n";
+  }
+  return out;
+}
+
+std::string StatStatements::RenderJson(int top_k) const {
+  auto top = TopK(top_k);
+  std::string out = "{\"entry_count\":" + std::to_string(entry_count());
+  out += ",\"evictions\":" + std::to_string(evictions());
+  out += ",\"statements\":[";
+  bool first = true;
+  for (const auto& s : top) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"fingerprint\":\"" + std::to_string(s.fingerprint) + "\"";
+    out += ",\"query_head\":";
+    AppendJsonString(&out, s.query_head);
+    out += ",\"calls\":" + std::to_string(s.calls);
+    out += ",\"errors\":" + std::to_string(s.errors);
+    out += ",\"cancels\":" + std::to_string(s.cancels);
+    out += ",\"total_wall_micros\":" + std::to_string(s.total_wall_micros);
+    out += ",\"mean_wall_micros\":" +
+           std::to_string(static_cast<int64_t>(s.MeanWallMicros()));
+    out += ",\"p95_wall_micros_upper\":" +
+           std::to_string(s.P95WallMicrosEstimate());
+    out += ",\"rows_returned\":" + std::to_string(s.rows_returned);
+    out += ",\"max_peak_bytes\":" + std::to_string(s.max_peak_bytes);
+    out += ",\"source_wait_micros\":" + std::to_string(s.source_wait_micros);
+    out += ",\"compute_micros\":" + std::to_string(s.compute_micros);
+    out += ",\"queue_wait_micros\":" + std::to_string(s.queue_wait_micros);
+    out += ",\"plan_cache_hits\":" + std::to_string(s.plan_cache_hits);
+    out += ",\"plan_cache_misses\":" + std::to_string(s.plan_cache_misses);
+    out += ",\"function_cache_hits\":" + std::to_string(s.function_cache_hits);
+    out += ",\"function_cache_misses\":" +
+           std::to_string(s.function_cache_misses);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aldsp::observability

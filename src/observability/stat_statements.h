@@ -1,0 +1,90 @@
+#ifndef ALDSP_OBSERVABILITY_STAT_STATEMENTS_H_
+#define ALDSP_OBSERVABILITY_STAT_STATEMENTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "observability/histogram.h"
+
+namespace aldsp::observability {
+
+/// Resource deltas for one finished execution, fed into the per-fingerprint
+/// accumulator and the per-tenant rolling windows.
+struct StatementSample {
+  uint64_t fingerprint = 0;
+  std::string query_head;  // stored on first sight of a fingerprint
+  bool error = false;
+  bool cancelled = false;
+  int64_t wall_micros = 0;
+  int64_t rows_returned = 0;
+  int64_t peak_bytes = 0;
+  // Wall-time split. Exact when the execution ran with a timeline trace
+  // (critical-path attribution); estimated from the O(1) event tallies in
+  // counters mode (queue_wait is then 0 — kTaskWait spans need timelines).
+  int64_t source_wait_micros = 0;
+  int64_t compute_micros = 0;
+  int64_t queue_wait_micros = 0;
+  bool plan_cache_hit = false;
+  int64_t function_cache_hits = 0;
+  int64_t function_cache_misses = 0;
+};
+
+/// Cumulative per-fingerprint statistics (pg_stat_statements-style).
+struct StatementStats {
+  uint64_t fingerprint = 0;
+  std::string query_head;
+  int64_t calls = 0;
+  int64_t errors = 0;
+  int64_t cancels = 0;
+  int64_t total_wall_micros = 0;
+  LatencyHistogram wall;  // mean + bucket-estimated p95
+  int64_t rows_returned = 0;
+  int64_t max_peak_bytes = 0;
+  int64_t source_wait_micros = 0;
+  int64_t compute_micros = 0;
+  int64_t queue_wait_micros = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t function_cache_hits = 0;
+  int64_t function_cache_misses = 0;
+
+  double MeanWallMicros() const { return wall.MeanMicros(); }
+  /// Upper bound of the histogram bucket containing the 95th percentile —
+  /// the fixed-bucket histogram cannot produce an exact quantile.
+  int64_t P95WallMicrosEstimate() const;
+};
+
+/// Bounded map of per-fingerprint cumulative stats. When full, recording a
+/// new fingerprint evicts the entry with the smallest total wall time — the
+/// statements that dominate the server are exactly the ones we must keep.
+class StatStatements {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 512;
+
+  explicit StatStatements(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  void Record(const StatementSample& sample);
+  void Reset();
+
+  /// Entries ordered by descending total wall time; top_k <= 0 returns all.
+  std::vector<StatementStats> TopK(int top_k) const;
+  int64_t entry_count() const;
+  int64_t evictions() const;
+
+  std::string RenderText(int top_k) const;
+  std::string RenderJson(int top_k) const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, StatementStats> stats_;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_STAT_STATEMENTS_H_

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "compiler/function_table.h"
+#include "observability/query_registry.h"
 #include "observability/source_health.h"
 #include "runtime/adaptor.h"
 #include "runtime/function_cache.h"
@@ -103,6 +104,15 @@ struct RuntimeContext {
   /// events the abandoned task still records, e.g. function-cache hits on
   /// the pool thread) valid until the task finishes.
   std::shared_ptr<QueryTrace> trace_owner;
+
+  /// Live-query control block (optional, server-owned). Physical operators
+  /// poll its cancel flag in Next(), pool workers poll it per tuple, and
+  /// the evaluator's FLWOR drive loops report progress (rows produced)
+  /// through it. Same keep-alive pattern as trace/trace_owner: abandoned
+  /// timeout tasks hold a context copy, so exec_owner keeps the block
+  /// valid until the last task finishes.
+  observability::QueryControl* exec = nullptr;
+  std::shared_ptr<observability::QueryControl> exec_owner;
 
   /// Per-source health scoreboard with circuit breaking (optional,
   /// server-owned). The evaluator gates every source interaction through

@@ -689,7 +689,12 @@ class Evaluator {
         ALDSP_ASSIGN_OR_RETURN(bool more, plan->Next(&t));
         if (!more) return Status::OK();
         const Sequence* v = t.Lookup(physical::kResultBinding);
-        if (v != nullptr) xml::AppendSequence(out, *v);
+        if (v != nullptr) {
+          if (ctx_.exec != nullptr) {
+            ctx_.exec->AddRows(static_cast<int64_t>(v->size()));
+          }
+          xml::AppendSequence(out, *v);
+        }
       }
     }();
     plan->Close();
@@ -730,6 +735,7 @@ class Evaluator {
         for (const auto& item : *v) {
           ALDSP_RETURN_NOT_OK(sink(item));
           ++produced;
+          if (ctx_.exec != nullptr) ctx_.exec->AddRows(1);
         }
       }
     }();
@@ -772,6 +778,11 @@ class Evaluator {
 
   Result<Sequence> InvokeExternal(const ExternalFunction& fn, const Expr& e,
                                   const Tuple& env, int depth) {
+    // Cancel checkpoint before a source round trip: queries that are a
+    // straight function call never reach an operator Next() poll.
+    if (ctx_.exec != nullptr && ctx_.exec->IsCancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
     std::vector<Sequence> args;
     args.reserve(e.children.size());
     for (const auto& c : e.children) {

@@ -1,8 +1,11 @@
 #include "runtime/metrics.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+
+#include "observability/json_util.h"
 
 namespace aldsp::runtime {
 
@@ -70,65 +73,68 @@ void MetricsRegistry::Clear() {
 }
 
 std::string MetricsRegistry::RenderText(const Snapshot& snapshot) {
-  std::ostringstream os;
-  os << "=== metrics ===\n";
+  // Key column width follows the longest key in this snapshot, so long
+  // source and tenant keys ("tenant.analytics-team.wall_micros") keep the
+  // value columns aligned instead of overflowing a fixed width.
+  size_t width = 0;
   for (const auto& [name, value] : snapshot.counters) {
-    os << name << " " << value << "\n";
+    width = std::max(width, name.size());
   }
   for (const auto& [source, h] : snapshot.source_latency) {
-    os << "source_latency{" << source << "} count=" << h.count
-       << " mean_us=" << static_cast<int64_t>(h.MeanMicros())
-       << " min_us=" << h.min_micros << " max_us=" << h.max_micros << "\n";
+    width = std::max(width, source.size() + sizeof("source_latency{}") - 1);
+  }
+  for (const auto& [name, w] : snapshot.windows) {
+    width = std::max(width, name.size() + sizeof("window{}") - 1);
+  }
+  for (const auto& [name, c] : snapshot.windowed_counters) {
+    width = std::max(width, name.size() + sizeof("windowed_counter{}") - 1);
+  }
+  std::ostringstream os;
+  auto key = [&](const std::string& k) -> std::ostringstream& {
+    os << k << std::string(width > k.size() ? width - k.size() : 0, ' ');
+    return os;
+  };
+  os << "=== metrics ===\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    key(name) << " " << value << "\n";
+  }
+  for (const auto& [source, h] : snapshot.source_latency) {
+    key("source_latency{" + source + "}")
+        << " count=" << h.count
+        << " mean_us=" << static_cast<int64_t>(h.MeanMicros())
+        << " min_us=" << h.min_micros << " max_us=" << h.max_micros << "\n";
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       if (h.counts[i] == 0) continue;
       os << "  " << Histogram::BucketLabel(i) << " " << h.counts[i] << "\n";
     }
   }
   for (const auto& [name, w] : snapshot.windows) {
-    os << "window{" << name << "} 1m_count=" << w.last_1m.count
-       << " 1m_mean_us=" << static_cast<int64_t>(w.last_1m.MeanMicros())
-       << " 5m_count=" << w.last_5m.count
-       << " 5m_mean_us=" << static_cast<int64_t>(w.last_5m.MeanMicros())
-       << " total_count=" << w.total.count
-       << " total_mean_us=" << static_cast<int64_t>(w.total.MeanMicros())
-       << "\n";
+    key("window{" + name + "}")
+        << " 1m_count=" << w.last_1m.count
+        << " 1m_mean_us=" << static_cast<int64_t>(w.last_1m.MeanMicros())
+        << " 5m_count=" << w.last_5m.count
+        << " 5m_mean_us=" << static_cast<int64_t>(w.last_5m.MeanMicros())
+        << " total_count=" << w.total.count
+        << " total_mean_us=" << static_cast<int64_t>(w.total.MeanMicros())
+        << "\n";
   }
   for (const auto& [name, c] : snapshot.windowed_counters) {
-    os << "windowed_counter{" << name << "} 1m=" << c.last_1m
-       << " 5m=" << c.last_5m << " total=" << c.total << "\n";
+    key("windowed_counter{" + name + "}")
+        << " 1m=" << c.last_1m << " 5m=" << c.last_5m << " total=" << c.total
+        << "\n";
   }
   return os.str();
 }
 
 namespace {
 
+// The shared escaper (observability/json_util) behind the ostream
+// interface this renderer uses: window and tenant keys are user-derived
+// strings, so they need the full control-character treatment.
 void AppendJsonString(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  std::string buf;
+  observability::AppendJsonString(&buf, s);
+  os << buf;
 }
 
 void AppendHistogramJson(std::ostringstream& os,

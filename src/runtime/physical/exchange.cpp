@@ -92,7 +92,15 @@ void ExchangeOpBase::Submit(std::unique_ptr<Chunk> chunk) {
       tr->SetSpanQueueMicros(task_span, tr->NowRelMicros() - enqueue_rel);
       run_begin = tr->NowRelMicros();
     }
+    const observability::QueryControl* exec = ctx()->exec;
     for (const Tuple& in : c->in) {
+      // Per-tuple cancel poll: a chunk can hold an expensive probe per
+      // tuple, so waiting for the chunk boundary would stretch cancel
+      // latency by a whole chunk of source round trips.
+      if (exec != nullptr && exec->IsCancelled()) {
+        c->status = Status::Cancelled("query cancelled");
+        break;
+      }
       c->status = ProcessTuple(in, &c->out);
       if (!c->status.ok()) break;
     }

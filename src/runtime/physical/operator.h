@@ -117,6 +117,10 @@ class PhysicalOperator {
   std::string span_detail_;
   ExecEnv* env_ = nullptr;
   QueryTrace* trace_ = nullptr;  // cached at Open; outlives the tree
+  // Live-query control block, cached at Open like trace_. Next() polls its
+  // cancel flag (one relaxed load) so CancelQuery() stops every pipeline in
+  // the tree at the next tuple boundary.
+  observability::QueryControl* exec_ = nullptr;
   int span_ = -1;
   int64_t rows_ = 0;
   int64_t micros_ = 0;

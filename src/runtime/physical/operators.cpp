@@ -67,6 +67,7 @@ PhysicalOperator::~PhysicalOperator() { FlushSpan(); }
 Status PhysicalOperator::Open(ExecEnv* env) {
   env_ = env;
   trace_ = env->ctx->trace;
+  exec_ = env->ctx->exec;
   if (input_ != nullptr) ALDSP_RETURN_NOT_OK(input_->Open(env));
   // Spans begin in pipeline order (input first), all parented on the
   // calling thread's innermost scope — the enclosing flwor span.
@@ -79,6 +80,9 @@ Status PhysicalOperator::Open(ExecEnv* env) {
 }
 
 Result<bool> PhysicalOperator::Next(Tuple* out) {
+  if (exec_ != nullptr && exec_->IsCancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
   if (span_ < 0) {
     Result<bool> r = NextImpl(out);
     if (r.ok() && r.value()) ++rows_;
@@ -129,6 +133,7 @@ void PhysicalOperator::Describe(std::vector<ExplainNode>* out) const {
 
 void PhysicalOperator::NoteOperatorBytes(int64_t bytes) {
   if (ctx()->stats != nullptr) ctx()->stats->NotePeakBytes(bytes);
+  if (exec_ != nullptr) exec_->NotePeakBytes(bytes);
   if (trace_ != nullptr && span_ >= 0) trace_->AddSpanBytes(span_, bytes);
 }
 
@@ -655,6 +660,11 @@ class PPkJoinOp final : public JoinOpBase {
   /// thread-safe services plus the immutable clause/matcher state.
   Result<Fetched> FetchBlock(std::vector<Cell> params) {
     Fetched result;
+    // Prefetch tasks may still be queued (or running) when the query is
+    // cancelled; skip the source round trip instead of paying for it.
+    if (ctx()->exec != nullptr && ctx()->exec->IsCancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
     if (!params.empty()) {
       const auto& spec = *cl().ppk_fetch;
       relational::Database* db =

@@ -1,0 +1,216 @@
+#include "server/fingerprint.h"
+
+#include <string_view>
+#include <vector>
+
+#include "relational/sql_ast.h"
+#include "runtime/physical/builder.h"
+#include "runtime/physical/operator.h"
+
+namespace aldsp::server {
+
+namespace {
+
+using xquery::Expr;
+using xquery::ExprKind;
+
+// FNV-1a, same constants as ExecutionAuditLog::HashQuery. The running
+// hash is threaded explicitly so the walk order is the canonical form.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void Mix(uint64_t* h, std::string_view s) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+  // Separator so {"ab","c"} and {"a","bc"} differ.
+  *h ^= 0xff;
+  *h *= kFnvPrime;
+}
+
+void Mix(uint64_t* h, int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= static_cast<unsigned char>(v >> (i * 8));
+    *h *= kFnvPrime;
+  }
+}
+
+void MixSql(uint64_t* h, const relational::SqlExpr& e);
+
+void MixSqlSelect(uint64_t* h, const relational::SelectStmt& s) {
+  Mix(h, "select");
+  Mix(h, static_cast<int64_t>(s.distinct));
+  for (const auto& item : s.items) {
+    Mix(h, "item");
+    if (item.expr) MixSql(h, *item.expr);
+  }
+  Mix(h, "from");
+  Mix(h, s.from.table_name);
+  Mix(h, s.from.alias);
+  if (s.from.derived) MixSqlSelect(h, *s.from.derived);
+  for (const auto& j : s.joins) {
+    Mix(h, j.kind == relational::JoinKind::kLeftOuter ? "left-join" : "join");
+    Mix(h, j.right.table_name);
+    Mix(h, j.right.alias);
+    if (j.right.derived) MixSqlSelect(h, *j.right.derived);
+    if (j.condition) MixSql(h, *j.condition);
+  }
+  if (s.where) {
+    Mix(h, "where");
+    MixSql(h, *s.where);
+  }
+  for (const auto& g : s.group_by) {
+    Mix(h, "group");
+    if (g) MixSql(h, *g);
+  }
+  if (s.having) {
+    Mix(h, "having");
+    MixSql(h, *s.having);
+  }
+  for (const auto& o : s.order_by) {
+    Mix(h, o.descending ? "order-desc" : "order");
+    if (o.expr) MixSql(h, *o.expr);
+  }
+  // Row-range bounds are literals (fn:subsequence arguments): hash only
+  // their presence so paging through a result keeps one fingerprint.
+  Mix(h, static_cast<int64_t>(s.range_start >= 0));
+  Mix(h, static_cast<int64_t>(s.range_count >= 0));
+}
+
+void MixSql(uint64_t* h, const relational::SqlExpr& e) {
+  using Kind = relational::SqlExpr::Kind;
+  Mix(h, static_cast<int64_t>(e.kind));
+  switch (e.kind) {
+    case Kind::kColumn:
+      Mix(h, e.table_alias);
+      Mix(h, e.column);
+      return;
+    case Kind::kLiteral:
+      Mix(h, "?");  // value stripped
+      return;
+    case Kind::kParam:
+      Mix(h, "?");  // position-independent, like a literal
+      return;
+    default:
+      break;
+  }
+  Mix(h, e.op);
+  Mix(h, static_cast<int64_t>(e.negated));
+  if (e.kind == Kind::kFunc) Mix(h, static_cast<int64_t>(e.func));
+  if (e.kind == Kind::kAggregate) {
+    Mix(h, static_cast<int64_t>(e.agg));
+    Mix(h, static_cast<int64_t>(e.distinct));
+  }
+  for (const auto& a : e.args) {
+    if (a) MixSql(h, *a);
+  }
+  for (const auto& [cond, result] : e.whens) {
+    Mix(h, "when");
+    if (cond) MixSql(h, *cond);
+    if (result) MixSql(h, *result);
+  }
+  if (e.else_expr) {
+    Mix(h, "else");
+    MixSql(h, *e.else_expr);
+  }
+  if (e.subquery) MixSqlSelect(h, *e.subquery);
+}
+
+void MixExpr(uint64_t* h, const Expr& e);
+
+/// FLWOR subtrees hash through the serial physical lowering — the same
+/// descriptors EXPLAIN renders, so the operator labels already carry the
+/// join method ("join[ppk-inl] $o"), streaming-vs-sort grouping, and the
+/// bound variable. Node details are skipped: they hold tuning values
+/// (k=20, prefetch depth) that are configuration, not statement shape.
+/// Serial BuildOptions keep the fingerprint independent of the server's
+/// DOP knobs — exchange placement is deployment, not statement.
+void MixFLWOR(uint64_t* h, const Expr& e) {
+  std::vector<runtime::physical::ExplainNode> nodes;
+  runtime::physical::BuildPlan(e)->Describe(&nodes);
+  for (const auto& n : nodes) {
+    Mix(h, n.label);
+    if (n.expr != nullptr) MixExpr(h, *n.expr);
+    if (n.condition != nullptr) {
+      Mix(h, "on");
+      MixExpr(h, *n.condition);
+    }
+    if (n.ppk != nullptr) {
+      Mix(h, "ppk-fetch");
+      Mix(h, n.ppk->source);
+      Mix(h, n.ppk->in_alias);
+      Mix(h, n.ppk->in_column);
+      if (n.ppk->select_template) MixSqlSelect(h, *n.ppk->select_template);
+    }
+  }
+}
+
+void MixExpr(uint64_t* h, const Expr& e) {
+  if (e.kind == ExprKind::kFLWOR) {
+    Mix(h, "flwor");
+    MixFLWOR(h, e);
+    return;
+  }
+  Mix(h, xquery::ExprKindName(e.kind));
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      Mix(h, "?");  // value stripped
+      return;       // literals have no children
+    case ExprKind::kVarRef:
+      Mix(h, e.var_name);
+      break;
+    case ExprKind::kFunctionCall:
+      Mix(h, e.fn_name);
+      break;
+    case ExprKind::kPathStep:
+      Mix(h, e.step_name);
+      Mix(h, static_cast<int64_t>(e.is_attribute_step));
+      break;
+    case ExprKind::kElementCtor:
+    case ExprKind::kAttributeCtor:
+      Mix(h, e.ctor_name);
+      break;
+    case ExprKind::kComparison:
+    case ExprKind::kArith:
+    case ExprKind::kLogical:
+      Mix(h, e.op);
+      break;
+    case ExprKind::kQuantified:
+      Mix(h, e.var_name);
+      break;
+    case ExprKind::kSqlQuery:
+      if (e.sql) {
+        Mix(h, e.sql->source);
+        if (e.sql->select) MixSqlSelect(h, *e.sql->select);
+      }
+      break;
+    case ExprKind::kCustomQuery:
+      if (e.custom) {
+        Mix(h, e.custom->source);
+        Mix(h, e.custom->function);
+        for (const auto& c : e.custom->conjuncts) {
+          Mix(h, c.attribute);
+          Mix(h, c.op);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  // Children: parameter expressions for pushdown regions, operands
+  // everywhere else. Literals inside strip to "?" above.
+  for (const auto& c : e.children) {
+    if (c) MixExpr(h, *c);
+  }
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const Expr& root) {
+  uint64_t h = kFnvOffset;
+  MixExpr(&h, root);
+  return h;
+}
+
+}  // namespace aldsp::server

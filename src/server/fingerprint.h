@@ -1,0 +1,26 @@
+#ifndef ALDSP_SERVER_FINGERPRINT_H_
+#define ALDSP_SERVER_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "xquery/ast.h"
+
+namespace aldsp::server {
+
+/// Stable fingerprint of a compiled statement's normalized physical plan
+/// shape (pg_stat_statements-style): FNV-1a over a canonical walk of the
+/// optimized expression tree, with FLWOR subtrees hashed through the same
+/// serial physical lowering EXPLAIN renders — so the fingerprint covers
+/// operator kinds, join methods, sources, pushed SQL structure and PP-k
+/// fetch shapes, while literal values (XQuery constants, SQL literals,
+/// row-range bounds) are stripped. Two executions of the same statement
+/// with different literals share a fingerprint; changing the join method,
+/// a source, or the pushdown shape changes it.
+///
+/// The hash is computed from the *optimized* tree stored in CompiledPlan,
+/// so a plan-cache round trip trivially preserves it.
+uint64_t PlanFingerprint(const xquery::Expr& root);
+
+}  // namespace aldsp::server
+
+#endif  // ALDSP_SERVER_FINGERPRINT_H_

@@ -1,11 +1,14 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <set>
 #include <sstream>
 
+#include "observability/critical_path.h"
 #include "server/explain.h"
+#include "server/fingerprint.h"
 #include "xml/item.h"
 
 namespace aldsp::server {
@@ -51,6 +54,7 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
       health_(options_.circuit_breaker),
       exec_audit_(options_.audit_log_capacity),
       slow_queries_(options_.slow_query_log_capacity),
+      stat_statements_(options_.stat_statements_capacity),
       pool_(options_.worker_pool_size) {
   ctx_.functions = &functions_;
   ctx_.adaptors = &adaptors_;
@@ -240,6 +244,9 @@ Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Compile(
   plan->pushdown_micros = NowMicros() - t3;
 
   plan->plan = std::move(expr);
+  // Fingerprint the optimized tree: join methods and pushdown regions are
+  // settled by now, so the hash captures the final plan shape.
+  plan->fingerprint = PlanFingerprint(*plan->plan);
   return std::shared_ptr<const CompiledPlan>(plan);
 }
 
@@ -316,7 +323,7 @@ void DataServicePlatform::FinishObservation(
     const CompiledPlan& plan, bool plan_cache_hit,
     const runtime::QueryTrace& trace, const Status& outcome, int64_t rows,
     int64_t bytes, int64_t wall_micros, const std::string& principal,
-    int64_t security_denials) {
+    int64_t security_denials, const observability::QueryControl* ctl) {
   using EventKind = runtime::QueryTrace::EventKind;
   metrics_.RecordWindowed("query.latency_micros", wall_micros);
   metrics_.AddWindowedCounter(outcome.ok() ? "query.ok" : "query.error");
@@ -326,6 +333,63 @@ void DataServicePlatform::FinishObservation(
   const int64_t sql_pushdowns = trace.CountEvents(EventKind::kSql) +
                                 trace.CountEvents(EventKind::kPPkFetch) +
                                 trace.CountEvents(EventKind::kCustomPushdown);
+
+  // Wall-time split. Timeline traces yield the exact critical-path
+  // attribution; counters mode approximates from the O(1) event-micros
+  // tallies (queue wait needs task spans, so it reads 0 there).
+  int64_t source_wait = 0, compute = 0, queue_wait = 0;
+  if (trace.has_timeline()) {
+    observability::CriticalPathReport cp =
+        observability::AnalyzeCriticalPath(trace.BuildTimeline());
+    source_wait = cp.source_wait_micros;
+    compute = cp.compute_micros;
+    queue_wait = cp.queue_wait_micros;
+  } else {
+    source_wait = trace.SumEventMicros(EventKind::kSql) +
+                  trace.SumEventMicros(EventKind::kPPkFetch) +
+                  trace.SumEventMicros(EventKind::kSourceInvoke) +
+                  trace.SumEventMicros(EventKind::kCustomPushdown);
+    queue_wait = trace.SumEventMicros(EventKind::kTaskWait);
+    compute = std::max<int64_t>(0, wall_micros - source_wait - queue_wait);
+  }
+
+  const bool cancelled = outcome.code() == StatusCode::kCancelled;
+  const int64_t peak_bytes =
+      ctl == nullptr ? 0 : ctl->peak_bytes.load(std::memory_order_relaxed);
+
+  // Per-fingerprint cumulative statistics (pg_stat_statements-style).
+  observability::StatementSample sample;
+  sample.fingerprint = plan.fingerprint;
+  sample.query_head = plan.text.substr(0, 120);
+  sample.error = !outcome.ok() && !cancelled;
+  sample.cancelled = cancelled;
+  sample.wall_micros = wall_micros;
+  sample.rows_returned = rows;
+  sample.peak_bytes = peak_bytes;
+  sample.source_wait_micros = source_wait;
+  sample.compute_micros = compute;
+  sample.queue_wait_micros = queue_wait;
+  sample.plan_cache_hit = plan_cache_hit;
+  sample.function_cache_hits = trace.CountEvents(EventKind::kCacheHit);
+  sample.function_cache_misses = trace.CountEvents(EventKind::kCacheMiss);
+  stat_statements_.Record(sample);
+
+  // Per-tenant resource attribution: the same deltas rolled into 1m/5m
+  // windows keyed by principal, the admission-control substrate.
+  const std::string tenant = principal.empty() ? "(anonymous)" : principal;
+  metrics_.AddWindowedCounter("tenant." + tenant + ".queries");
+  if (sample.error) metrics_.AddWindowedCounter("tenant." + tenant + ".errors");
+  if (cancelled) metrics_.AddWindowedCounter("tenant." + tenant + ".cancels");
+  metrics_.RecordWindowed("tenant." + tenant + ".wall_micros", wall_micros);
+  metrics_.RecordWindowed("tenant." + tenant + ".source_wait_micros",
+                          source_wait);
+  metrics_.RecordWindowed(
+      "tenant." + tenant + ".source_roundtrips",
+      sql_pushdowns + trace.CountEvents(EventKind::kSourceInvoke));
+  metrics_.RecordWindowed("tenant." + tenant + ".rows", rows);
+  if (peak_bytes > 0) {
+    metrics_.RecordWindowed("tenant." + tenant + ".peak_bytes", peak_bytes);
+  }
 
   observability::AuditRecord record;
   record.query_hash = hash;
@@ -355,6 +419,7 @@ void DataServicePlatform::FinishObservation(
   }
   observability::SlowQueryRecord slow;
   slow.query_hash = hash;
+  slow.fingerprint = plan.fingerprint;
   slow.query_head = plan.text.substr(0, 80);
   slow.wall_micros = wall_micros;
   slow.threshold_micros = options_.slow_query_threshold_micros;
@@ -387,6 +452,19 @@ void DataServicePlatform::FinishObservation(
   slow_queries_.Append(std::move(slow));
 }
 
+std::shared_ptr<observability::QueryControl>
+DataServicePlatform::RegisterExecution(const CompiledPlan& plan,
+                                       const security::Principal* principal) {
+  if (!options_.always_on_observability) return nullptr;
+  std::shared_ptr<observability::QueryControl> ctl = query_registry_.Register(
+      plan.fingerprint,
+      principal != nullptr && !principal->user.empty() ? principal->user
+                                                       : "(anonymous)",
+      plan.text.substr(0, 120));
+  ctl->SetPhase(observability::QueryPhase::kExecuting);
+  return ctl;
+}
+
 Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
     const CompiledPlan& plan, bool plan_cache_hit,
     const security::Principal* principal) {
@@ -397,15 +475,21 @@ Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
     if (!bare.ok() || principal == nullptr) return bare;
     return access_control_.FilterResult(*principal, *bare, &audit_);
   }
+  std::shared_ptr<observability::QueryControl> ctl =
+      RegisterExecution(plan, principal);
   // A context copy carries the trace; trace_owner keeps it alive for any
-  // evaluation a fn-bea:timeout abandons on a pool thread.
+  // evaluation a fn-bea:timeout abandons on a pool thread. The control
+  // block rides along the same way (exec/exec_owner).
   runtime::RuntimeContext ctx = ctx_;
   ctx.trace = trace.get();
   ctx.trace_owner = trace;
+  ctx.exec = ctl.get();
+  ctx.exec_owner = ctl;
   int64_t t0 = NowMicros();
   Result<xml::Sequence> result = runtime::Evaluate(*plan.plan, ctx);
   int64_t security_denials = 0;
   if (result.ok() && principal != nullptr) {
+    if (ctl) ctl->SetPhase(observability::QueryPhase::kSecurityFilter);
     // Fine-grained filtering happens last so cached plans and cached
     // function results remain user-agnostic (paper §7).
     xml::Sequence filtered = access_control_.FilterResult(
@@ -415,13 +499,15 @@ Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
   int64_t wall = NowMicros() - t0;
   int64_t rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
   int64_t bytes = result.ok() ? xml::SequenceMemoryBytes(*result) : 0;
+  if (ctl) ctl->SetPhase(observability::QueryPhase::kFinishing);
   if (trace->keeps_events()) {
     trace->FeedObservedCost(&observed_);
   }
   FinishObservation(plan, plan_cache_hit, *trace,
                     result.ok() ? Status::OK() : result.status(), rows, bytes,
                     wall, principal != nullptr ? principal->user : "",
-                    security_denials);
+                    security_denials, ctl.get());
+  if (ctl) query_registry_.Unregister(ctl->query_id);
   return result;
 }
 
@@ -491,9 +577,13 @@ Status DataServicePlatform::ExecuteStream(
   if (trace == nullptr) {
     return runtime::EvaluateStream(*plan->plan, ctx_, sink);
   }
+  std::shared_ptr<observability::QueryControl> ctl =
+      RegisterExecution(*plan, nullptr);
   runtime::RuntimeContext ctx = ctx_;
   ctx.trace = trace.get();
   ctx.trace_owner = trace;
+  ctx.exec = ctl.get();
+  ctx.exec_owner = ctl;
   int64_t rows = 0;
   auto counting_sink = [&](const xml::Item& item) -> Status {
     ++rows;
@@ -502,12 +592,14 @@ Status DataServicePlatform::ExecuteStream(
   int64_t t0 = NowMicros();
   Status st = runtime::EvaluateStream(*plan->plan, ctx, counting_sink);
   int64_t wall = NowMicros() - t0;
+  if (ctl) ctl->SetPhase(observability::QueryPhase::kFinishing);
   if (trace->keeps_events()) {
     trace->FeedObservedCost(&observed_);
   }
   // Streamed items are not retained, so bytes_returned stays 0.
   FinishObservation(*plan, cache_hit, *trace, st, rows, /*bytes=*/0, wall,
-                    /*principal=*/"", /*security_denials=*/0);
+                    /*principal=*/"", /*security_denials=*/0, ctl.get());
+  if (ctl) query_registry_.Unregister(ctl->query_id);
   return st;
 }
 
@@ -560,9 +652,13 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
   // A context copy carries the trace so concurrent unprofiled executions
   // through ctx_ stay untraced; trace_owner keeps the trace alive for
   // any evaluation a fn-bea:timeout abandons on a pool thread.
+  std::shared_ptr<observability::QueryControl> ctl =
+      RegisterExecution(*plan, nullptr);
   runtime::RuntimeContext ctx = ctx_;
   ctx.trace = out.trace.get();
   ctx.trace_owner = out.trace;
+  ctx.exec = ctl.get();
+  ctx.exec_owner = ctl;
   int root = out.trace->BeginSpan("query", plan->text);
   auto t0 = std::chrono::steady_clock::now();
   Result<xml::Sequence> result = [&]() {
@@ -578,12 +674,14 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
   // Even a failed run made real source observations worth keeping.
   out.trace->FeedObservedCost(&observed_);
   if (options_.always_on_observability) {
+    if (ctl) ctl->SetPhase(observability::QueryPhase::kFinishing);
     int64_t bytes = result.ok() ? xml::SequenceMemoryBytes(*result) : 0;
     FinishObservation(*plan, cache_hit, *out.trace,
                       result.ok() ? Status::OK() : result.status(), rows,
                       bytes, micros, /*principal=*/"",
-                      /*security_denials=*/0);
+                      /*security_denials=*/0, ctl.get());
   }
+  if (ctl) query_registry_.Unregister(ctl->query_id);
   if (!result.ok()) return result.status();
   out.result = std::move(result).value();
   return out;
@@ -640,7 +738,42 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
   metrics_.SetCounter("audit_log.records", exec_audit_.total_appended());
   metrics_.SetCounter("slow_query_log.records",
                       slow_queries_.total_appended());
+  metrics_.SetCounter("query_registry.live", query_registry_.live_count());
+  metrics_.SetCounter("query_registry.started",
+                      query_registry_.total_started());
+  metrics_.SetCounter("query_registry.cancel_requests",
+                      query_registry_.total_cancel_requests());
+  metrics_.SetCounter("stat_statements.entries",
+                      stat_statements_.entry_count());
+  metrics_.SetCounter("stat_statements.evictions",
+                      stat_statements_.evictions());
   return metrics_.GetSnapshot();
+}
+
+std::string DataServicePlatform::StatStatementsText(int top_k) {
+  return stat_statements_.RenderText(top_k);
+}
+
+std::string DataServicePlatform::StatStatementsJson(int top_k) {
+  return stat_statements_.RenderJson(top_k);
+}
+
+void DataServicePlatform::ResetStatStatements() { stat_statements_.Reset(); }
+
+std::string DataServicePlatform::LiveQueriesText() {
+  return query_registry_.RenderText();
+}
+
+std::string DataServicePlatform::LiveQueriesJson() {
+  return query_registry_.RenderJson();
+}
+
+bool DataServicePlatform::CancelQuery(uint64_t query_id) {
+  const bool found = query_registry_.Cancel(query_id);
+  audit_.Record("cancel", "",
+                "query #" + std::to_string(query_id) +
+                    (found ? "" : " (not running)"));
+  return found;
 }
 
 std::string DataServicePlatform::AuditLog() {

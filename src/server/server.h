@@ -12,8 +12,10 @@
 #include "compiler/analyzer.h"
 #include "compiler/function_table.h"
 #include "observability/audit_log.h"
+#include "observability/query_registry.h"
 #include "observability/slow_query_log.h"
 #include "observability/source_health.h"
+#include "observability/stat_statements.h"
 #include "optimizer/optimizer.h"
 #include "runtime/context.h"
 #include "runtime/evaluator.h"
@@ -38,6 +40,10 @@ struct CompiledPlan {
   /// before view unfolding so function-level access control still sees
   /// them (paper §7).
   std::vector<std::string> called_functions;
+  /// Stable fingerprint of the normalized plan shape (literals stripped);
+  /// the key of the cumulative per-statement statistics. Computed once at
+  /// compilation, so it survives plan-cache round trips by construction.
+  uint64_t fingerprint = 0;
   /// Microseconds spent in each compilation phase, for the §3.3 bench.
   int64_t parse_micros = 0;
   int64_t analyze_micros = 0;
@@ -81,6 +87,9 @@ struct ServerOptions {
   int64_t slow_query_threshold_micros = 250'000;
   /// Circuit-breaker tuning for the per-source health scoreboard.
   observability::BreakerOptions circuit_breaker;
+  /// Distinct plan fingerprints tracked by the cumulative statement
+  /// statistics; the least expensive entry is evicted on overflow.
+  size_t stat_statements_capacity = 512;
 };
 
 /// The result of ExecuteProfiled: the materialized result plus the plan
@@ -269,6 +278,31 @@ class DataServicePlatform {
   observability::SlowQueryLog& slow_query_log() { return slow_queries_; }
   observability::SourceHealthBoard& source_health() { return health_; }
 
+  // ----- Statement-level insight plane ---------------------------------
+
+  /// Cumulative per-fingerprint statement statistics (pg_stat_statements
+  /// style), ordered by total wall time; top_k <= 0 renders every entry.
+  std::string StatStatementsText(int top_k = 20);
+  std::string StatStatementsJson(int top_k = 20);
+  void ResetStatStatements();
+
+  /// The queries running right now: id, fingerprint, tenant, phase, rows
+  /// produced so far, peak bytes, elapsed time.
+  std::string LiveQueriesText();
+  std::string LiveQueriesJson();
+
+  /// Requests cooperative cancellation of an in-flight query (ids appear
+  /// in LiveQueries*). The query fails with StatusCode::kCancelled within
+  /// one operator scheduling quantum; prefetch and exchange tasks drain
+  /// through their normal Close/CancelAndWait paths. Returns false when
+  /// the id is not (or no longer) running. Audited either way it lands:
+  /// the cancel request in the security audit log, the cancelled
+  /// execution in the execution audit log.
+  bool CancelQuery(uint64_t query_id);
+
+  observability::StatStatements& stat_statements() { return stat_statements_; }
+  observability::QueryRegistry& query_registry() { return query_registry_; }
+
   // ----- Introspection of internals (tests, benchmarks, console) ------
 
   compiler::FunctionTable& functions() { return functions_; }
@@ -303,12 +337,21 @@ class DataServicePlatform {
       const CompiledPlan& plan) const;
 
   /// Closes out one observed execution: rolling metrics, the audit
-  /// record, and slow-query capture/promotion.
+  /// record, per-fingerprint statement statistics, per-tenant resource
+  /// windows, and slow-query capture/promotion. `ctl` is the execution's
+  /// live-registry control block (null when the plane is disabled or the
+  /// execution was refused before it started).
   void FinishObservation(const CompiledPlan& plan, bool plan_cache_hit,
                          const runtime::QueryTrace& trace,
                          const Status& outcome, int64_t rows, int64_t bytes,
                          int64_t wall_micros, const std::string& principal,
-                         int64_t security_denials);
+                         int64_t security_denials,
+                         const observability::QueryControl* ctl = nullptr);
+
+  /// Registers an execution with the live query registry (null when the
+  /// observability plane is off) and stamps the initial phase.
+  std::shared_ptr<observability::QueryControl> RegisterExecution(
+      const CompiledPlan& plan, const security::Principal* principal);
 
   /// The shared materialized execution path: attaches the observability
   /// plane, evaluates, applies element-level security when `principal`
@@ -332,6 +375,8 @@ class DataServicePlatform {
   observability::SourceHealthBoard health_;
   observability::ExecutionAuditLog exec_audit_;
   observability::SlowQueryLog slow_queries_;
+  observability::QueryRegistry query_registry_;
+  observability::StatStatements stat_statements_;
   service::ServiceCatalog services_;
   std::shared_ptr<adaptors::FileAdaptor> file_adaptor_;  // lazily created
 
