@@ -1,0 +1,225 @@
+// Measures the vectorized batch runtime's throughput as a function of
+// batch width on three engine-bound workloads over the running example.
+// Source latency simulation is off and the source functions are served
+// from a warmed function cache, so the numbers isolate per-row operator
+// overhead rather than simulated network waits or per-run XML
+// materialization of the source tables:
+//
+//   scan_project — a relational scan pushed through a deep pipeline of
+//                  kernel-evaluable `let` projections and a literal
+//                  filter: seven operators per row, so the per-operator
+//                  dispatch that batching amortizes dominates at width 1.
+//   scan_filter  — two cascaded scans with a `where` comparison kept as a
+//                  FilterOp (analyzer-only compile, no join introduction):
+//                  the filter kernel + selection vector over a cross
+//                  product, the widest stream in the plan.
+//   group_by     — an order scan grouped by a kernel-evaluable key.
+//
+// Every width must produce byte-identical output; batch_size=1 degenerates
+// to row-at-a-time and is the baseline the speedup column divides by.
+// Timings land in BENCH_batch_width.json as rows of
+// {workload, batch_size, ms, speedup_vs_1}.
+//
+// --smoke shrinks the data set and the width grid for CI gates.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/analyzer.h"
+#include "runtime/evaluator.h"
+#include "tests/e2e_fixture.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using aldsp::testing::RunningExample;
+using namespace aldsp;
+
+bool g_smoke = false;
+
+struct Workload {
+  const char* name;
+  const char* query;
+  int customers;        // full-size data set
+  int smoke_customers;  // --smoke data set
+};
+
+const Workload kWorkloads[] = {
+    {"scan_project",
+     "for $c in ns3:CUSTOMER() "
+     "let $id := $c/CID let $fn := $c/FIRST_NAME let $ln := $c/LAST_NAME "
+     "where $ln eq \"Smith\" return $id",
+     8000, 400},
+    {"scan_filter",
+     "for $c in ns3:CUSTOMER(), $o in ns3:ORDER() "
+     "where $c/CID eq $o/CID "
+     "return <CO>{fn:data($c/CID)}{fn:data($o/OID)}</CO>",
+     300, 60},
+    {"group_by",
+     "for $o in ns3:ORDER() group $o as $p by $o/CID as $k "
+     "return <G>{$k}{fn:count($p)}</G>",
+     8000, 400},
+};
+
+struct WidthRow {
+  std::string workload;
+  int batch_size = 0;
+  double ms = 0;
+  double speedup_vs_1 = 0;
+};
+
+std::vector<WidthRow>& Rows() {
+  static std::vector<WidthRow> rows;
+  return rows;
+}
+
+// Analyzer-only compile: no optimizer pass, so the `where` clause lowers
+// to a FilterOp instead of being folded into an introduced join.
+xquery::ExprPtr Compile(RunningExample& env, const char* query) {
+  auto parsed = xquery::ParseExpression(query);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench: %s\n", parsed.status().ToString().c_str());
+    return nullptr;
+  }
+  xquery::ExprPtr e = *parsed;
+  DiagnosticBag bag;
+  compiler::Analyzer analyzer(&env.functions, &env.schemas, &bag);
+  Status st = analyzer.Analyze(e, {});
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench: %s\n", st.ToString().c_str());
+    return nullptr;
+  }
+  return e;
+}
+
+double BestOf(int reps, RunningExample& env, const xquery::Expr& plan,
+              std::string* serialized) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = runtime::Evaluate(plan, env.ctx);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench: %s\n",
+                   result.status().ToString().c_str());
+      return -1;
+    }
+    *serialized = xml::SerializeSequence(*result);
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void BM_BatchWidth(benchmark::State& state) {
+  const Workload& w = kWorkloads[state.range(0)];
+  RunningExample env(g_smoke ? w.smoke_customers : w.customers, 3);
+  xquery::ExprPtr plan = Compile(env, w.query);
+  if (plan == nullptr) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+
+  // Serve the source tables from the function cache: one materialization
+  // at warm-up, cheap sequence handles afterwards, so the width sweep
+  // measures the operator pipeline rather than node construction.
+  env.cache.EnableFor("ns3:CUSTOMER", /*ttl_millis=*/3600000);
+  env.cache.EnableFor("ns3:ORDER", /*ttl_millis=*/3600000);
+  {
+    auto warm = runtime::Evaluate(*plan, env.ctx);
+    if (!warm.ok()) {
+      state.SkipWithError("warm-up failed");
+      return;
+    }
+  }
+
+  std::vector<int> widths = g_smoke
+                                ? std::vector<int>{1, 1024}
+                                : std::vector<int>{1, 4, 16, 64, 256, 1024,
+                                                   4096};
+  const int reps = g_smoke ? 1 : 3;
+
+  for (auto _ : state) {
+    std::string reference;
+    double baseline_ms = 0;
+    for (int width : widths) {
+      env.ctx.batch_size = width;
+      std::string out;
+      double ms = BestOf(reps, env, *plan, &out);
+      if (ms < 0) {
+        state.SkipWithError("evaluation failed");
+        return;
+      }
+      if (width == widths.front()) {
+        reference = out;
+        baseline_ms = ms;
+      } else if (out != reference) {
+        state.SkipWithError("batch width changed the result bytes");
+        return;
+      }
+      WidthRow row;
+      row.workload = w.name;
+      row.batch_size = width;
+      row.ms = ms;
+      row.speedup_vs_1 = ms > 0 ? baseline_ms / ms : 0;
+      Rows().push_back(row);
+      std::printf("  %-12s width=%-5d %8.3f ms  speedup_vs_1=%.2fx\n",
+                  w.name, width, ms, row.speedup_vs_1);
+    }
+    env.ctx.batch_size = 1024;
+  }
+  state.SetLabel(w.name);
+}
+
+BENCHMARK(BM_BatchWidth)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void WriteJson() {
+  const char* path = "BENCH_batch_width.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\"bench\":\"batch_width\",\"smoke\":%s,\"rows\":[",
+               g_smoke ? "true" : "false");
+  for (size_t i = 0; i < Rows().size(); ++i) {
+    const WidthRow& r = Rows()[i];
+    std::fprintf(f,
+                 "%s{\"workload\":\"%s\",\"batch_size\":%d,\"ms\":%.3f,"
+                 "\"speedup_vs_1\":%.3f}",
+                 i == 0 ? "" : ",", r.workload.c_str(), r.batch_size, r.ms,
+                 r.speedup_vs_1);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("batch width grid written to %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark sees (and rejects) it.
+  int out_argc = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      continue;
+    }
+    argv[out_argc++] = argv[i];
+  }
+  benchmark::Initialize(&out_argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteJson();
+  return 0;
+}

@@ -74,6 +74,33 @@ print(f"insight ok: {stats['entry_count']} statements, "
       f"{live['total_cancel_requests']} cancel(s)")
 PYEOF
 
+# Batch-width validation: sweep the vectorized runtime's batch_size knob
+# on a shrunk data set (--smoke) and round-trip the emitted grid through
+# a real JSON parser. The benchmark self-checks byte-identical output at
+# every width; a workload that fails the check emits no rows, which the
+# per-workload assertion below turns into a gate failure.
+echo "== tier-1: batch width smoke sweep + JSON validation =="
+cmake --build "$repo/build" -j "$jobs" --target bench_batch_width
+(cd "$repo/build" && ./bench/bench_batch_width --smoke >/dev/null)
+python3 -m json.tool "$repo/build/BENCH_batch_width.json" >/dev/null
+python3 - "$repo/build/BENCH_batch_width.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "batch_width", doc
+rows = doc["rows"]
+assert rows, "no batch width rows emitted"
+workloads = {r["workload"] for r in rows}
+assert {"scan_project", "scan_filter", "group_by"} <= workloads, workloads
+for w in workloads:
+    # A workload that trips the byte-identity self-check stops before its
+    # wide widths, so demand at least one batched row per workload.
+    wide = [r for r in rows if r["workload"] == w and r["batch_size"] > 1]
+    assert wide, f"no batched row for {w}: identity check failed?"
+for r in rows:
+    assert r["batch_size"] >= 1 and r["ms"] > 0, r
+print(f"batch width ok: {len(rows)} rows over {len(workloads)} workloads")
+PYEOF
+
 echo "== tier-1: ASan/UBSan build + ctest =="
 cmake -B "$repo/build-asan" -S "$repo" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -95,8 +122,8 @@ cmake -B "$repo/build-tsan" -S "$repo" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target physical_parity_test parallel_exec_test worker_pool_test \
-  join_methods_test observability_test insight_plane_test
+  join_methods_test observability_test insight_plane_test batch_runtime_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test)$'
+  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test)$'
 
 echo "== all checks passed =="

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/status.h"
 #include "compiler/function_table.h"
 #include "observability/query_registry.h"
 #include "observability/source_health.h"
@@ -18,6 +19,18 @@
 namespace aldsp::runtime {
 
 class WorkerPool;
+
+/// The one cooperative-cancellation checkpoint. Every poll site in the
+/// runtime — operator Next/NextBatch, exchange chunk workers, the PP-k
+/// block fetcher, external-function invocation — funnels through here so
+/// the cancelled status (and its message) stays identical everywhere.
+/// One relaxed atomic load when a control block is wired; free otherwise.
+inline Status CheckCancelled(const observability::QueryControl* exec) {
+  if (exec != nullptr && exec->IsCancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  return Status::OK();
+}
 
 /// Counters the benchmarks and the (future) observed-cost optimizer read.
 struct RuntimeStats {
@@ -145,8 +158,15 @@ struct RuntimeContext {
   /// Minimum estimated upstream rows before the planner inserts an
   /// exchange above a join probe or for-scan.
   int64_t parallel_row_threshold = 64;
-  /// Tuples per exchange chunk (0 = auto).
+  /// Tuples per exchange chunk (0 = auto). Chunks are whole TupleBatches
+  /// in the vectorized runtime; this bounds their row count so small
+  /// latency-bound streams still fan out across workers.
   int exchange_chunk_size = 0;
+  /// Rows per TupleBatch flowing between physical operators (the
+  /// vectorized runtime's unit of work: virtual dispatch, trace timing
+  /// and cancellation polls amortize over this many rows). Clamped to
+  /// [1, 16384] at Open; 1 degenerates to row-at-a-time execution.
+  int batch_size = 1024;
   /// Ordered mode: exchange gather preserves input order (deterministic
   /// results). False allows chunks to interleave as they complete.
   bool exchange_ordered = true;

@@ -73,6 +73,82 @@ std::string EncodeAtomicSequence(const Sequence& atomized) {
   return out;
 }
 
+namespace {
+
+// Coerces untyped values toward the other operand's type.
+Result<std::pair<AtomicValue, AtomicValue>> CoerceComparisonPair(
+    const AtomicValue& a, const AtomicValue& b) {
+  if (a.type() == AtomicType::kUntyped && b.type() != AtomicType::kUntyped) {
+    ALDSP_ASSIGN_OR_RETURN(AtomicValue ca, a.CastTo(b.type()));
+    return std::make_pair(ca, b);
+  }
+  if (b.type() == AtomicType::kUntyped && a.type() != AtomicType::kUntyped) {
+    ALDSP_ASSIGN_OR_RETURN(AtomicValue cb, b.CastTo(a.type()));
+    return std::make_pair(a, cb);
+  }
+  return std::make_pair(a, b);
+}
+
+Result<bool> CompareAtomPair(const AtomicValue& a, const AtomicValue& b,
+                             const std::string& op) {
+  ALDSP_ASSIGN_OR_RETURN(auto pair, CoerceComparisonPair(a, b));
+  ALDSP_ASSIGN_OR_RETURN(int c, pair.first.Compare(pair.second));
+  if (op == "eq" || op == "=") return c == 0;
+  if (op == "ne" || op == "!=") return c != 0;
+  if (op == "lt" || op == "<") return c < 0;
+  if (op == "le" || op == "<=") return c <= 0;
+  if (op == "gt" || op == ">") return c > 0;
+  if (op == "ge" || op == ">=") return c >= 0;
+  return Status::InvalidArgument("unknown comparison operator: " + op);
+}
+
+}  // namespace
+
+Result<Sequence> CompareAtomizedOperands(const Sequence& la, const Sequence& ra,
+                                         const std::string& op, bool general) {
+  if (general) {
+    // Existential semantics over all pairs.
+    for (const auto& a : la) {
+      for (const auto& b : ra) {
+        ALDSP_ASSIGN_OR_RETURN(bool match,
+                               CompareAtomPair(a.atomic(), b.atomic(), op));
+        if (match) {
+          return Sequence{Item(AtomicValue::Boolean(true))};
+        }
+      }
+    }
+    return Sequence{Item(AtomicValue::Boolean(false))};
+  }
+  // Value comparison: empty propagates; singletons required.
+  if (la.empty() || ra.empty()) return Sequence{};
+  if (la.size() > 1 || ra.size() > 1) {
+    return Status::RuntimeError("value comparison on multi-item sequence");
+  }
+  ALDSP_ASSIGN_OR_RETURN(
+      bool match, CompareAtomPair(la.front().atomic(), ra.front().atomic(), op));
+  return Sequence{Item(AtomicValue::Boolean(match))};
+}
+
+Result<bool> CompareOperandsToBool(const Sequence& l, const Sequence& r,
+                                   const std::string& op, bool general) {
+  if (general) {
+    for (const auto& a : l) {
+      const AtomicValue av = a.Atomize();
+      for (const auto& b : r) {
+        ALDSP_ASSIGN_OR_RETURN(bool match,
+                               CompareAtomPair(av, b.Atomize(), op));
+        if (match) return true;
+      }
+    }
+    return false;
+  }
+  if (l.empty() || r.empty()) return false;  // EBV of the empty sequence
+  if (l.size() > 1 || r.size() > 1) {
+    return Status::RuntimeError("value comparison on multi-item sequence");
+  }
+  return CompareAtomPair(l.front().Atomize(), r.front().Atomize(), op);
+}
+
 xml::Sequence RowsToItems(const relational::ResultSet& rs,
                           const std::string& row_name) {
   Sequence out;
@@ -482,57 +558,20 @@ class Evaluator {
 
   // ----- Comparisons and arithmetic -------------------------------------
 
-  // Coerces untyped values toward the other operand's type.
+  // min/max in evaluator_builtins.inc coerce running extrema the same
+  // way comparisons coerce operand pairs.
   static Result<std::pair<AtomicValue, AtomicValue>> CoercePair(
       const AtomicValue& a, const AtomicValue& b) {
-    if (a.type() == AtomicType::kUntyped && b.type() != AtomicType::kUntyped) {
-      ALDSP_ASSIGN_OR_RETURN(AtomicValue ca, a.CastTo(b.type()));
-      return std::make_pair(ca, b);
-    }
-    if (b.type() == AtomicType::kUntyped && a.type() != AtomicType::kUntyped) {
-      ALDSP_ASSIGN_OR_RETURN(AtomicValue cb, b.CastTo(a.type()));
-      return std::make_pair(a, cb);
-    }
-    return std::make_pair(a, b);
-  }
-
-  static Result<bool> CompareAtoms(const AtomicValue& a, const AtomicValue& b,
-                                   const std::string& op) {
-    ALDSP_ASSIGN_OR_RETURN(auto pair, CoercePair(a, b));
-    ALDSP_ASSIGN_OR_RETURN(int c, pair.first.Compare(pair.second));
-    if (op == "eq" || op == "=") return c == 0;
-    if (op == "ne" || op == "!=") return c != 0;
-    if (op == "lt" || op == "<") return c < 0;
-    if (op == "le" || op == "<=") return c <= 0;
-    if (op == "gt" || op == ">") return c > 0;
-    if (op == "ge" || op == ">=") return c >= 0;
-    return Status::InvalidArgument("unknown comparison operator: " + op);
+    return CoerceComparisonPair(a, b);
   }
 
   Result<Sequence> EvalComparison(const Expr& e, const Tuple& env, int depth) {
     ALDSP_ASSIGN_OR_RETURN(Sequence l, Eval(*e.children[0], env, depth));
     ALDSP_ASSIGN_OR_RETURN(Sequence r, Eval(*e.children[1], env, depth));
-    Sequence la = xml::Atomize(l);
-    Sequence ra = xml::Atomize(r);
-    if (e.general_comparison) {
-      // Existential semantics over all pairs.
-      for (const auto& a : la) {
-        for (const auto& b : ra) {
-          ALDSP_ASSIGN_OR_RETURN(bool match,
-                                 CompareAtoms(a.atomic(), b.atomic(), e.op));
-          if (match) return BoolSeq(true);
-        }
-      }
-      return BoolSeq(false);
-    }
-    // Value comparison: empty propagates; singletons required.
-    if (la.empty() || ra.empty()) return Sequence{};
-    if (la.size() > 1 || ra.size() > 1) {
-      return Status::RuntimeError("value comparison on multi-item sequence");
-    }
-    ALDSP_ASSIGN_OR_RETURN(
-        bool match, CompareAtoms(la.front().atomic(), ra.front().atomic(), e.op));
-    return BoolSeq(match);
+    // The comparison itself is shared with the batch filter kernel so
+    // both paths stay semantically identical.
+    return CompareAtomizedOperands(xml::Atomize(l), xml::Atomize(r), e.op,
+                                   e.general_comparison);
   }
 
   Result<Sequence> EvalArith(const Expr& e, const Tuple& env, int depth) {
@@ -666,7 +705,37 @@ class Evaluator {
     opts.parallel_row_threshold = ctx_.parallel_row_threshold;
     opts.exchange_chunk_size = ctx_.exchange_chunk_size;
     opts.ordered = ctx_.exchange_ordered;
+    opts.batch_size = ctx_.batch_size;
     return opts;
+  }
+
+  /// Appends the result column's row values to `deliver`'s target: the
+  /// batch drive loops below read the ReturnOp's kResultBinding column
+  /// directly (the atomic layout is the fast path — no Sequence is
+  /// built for single-atomic results until delivery), falling back to a
+  /// materialized-row lookup only when an unconverted tree didn't
+  /// produce the column.
+  template <typename Fn>
+  static Status DrainResultBatch(const physical::TupleBatch& batch,
+                                 const Fn& deliver) {
+    const physical::BatchColumn* col =
+        batch.FindColumn(physical::kResultBinding);
+    size_t n = batch.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (col != nullptr) {
+        size_t r = batch.PhysicalIndex(i);
+        if (col->atomic()) {
+          ALDSP_RETURN_NOT_OK(deliver(Sequence{Item(col->atoms[r])}));
+        } else {
+          ALDSP_RETURN_NOT_OK(deliver(col->seqs[r]));
+        }
+        continue;
+      }
+      Tuple t = batch.MaterializeRow(i);
+      const Sequence* v = t.Lookup(physical::kResultBinding);
+      if (v != nullptr) ALDSP_RETURN_NOT_OK(deliver(*v));
+    }
+    return Status::OK();
   }
 
   Result<Sequence> EvalFLWOR(const Expr& e, const Tuple& env, int depth) {
@@ -684,17 +753,19 @@ class Evaluator {
         physical::BuildPlan(e, PlanOptions());
     Status result = [&]() -> Status {
       ALDSP_RETURN_NOT_OK(plan->Open(&xenv));
-      Tuple t;
+      physical::TupleBatch batch;
       while (true) {
-        ALDSP_ASSIGN_OR_RETURN(bool more, plan->Next(&t));
+        ALDSP_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
         if (!more) return Status::OK();
-        const Sequence* v = t.Lookup(physical::kResultBinding);
-        if (v != nullptr) {
-          if (ctx_.exec != nullptr) {
-            ctx_.exec->AddRows(static_cast<int64_t>(v->size()));
-          }
-          xml::AppendSequence(out, *v);
-        }
+        ALDSP_RETURN_NOT_OK(
+            DrainResultBatch(batch, [&](const Sequence& v) -> Status {
+              // Progress stays per result row, not per batch.
+              if (ctx_.exec != nullptr) {
+                ctx_.exec->AddRows(static_cast<int64_t>(v.size()));
+              }
+              xml::AppendSequence(out, v);
+              return Status::OK();
+            }));
       }
     }();
     plan->Close();
@@ -726,17 +797,28 @@ class Evaluator {
         physical::BuildPlan(e, PlanOptions());
     Status result = [&]() -> Status {
       ALDSP_RETURN_NOT_OK(plan->Open(&xenv));
-      Tuple t;
+      physical::TupleBatch batch;
       while (true) {
-        ALDSP_ASSIGN_OR_RETURN(bool more, plan->Next(&t));
+        // One result row per pull: the root return clause evaluates its
+        // expression lazily, so each delivered item pays for exactly one
+        // result-expression evaluation (external calls included) while the
+        // operators beneath the root still run at full batch width.
+        ALDSP_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch, 1));
         if (!more) return Status::OK();
-        const Sequence* v = t.Lookup(physical::kResultBinding);
-        if (v == nullptr) continue;
-        for (const auto& item : *v) {
-          ALDSP_RETURN_NOT_OK(sink(item));
-          ++produced;
-          if (ctx_.exec != nullptr) ctx_.exec->AddRows(1);
-        }
+        ALDSP_RETURN_NOT_OK(
+            DrainResultBatch(batch, [&](const Sequence& v) -> Status {
+              // Delivery polls per row even though execution polls per
+              // batch: a sink that cancels the query must see the stream
+              // stop at the next row boundary, not after the rest of an
+              // already-produced batch.
+              ALDSP_RETURN_NOT_OK(CheckCancelled(ctx_.exec));
+              for (const auto& item : v) {
+                ALDSP_RETURN_NOT_OK(sink(item));
+                ++produced;
+                if (ctx_.exec != nullptr) ctx_.exec->AddRows(1);
+              }
+              return Status::OK();
+            }));
       }
     }();
     plan->Close();
@@ -779,10 +861,8 @@ class Evaluator {
   Result<Sequence> InvokeExternal(const ExternalFunction& fn, const Expr& e,
                                   const Tuple& env, int depth) {
     // Cancel checkpoint before a source round trip: queries that are a
-    // straight function call never reach an operator Next() poll.
-    if (ctx_.exec != nullptr && ctx_.exec->IsCancelled()) {
-      return Status::Cancelled("query cancelled");
-    }
+    // straight function call never reach an operator batch poll.
+    ALDSP_RETURN_NOT_OK(CheckCancelled(ctx_.exec));
     std::vector<Sequence> args;
     args.reserve(e.children.size());
     for (const auto& c : e.children) {

@@ -2,6 +2,7 @@
 #define ALDSP_RUNTIME_EVALUATOR_H_
 
 #include <functional>
+#include <string>
 
 #include "common/result.h"
 #include "runtime/context.h"
@@ -42,6 +43,27 @@ Result<xml::Sequence> Evaluate(const xquery::Expr& expr,
 /// Non-FLWOR roots fall back to materialize-then-deliver.
 Status EvaluateStream(const xquery::Expr& expr, const RuntimeContext& ctx,
                       const std::function<Status(const xml::Item&)>& sink);
+
+/// XQuery comparison over already-atomized operands — the single
+/// implementation behind the interpreter's kComparison and the batch
+/// filter kernel. `general` selects existential (general-comparison)
+/// semantics over all operand pairs; otherwise value-comparison rules
+/// apply: an empty operand yields the empty sequence, a multi-item
+/// operand errors. Untyped values coerce toward the other operand's
+/// type, as in the interpreter.
+Result<xml::Sequence> CompareAtomizedOperands(const xml::Sequence& la,
+                                              const xml::Sequence& ra,
+                                              const std::string& op,
+                                              bool general);
+
+/// Allocation-free variant for the batch filter kernel: atomizes the raw
+/// operand sequences item-wise and returns the effective boolean value
+/// the CompareAtomizedOperands + EffectiveBooleanValue pipeline would
+/// produce (a value comparison with an empty operand yields false, the
+/// EBV of its empty result), with identical error behavior.
+Result<bool> CompareOperandsToBool(const xml::Sequence& l,
+                                   const xml::Sequence& r,
+                                   const std::string& op, bool general);
 
 /// Canonical encoding of an atomic value used for grouping, distinct-
 /// values and join keys (numeric values encode equal across numeric

@@ -29,6 +29,11 @@ struct BuildOptions {
   int exchange_chunk_size = 0;
   /// Ordered gather (deterministic results) vs completion order.
   bool ordered = true;
+  /// Rows per TupleBatch (the vectorized runtime's unit of work). Purely
+  /// descriptive at build time — execution clamps the RuntimeContext's
+  /// knob at Open — but EXPLAIN reports it so plans show their batch
+  /// shape. 1 degenerates to row-at-a-time.
+  int batch_size = 1024;
 };
 
 /// Pure lowering: no RuntimeContext and no source access, so EXPLAIN can

@@ -18,8 +18,10 @@ ExchangeOpBase::ExchangeOpBase(std::unique_ptr<PhysicalOperator> input,
       dop_(std::max(1, dop)),
       chunk_size_(chunk_size > 0 ? chunk_size : kDefaultChunkSize),
       ordered_(ordered) {
+  explain().batch = true;
   scatter_explain_.label = "exchange[scatter]";
   scatter_explain_.detail = "chunk=" + std::to_string(chunk_size_);
+  scatter_explain_.batch = true;
 }
 
 ExchangeOpBase::~ExchangeOpBase() {
@@ -36,6 +38,7 @@ void ExchangeOpBase::Describe(std::vector<ExplainNode>* out) const {
   gather.label = "exchange[gather]";
   gather.detail = "dop=" + std::to_string(dop_) +
                   (ordered_ ? " ordered" : " unordered");
+  gather.batch = true;
   out->push_back(std::move(gather));
 }
 
@@ -53,17 +56,18 @@ Status ExchangeOpBase::FillWindow() {
   size_t cap = static_cast<size_t>(2 * dop_);
   while (!input_done_ && window_.size() < cap) {
     auto chunk = std::make_unique<Chunk>();
-    chunk->in.reserve(static_cast<size_t>(chunk_size_));
-    Tuple t;
-    while (static_cast<int>(chunk->in.size()) < chunk_size_) {
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
-      if (!more) {
-        input_done_ = true;
-        break;
-      }
-      chunk->in.push_back(std::move(t));
+    // One upstream batch per chunk, capped at the chunk size so small
+    // latency-bound streams still fan out across workers instead of
+    // collapsing into one context-sized batch.
+    ALDSP_ASSIGN_OR_RETURN(bool more,
+                           input()->NextBatch(&chunk->in, chunk_size_));
+    if (!more) {
+      input_done_ = true;
+      break;
     }
-    if (chunk->in.empty()) break;
+    // An empty batch (filter selected nothing) is legal upstream but is
+    // not worth a worker task.
+    if (chunk->in.empty()) continue;
     Submit(std::move(chunk));
   }
   return Status::OK();
@@ -92,18 +96,10 @@ void ExchangeOpBase::Submit(std::unique_ptr<Chunk> chunk) {
       tr->SetSpanQueueMicros(task_span, tr->NowRelMicros() - enqueue_rel);
       run_begin = tr->NowRelMicros();
     }
-    const observability::QueryControl* exec = ctx()->exec;
-    for (const Tuple& in : c->in) {
-      // Per-tuple cancel poll: a chunk can hold an expensive probe per
-      // tuple, so waiting for the chunk boundary would stretch cancel
-      // latency by a whole chunk of source round trips.
-      if (exec != nullptr && exec->IsCancelled()) {
-        c->status = Status::Cancelled("query cancelled");
-        break;
-      }
-      c->status = ProcessTuple(in, &c->out);
-      if (!c->status.ok()) break;
-    }
+    // One cancel poll per chunk-batch, same checkpoint as every other
+    // poll site: cancel latency is bounded by one chunk of work.
+    c->status = CheckCancelled(ctx()->exec);
+    if (c->status.ok()) c->status = ProcessBatch(c->in, &c->out);
     if (task_span >= 0) {
       tr->AddSpanMetrics(task_span, static_cast<int64_t>(c->out.size()),
                          tr->NowRelMicros() - run_begin);
@@ -128,16 +124,26 @@ void ExchangeOpBase::AwaitChunk(Chunk* chunk) {
   }
 }
 
-Result<bool> ExchangeOpBase::NextImpl(Tuple* out) {
-  while (true) {
+Status ExchangeOpBase::ProcessBatch(const TupleBatch& in,
+                                    std::vector<Tuple>* out) {
+  size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) {
+    ALDSP_RETURN_NOT_OK(ProcessTuple(in.MaterializeRow(i), out));
+  }
+  return Status::OK();
+}
+
+Result<bool> ExchangeOpBase::NextBatchImpl(TupleBatch* out) {
+  int target = batch_target();
+  while (static_cast<int>(out->size()) < target) {
     if (ready_pos_ < ready_.size()) {
-      *out = std::move(ready_[ready_pos_++]);
-      return true;
+      out->PushRow(std::move(ready_[ready_pos_++]));
+      continue;
     }
     ready_.clear();
     ready_pos_ = 0;
     ALDSP_RETURN_NOT_OK(FillWindow());
-    if (window_.empty()) return false;
+    if (window_.empty()) return !out->empty();
     // Ordered gather takes the oldest chunk (deterministic output order);
     // unordered prefers any chunk that already finished.
     size_t pick = 0;
@@ -154,10 +160,11 @@ Result<bool> ExchangeOpBase::NextImpl(Tuple* out) {
     window_.erase(window_.begin() + static_cast<std::ptrdiff_t>(pick));
     ALDSP_RETURN_NOT_OK(finished->status);
     ready_ = std::move(finished->out);
-    // Top the window back up before draining ready_, so workers chew on
-    // the next chunks while downstream consumes this one.
+    // Top the window back up before draining the finished chunk, so
+    // workers chew on the next chunks while downstream consumes this one.
     ALDSP_RETURN_NOT_OK(FillWindow());
   }
+  return true;
 }
 
 }  // namespace aldsp::runtime::physical

@@ -56,7 +56,7 @@ class ExchangeOpBase : public PhysicalOperator {
   ~ExchangeOpBase() override;
 
   Status OpenImpl() final;
-  Result<bool> NextImpl(Tuple* out) final;
+  Result<bool> NextBatchImpl(TupleBatch* out) final;
   void CloseImpl() final;
 
   /// One-time setup on the driving thread before any chunk is scheduled
@@ -70,6 +70,13 @@ class ExchangeOpBase : public PhysicalOperator {
   /// trace).
   virtual Status ProcessTuple(const Tuple& in, std::vector<Tuple>* out) = 0;
 
+  /// The parallel work over one whole chunk-batch. The default loops
+  /// ProcessTuple over materialized rows; subclasses with a columnar
+  /// kernel (the partitioned join probe) override it. Same threading
+  /// contract as ProcessTuple. The worker polls cancellation once per
+  /// chunk-batch before calling this.
+  virtual Status ProcessBatch(const TupleBatch& in, std::vector<Tuple>* out);
+
   int dop() const { return dop_; }
 
   /// Concrete subclasses call this first in their destructor: in-flight
@@ -82,7 +89,11 @@ class ExchangeOpBase : public PhysicalOperator {
 
  private:
   struct Chunk {
-    std::vector<Tuple> in;
+    /// Scattered unit of work: one whole TupleBatch (the upstream pull is
+    /// NextBatch capped at chunk_size_, so chunk granularity — and with
+    /// it the exchange_chunks stat and fan-out behavior — is bounded by
+    /// the chunk size, not the context batch size).
+    TupleBatch in;
     std::vector<Tuple> out;
     Status status;
     std::atomic<bool> done{false};

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "runtime/context.h"
+#include "runtime/physical/batch.h"
 #include "runtime/tuple.h"
 #include "xquery/ast.h"
 
@@ -44,6 +45,10 @@ struct ExecEnv {
 struct ExplainNode {
   std::string label;   // e.g. "join[ppk-inl] $cc"
   std::string detail;  // e.g. "k=20 prefetch"
+  /// True when the operator executes batch-natively (overrides
+  /// NextBatchImpl); EXPLAIN renders it as a "[batch]" suffix. Excluded
+  /// from plan fingerprints (those hash labels only).
+  bool batch = false;
   const xquery::Expr* expr = nullptr;       // clause input expression
   const xquery::Expr* condition = nullptr;  // join residual condition
   const xquery::PPkFetchSpec* ppk = nullptr;
@@ -71,6 +76,15 @@ class PhysicalOperator {
   Status Open(ExecEnv* env);
   /// Fills `out` and returns true, or returns false at end of stream.
   Result<bool> Next(Tuple* out);
+  /// Batch driver API: clears `out` and fills it with up to
+  /// ctx()->batch_size rows (`max_rows` caps lower when positive, e.g.
+  /// the exchange scattering chunk-sized batches). Returns true while
+  /// the stream continues — a true result with an EMPTY batch is legal
+  /// (a filter may select nothing); false means end of stream. Cancel is
+  /// polled once per batch, and row/time span metrics accumulate per row
+  /// (rows += batch size) so profiles stay comparable with the row
+  /// engine.
+  Result<bool> NextBatch(TupleBatch* out, int max_rows = 0);
   void Close();
 
   /// Appends this subtree's descriptors in pipeline order (input first).
@@ -94,7 +108,16 @@ class PhysicalOperator {
                    std::string span_detail = "");
 
   virtual Status OpenImpl() { return Status::OK(); }
-  virtual Result<bool> NextImpl(Tuple* out) = 0;
+  /// Row-at-a-time production. The default drains an internal buffer
+  /// filled by NextBatchImpl (the compatibility shim for batch-native
+  /// operators driven row-wise, e.g. under an unconverted consumer).
+  /// Every operator must override at least one of NextImpl /
+  /// NextBatchImpl — overriding neither recurses mutually.
+  virtual Result<bool> NextImpl(Tuple* out);
+  /// Batch-at-a-time production into a cleared `out`. The default loops
+  /// NextImpl up to batch_target() rows (the shim that lets unconverted
+  /// operators ride in a batch pipeline).
+  virtual Result<bool> NextBatchImpl(TupleBatch* out);
   virtual void CloseImpl() {}
 
   PhysicalOperator* input() { return input_.get(); }
@@ -104,6 +127,13 @@ class PhysicalOperator {
   const Tuple& base_env() const { return env_->base_env; }
   QueryTrace* trace() const { return trace_; }
   int span() const { return span_; }
+  /// Row target for the batch currently being produced: the consumer's
+  /// cap when one was passed to NextBatch, else the context batch_size
+  /// (clamped at Open).
+  int batch_target() const { return batch_limit_; }
+  /// The uncapped batch width (the clamped context batch_size). A target
+  /// below this means the consumer capped the current pull.
+  int batch_capacity() const { return batch_size_; }
 
   /// Reports bytes materialized by a blocking stage against both the
   /// peak-memory stat and this operator's span.
@@ -126,6 +156,13 @@ class PhysicalOperator {
   int64_t micros_ = 0;
   bool opened_ = false;
   bool flushed_ = false;
+  // Batch plumbing: the clamped context batch size, the active target
+  // for the batch in flight, and the row-shim buffer the default
+  // NextImpl drains when a batch-native operator is driven row-wise.
+  int batch_size_ = 1;
+  int batch_limit_ = 1;
+  TupleBatch shim_batch_;
+  size_t shim_pos_ = 0;
   // Timeline mode: origin-relative first/last row production marks,
   // flushed onto the span with the row/time metrics.
   bool timeline_ = false;

@@ -68,6 +68,8 @@ Status PhysicalOperator::Open(ExecEnv* env) {
   env_ = env;
   trace_ = env->ctx->trace;
   exec_ = env->ctx->exec;
+  batch_size_ = std::clamp(env->ctx->batch_size, 1, 16384);
+  batch_limit_ = batch_size_;
   if (input_ != nullptr) ALDSP_RETURN_NOT_OK(input_->Open(env));
   // Spans begin in pipeline order (input first), all parented on the
   // calling thread's innermost scope — the enclosing flwor span.
@@ -80,9 +82,7 @@ Status PhysicalOperator::Open(ExecEnv* env) {
 }
 
 Result<bool> PhysicalOperator::Next(Tuple* out) {
-  if (exec_ != nullptr && exec_->IsCancelled()) {
-    return Status::Cancelled("query cancelled");
-  }
+  ALDSP_RETURN_NOT_OK(CheckCancelled(exec_));
   if (span_ < 0) {
     Result<bool> r = NextImpl(out);
     if (r.ok() && r.value()) ++rows_;
@@ -104,6 +104,68 @@ Result<bool> PhysicalOperator::Next(Tuple* out) {
     }
   }
   return r;
+}
+
+Result<bool> PhysicalOperator::NextBatch(TupleBatch* out, int max_rows) {
+  // One cancel poll per batch (not per row): the batch is the unit at
+  // which every pipeline in the tree re-checks the live-query control
+  // block, so cancel latency is bounded by one batch of work.
+  ALDSP_RETURN_NOT_OK(CheckCancelled(exec_));
+  out->Clear();
+  batch_limit_ = (max_rows > 0 && max_rows < batch_size_) ? max_rows
+                                                          : batch_size_;
+  if (span_ < 0) {
+    Result<bool> r = NextBatchImpl(out);
+    if (r.ok() && r.value()) rows_ += static_cast<int64_t>(out->size());
+    return r;
+  }
+  QueryTrace::Scope scope(trace_, span_);
+  auto t0 = std::chrono::steady_clock::now();
+  Result<bool> r = NextBatchImpl(out);
+  auto t1 = std::chrono::steady_clock::now();
+  micros_ +=
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+  if (r.ok() && r.value()) {
+    // Spans count rows, never batches: PROFILE output, per-fingerprint
+    // row totals and slow-query records stay comparable with row-engine
+    // captures.
+    rows_ += static_cast<int64_t>(out->size());
+    if (timeline_ && !out->empty()) {
+      last_row_micros_ = trace_->RelMicros(t1);
+      if (first_row_micros_ < 0) first_row_micros_ = last_row_micros_;
+    }
+  }
+  return r;
+}
+
+Result<bool> PhysicalOperator::NextImpl(Tuple* out) {
+  // Row-compat shim: drain a buffered batch produced by the subclass's
+  // NextBatchImpl, skipping empty batches so row consumers never see a
+  // phantom tuple.
+  while (true) {
+    if (shim_pos_ < shim_batch_.size()) {
+      *out = shim_batch_.MaterializeRow(shim_pos_++);
+      return true;
+    }
+    shim_batch_.Clear();
+    shim_pos_ = 0;
+    batch_limit_ = batch_size_;
+    ALDSP_ASSIGN_OR_RETURN(bool more, NextBatchImpl(&shim_batch_));
+    if (!more) return false;
+  }
+}
+
+Result<bool> PhysicalOperator::NextBatchImpl(TupleBatch* out) {
+  // Batch-compat shim: loop the subclass's row production up to the
+  // batch target, so unconverted operators ride in a batch pipeline.
+  Tuple t;
+  int target = batch_target();
+  while (static_cast<int>(out->size()) < target) {
+    ALDSP_ASSIGN_OR_RETURN(bool more, NextImpl(&t));
+    if (!more) break;
+    out->PushRow(std::move(t));
+  }
+  return !out->empty();
 }
 
 void PhysicalOperator::Close() {
@@ -160,33 +222,57 @@ class SingletonSourceOp final : public PhysicalOperator {
 };
 
 /// `for $v [at $p] in expr`: iterates the binding sequence per input
-/// tuple, binding the item (and 1-based position).
+/// tuple, binding the item (and 1-based position). Batch-native: the
+/// binding sequence materializes directly into the output batch's var
+/// column (items from a relational/SQL-region scan land in column
+/// storage without per-row tuple construction), and the positional
+/// counter is a pure columnar integer column.
 class ForScanOp : public PhysicalOperator {
  public:
   ForScanOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
             std::string label)
-      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {
+    explain().batch = true;
+  }
 
  protected:
-  Result<bool> NextImpl(Tuple* out) override {
-    while (true) {
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    // Add both columns before taking pointers: the second AddColumn may
+    // reallocate the column vector.
+    size_t var_idx = out->column_count();
+    out->AddColumn(cl_.var);
+    if (!cl_.positional_var.empty()) out->AddColumn(cl_.positional_var);
+    BatchColumn* var_col = out->column_ptr(var_idx);
+    BatchColumn* pos_col = cl_.positional_var.empty()
+                               ? nullptr
+                               : out->column_ptr(var_idx + 1);
+    int target = batch_target();
+    while (static_cast<int>(out->size()) < target) {
       if (pos_ < items_.size()) {
-        Tuple t = current_.Bind(cl_.var, Sequence{items_[pos_]});
-        if (!cl_.positional_var.empty()) {
-          t = t.Bind(cl_.positional_var,
-                     Sequence{Item(AtomicValue::Integer(
-                         static_cast<int64_t>(pos_ + 1)))});
+        out->AddRow(current_);
+        var_col->AppendItem(items_[pos_]);
+        if (pos_col != nullptr) {
+          pos_col->AppendAtomic(
+              AtomicValue::Integer(static_cast<int64_t>(pos_ + 1)));
         }
         ++pos_;
-        *out = std::move(t);
-        return true;
+        continue;
       }
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&current_));
-      if (!more) return false;
-      ALDSP_ASSIGN_OR_RETURN(Sequence seq, eval()->EvalExpr(*cl_.expr, current_));
+      if (in_pos_ >= in_.size()) {
+        if (input_done_) break;
+        ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(&in_));
+        in_pos_ = 0;
+        if (!more) input_done_ = true;
+        continue;
+      }
+      current_ = in_.MaterializeRow(in_pos_++);
+      ALDSP_ASSIGN_OR_RETURN(Sequence seq,
+                             eval()->EvalExpr(*cl_.expr, current_));
       items_ = std::move(seq);
       pos_ = 0;
     }
+    if (!out->empty()) return true;
+    return !(input_done_ && in_pos_ >= in_.size() && pos_ >= items_.size());
   }
 
  private:
@@ -194,6 +280,9 @@ class ForScanOp : public PhysicalOperator {
   Tuple current_;
   Sequence items_;
   size_t pos_ = 0;
+  TupleBatch in_;
+  size_t in_pos_ = 0;
+  bool input_done_ = false;
 };
 
 /// A ForScan whose binding expression is a pushed-down SQL region
@@ -207,50 +296,109 @@ class SqlRegionScanOp final : public ForScanOp {
 };
 
 /// `let $v := expr`: binds the full sequence without iterating it.
+/// Batch-native: appends one column per input batch — via the expression
+/// kernel when the binding shape supports it, else the interpreter over
+/// materialized rows.
 class LetBindOp final : public PhysicalOperator {
  public:
   LetBindOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
             std::string label)
-      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {
+    explain().batch = true;
+  }
 
  protected:
-  Result<bool> NextImpl(Tuple* out) override {
-    Tuple t;
-    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+  Status OpenImpl() override {
+    kernel_ = cl_.expr != nullptr && KernelSupports(*cl_.expr);
+    return Status::OK();
+  }
+
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(out, batch_target()));
     if (!more) return false;
-    ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*cl_.expr, t));
-    *out = t.Bind(cl_.var, std::move(v));
+    // Columns must align with physical rows before one is appended.
+    out->Compact();
+    size_t n = out->size();
+    if (kernel_) {
+      ALDSP_RETURN_NOT_OK(KernelEvalRows(*cl_.expr, *out, &vals_));
+    } else {
+      vals_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        Tuple t = out->MaterializeRow(i);
+        ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*cl_.expr, t));
+        vals_[i] = std::move(v);
+      }
+    }
+    BatchColumn* col = out->AddColumn(cl_.var);
+    for (size_t i = 0; i < n; ++i) col->AppendSeq(std::move(vals_[i]));
     return true;
   }
 
  private:
   const Clause& cl_;
+  bool kernel_ = false;
+  std::vector<Sequence> vals_;
 };
 
 /// `where expr`: passes tuples whose effective boolean value is true.
+/// Batch-native: marks dropped rows in the batch's selection vector
+/// instead of copying survivors. Comparison predicates over
+/// kernel-evaluable operands run as a batch kernel (operand extraction
+/// plus the interpreter's shared comparison routine, no per-row tuple
+/// materialization); anything else falls back to the interpreter.
 class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
            std::string label)
-      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {
+    explain().batch = true;
+  }
 
  protected:
-  Result<bool> NextImpl(Tuple* out) override {
-    while (true) {
-      Tuple t;
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
-      if (!more) return false;
-      ALDSP_ASSIGN_OR_RETURN(Sequence c, eval()->EvalExpr(*cl_.expr, t));
-      ALDSP_ASSIGN_OR_RETURN(bool keep, xml::EffectiveBooleanValue(c));
-      if (keep) {
-        *out = std::move(t);
-        return true;
+  Status OpenImpl() override {
+    const Expr* p = cl_.expr.get();
+    kernel_ = p != nullptr && p->kind == ExprKind::kComparison &&
+              p->children.size() == 2 && p->children[0] != nullptr &&
+              p->children[1] != nullptr && KernelSupports(*p->children[0]) &&
+              KernelSupports(*p->children[1]);
+    return Status::OK();
+  }
+
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(out, batch_target()));
+    if (!more) return false;
+    size_t n = out->size();
+    std::vector<uint32_t> keep;
+    keep.reserve(n);
+    if (kernel_) {
+      const Expr& p = *cl_.expr;
+      ALDSP_RETURN_NOT_OK(KernelEvalRows(*p.children[0], *out, &lhs_));
+      ALDSP_RETURN_NOT_OK(KernelEvalRows(*p.children[1], *out, &rhs_));
+      for (size_t i = 0; i < n; ++i) {
+        ALDSP_ASSIGN_OR_RETURN(bool ok,
+                               CompareOperandsToBool(lhs_[i], rhs_[i], p.op,
+                                                     p.general_comparison));
+        if (ok) keep.push_back(static_cast<uint32_t>(out->PhysicalIndex(i)));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        Tuple t = out->MaterializeRow(i);
+        ALDSP_ASSIGN_OR_RETURN(Sequence c, eval()->EvalExpr(*cl_.expr, t));
+        ALDSP_ASSIGN_OR_RETURN(bool ok, xml::EffectiveBooleanValue(c));
+        if (ok) keep.push_back(static_cast<uint32_t>(out->PhysicalIndex(i)));
       }
     }
+    // A batch where nothing survives still returns true: empty batches
+    // are legal mid-stream, and downstream avoids any copy for the
+    // dropped rows.
+    out->SetSelection(std::move(keep));
+    return true;
   }
 
  private:
   const Clause& cl_;
+  bool kernel_ = false;
+  std::vector<Sequence> lhs_, rhs_;
 };
 
 // ----- Join operators (paper §5.2) ---------------------------------------
@@ -363,11 +511,38 @@ struct JoinMatcher {
     }
     return Status::OK();
   }
+
+  // Index probe for one left tuple whose bucket was already resolved
+  // (the batch probe computes left keys columnar, so this is JoinOneLeft's
+  // index path minus the per-left key recompute). `rows` may be null for
+  // a key miss / empty key: only the outer null row can result.
+  Status JoinMatchedItems(const Tuple& left, const Sequence& right,
+                          const std::vector<size_t>* rows,
+                          std::vector<Tuple>* out) const {
+    bool matched = false;
+    if (rows != nullptr) {
+      for (size_t i : *rows) {
+        Tuple joined = left.Bind(cl->var, Sequence{right[i]});
+        if (ctx->stats != nullptr) ctx->stats->join_probe_rows += 1;
+        ALDSP_ASSIGN_OR_RETURN(bool ok, Residual(joined));
+        if (ok) {
+          matched = true;
+          out->push_back(std::move(joined));
+        }
+      }
+    }
+    if (!matched && cl->left_outer) {
+      out->push_back(left.Bind(cl->var, Sequence{}));
+    }
+    return Status::OK();
+  }
 };
 
 /// Shared base for the serial join operators: a JoinMatcher bound at
 /// Open, and the pending-output buffer subclasses refill a batch at a
-/// time.
+/// time. Batch-native on both sides: left tuples pull from the upstream
+/// in whole batches (NextLeft / left batch accessors), and joined rows
+/// drain from pending() into output batches.
 class JoinOpBase : public PhysicalOperator {
  public:
   JoinOpBase(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
@@ -375,7 +550,9 @@ class JoinOpBase : public PhysicalOperator {
       : PhysicalOperator(std::move(input), std::move(label),
                          std::move(span_detail)),
         cl_(cl),
-        method_(method) {}
+        method_(method) {
+    explain().batch = true;
+  }
 
  protected:
   Status OpenImpl() override {
@@ -383,17 +560,19 @@ class JoinOpBase : public PhysicalOperator {
     return Status::OK();
   }
 
-  Result<bool> NextImpl(Tuple* out) override {
-    while (true) {
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    int target = batch_target();
+    while (static_cast<int>(out->size()) < target) {
       if (pending_pos_ < pending_.size()) {
-        *out = std::move(pending_[pending_pos_++]);
-        return true;
+        out->PushRow(std::move(pending_[pending_pos_++]));
+        continue;
       }
       pending_.clear();
       pending_pos_ = 0;
       ALDSP_ASSIGN_OR_RETURN(bool more, Refill());
-      if (!more) return false;
+      if (!more) return !out->empty();
     }
+    return true;
   }
 
   /// Produces the next batch of joined tuples into pending(); returns
@@ -401,6 +580,41 @@ class JoinOpBase : public PhysicalOperator {
   virtual Result<bool> Refill() = 0;
 
   std::vector<Tuple>* pending() { return &pending_; }
+
+  /// Pulls the next left tuple, reading the upstream a batch at a time
+  /// (the PP-k block reader consumes lefts one by one across block
+  /// boundaries, so it buffers here instead of per-row upstream calls).
+  Result<bool> NextLeft(Tuple* out) {
+    while (left_pos_ >= left_batch_.size()) {
+      if (left_done_) return false;
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(&left_batch_));
+      left_pos_ = 0;
+      if (!more) {
+        left_done_ = true;
+        return false;
+      }
+    }
+    *out = left_batch_.MaterializeRow(left_pos_++);
+    return true;
+  }
+
+  /// Pulls the next non-empty left batch into the shared buffer; false
+  /// at end of stream. Used by the NL/INL batch probe (whole-batch
+  /// processing); not valid interleaved with NextLeft.
+  Result<bool> NextLeftBatch() {
+    left_pos_ = 0;
+    while (true) {
+      if (left_done_) return false;
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(&left_batch_));
+      if (!more) {
+        left_done_ = true;
+        return false;
+      }
+      if (!left_batch_.empty()) return true;
+    }
+  }
+
+  const TupleBatch& left_batch() const { return left_batch_; }
 
   Result<Sequence> EvalKey(const ExprPtr& expr, const Tuple& env) {
     return matcher_->EvalKey(expr, env);
@@ -416,6 +630,12 @@ class JoinOpBase : public PhysicalOperator {
     return matcher_->JoinOneLeft(left, right, out, index);
   }
 
+  Status JoinMatchedItems(const Tuple& left, const Sequence& right,
+                          const std::vector<size_t>* rows,
+                          std::vector<Tuple>* out) {
+    return matcher_->JoinMatchedItems(left, right, rows, out);
+  }
+
   const Clause& cl() const { return cl_; }
   JoinMethod method() const { return method_; }
 
@@ -425,6 +645,9 @@ class JoinOpBase : public PhysicalOperator {
   std::vector<Tuple> pending_;
   size_t pending_pos_ = 0;
   std::optional<JoinMatcher> matcher_;
+  TupleBatch left_batch_;
+  size_t left_pos_ = 0;
+  bool left_done_ = false;
 };
 
 /// Nested loop and index nested loop joins: the right side materializes
@@ -435,14 +658,58 @@ class NestedLoopJoinOp : public JoinOpBase {
   using JoinOpBase::JoinOpBase;
 
  protected:
+  Status OpenImpl() override {
+    ALDSP_RETURN_NOT_OK(JoinOpBase::OpenImpl());
+    keys_kernel_ = !cl().equi_keys.empty();
+    for (const auto& [le, re] : cl().equi_keys) {
+      if (le == nullptr || !KernelSupports(*le)) keys_kernel_ = false;
+    }
+    return Status::OK();
+  }
+
   Result<bool> Refill() override {
     ALDSP_RETURN_NOT_OK(EnsureRightMaterialized());
-    Tuple left;
-    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&left));
+    ALDSP_ASSIGN_OR_RETURN(bool more, NextLeftBatch());
     if (!more) return false;
+    const TupleBatch& batch = left_batch();
+    size_t n = batch.size();
+    if (method() == JoinMethod::kIndexNestedLoop && keys_kernel_) {
+      // Columnar probe: the left key expressions evaluate once per batch
+      // through the kernel; a row whose bucket misses (and isn't outer)
+      // never materializes a left tuple at all.
+      size_t nk = cl().equi_keys.size();
+      key_cols_.resize(nk);
+      for (size_t k = 0; k < nk; ++k) {
+        ALDSP_RETURN_NOT_OK(
+            KernelEvalRows(*cl().equi_keys[k].first, batch, &key_cols_[k]));
+      }
+      std::string key;
+      for (size_t i = 0; i < n; ++i) {
+        key.clear();
+        bool has_empty = false;
+        for (size_t k = 0; k < nk; ++k) {
+          Sequence atomized = xml::Atomize(key_cols_[k][i]);
+          if (atomized.empty()) has_empty = true;
+          key += EncodeAtomicSequence(atomized);
+          key += '\x1e';
+        }
+        const std::vector<size_t>* rows = nullptr;
+        if (!has_empty) {
+          auto it = index_.find(key);
+          if (it != index_.end()) rows = &it->second;
+        }
+        if (rows == nullptr && !cl().left_outer) continue;
+        ALDSP_RETURN_NOT_OK(JoinMatchedItems(batch.MaterializeRow(i),
+                                             right_items_, rows, pending()));
+      }
+      return true;
+    }
     const auto* idx =
         method() == JoinMethod::kIndexNestedLoop ? &index_ : nullptr;
-    ALDSP_RETURN_NOT_OK(JoinOneLeft(left, right_items_, pending(), idx));
+    for (size_t i = 0; i < n; ++i) {
+      ALDSP_RETURN_NOT_OK(
+          JoinOneLeft(batch.MaterializeRow(i), right_items_, pending(), idx));
+    }
     return true;
   }
 
@@ -467,8 +734,10 @@ class NestedLoopJoinOp : public JoinOpBase {
   }
 
   bool right_ready_ = false;
+  bool keys_kernel_ = false;
   Sequence right_items_;
   std::unordered_map<std::string, std::vector<size_t>> index_;
+  std::vector<std::vector<Sequence>> key_cols_;
 };
 
 /// INL is NL with the index switched on; a distinct type keeps the
@@ -577,7 +846,7 @@ class PPkJoinOp final : public JoinOpBase {
     int k = std::max(1, cl().ppk_block_size);
     Tuple t;
     while (static_cast<int>(block.lefts.size()) < k) {
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      ALDSP_ASSIGN_OR_RETURN(bool more, NextLeft(&t));
       if (!more) {
         input_exhausted_ = true;
         break;
@@ -662,9 +931,7 @@ class PPkJoinOp final : public JoinOpBase {
     Fetched result;
     // Prefetch tasks may still be queued (or running) when the query is
     // cancelled; skip the source round trip instead of paying for it.
-    if (ctx()->exec != nullptr && ctx()->exec->IsCancelled()) {
-      return Status::Cancelled("query cancelled");
-    }
+    ALDSP_RETURN_NOT_OK(CheckCancelled(ctx()->exec));
     if (!params.empty()) {
       const auto& spec = *cl().ppk_fetch;
       relational::Database* db =
@@ -796,6 +1063,10 @@ class ParallelJoinProbeOp final : public ExchangeOpBase {
                                matcher_->RightKey(right_items_[i], &has_empty));
         if (!has_empty) index_[key].push_back(i);
       }
+      keys_kernel_ = !cl_.equi_keys.empty();
+      for (const auto& [le, re] : cl_.equi_keys) {
+        if (le == nullptr || !KernelSupports(*le)) keys_kernel_ = false;
+      }
     }
     return Status::OK();
   }
@@ -806,9 +1077,46 @@ class ParallelJoinProbeOp final : public ExchangeOpBase {
     return matcher_->JoinOneLeft(in, right_items_, out, idx);
   }
 
+  // Columnar INL probe over one chunk-batch. Worker-thread safe: the
+  // kernel and matcher are pure over state immutable after OpenShared,
+  // and all scratch buffers are locals.
+  Status ProcessBatch(const TupleBatch& in, std::vector<Tuple>* out) override {
+    if (method_ != JoinMethod::kIndexNestedLoop || !keys_kernel_) {
+      return ExchangeOpBase::ProcessBatch(in, out);
+    }
+    size_t n = in.size();
+    size_t nk = cl_.equi_keys.size();
+    std::vector<std::vector<Sequence>> key_cols(nk);
+    for (size_t k = 0; k < nk; ++k) {
+      ALDSP_RETURN_NOT_OK(
+          KernelEvalRows(*cl_.equi_keys[k].first, in, &key_cols[k]));
+    }
+    std::string key;
+    for (size_t i = 0; i < n; ++i) {
+      key.clear();
+      bool has_empty = false;
+      for (size_t k = 0; k < nk; ++k) {
+        Sequence atomized = xml::Atomize(key_cols[k][i]);
+        if (atomized.empty()) has_empty = true;
+        key += EncodeAtomicSequence(atomized);
+        key += '\x1e';
+      }
+      const std::vector<size_t>* rows = nullptr;
+      if (!has_empty) {
+        auto it = index_.find(key);
+        if (it != index_.end()) rows = &it->second;
+      }
+      if (rows == nullptr && !cl_.left_outer) continue;
+      ALDSP_RETURN_NOT_OK(matcher_->JoinMatchedItems(in.MaterializeRow(i),
+                                                     right_items_, rows, out));
+    }
+    return Status::OK();
+  }
+
  private:
   const Clause& cl_;
   JoinMethod method_;
+  bool keys_kernel_ = false;
   std::optional<JoinMatcher> matcher_;
   Sequence right_items_;
   JoinIndex index_;
@@ -936,15 +1244,42 @@ class ParallelLetOp final : public PhysicalOperator {
 /// Streaming group-by when the input is pre-clustered on the grouping
 /// keys (a group ends exactly when the key changes — constant memory
 /// beyond the current group), with a materialize-and-cluster fallback
-/// otherwise.
+/// otherwise. Batch-native on the input side: each pulled batch's key
+/// encodings/values and member values precompute in tight per-column
+/// loops (group keys through the expression kernel when their shape
+/// allows), and the group loop then consumes plain arrays.
 class StreamGroupByOp final : public PhysicalOperator {
  public:
   StreamGroupByOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
                   std::string label)
-      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {
+    explain().batch = true;
+  }
 
  protected:
-  Result<bool> NextImpl(Tuple* out) override {
+  Status OpenImpl() override {
+    keys_kernel_ = !cl_.group_keys.empty();
+    for (const auto& gk : cl_.group_keys) {
+      if (gk.expr == nullptr || !KernelSupports(*gk.expr)) {
+        keys_kernel_ = false;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    int target = batch_target();
+    Tuple t;
+    while (static_cast<int>(out->size()) < target) {
+      ALDSP_ASSIGN_OR_RETURN(bool more, NextOne(&t));
+      if (!more) return !out->empty();
+      out->PushRow(std::move(t));
+    }
+    return true;
+  }
+
+ private:
+  Result<bool> NextOne(Tuple* out) {
     if (cl_.pre_clustered) return NextStreaming(out);
     if (!sorted_ready_) {
       ALDSP_RETURN_NOT_OK(MaterializeAndSort());
@@ -953,7 +1288,6 @@ class StreamGroupByOp final : public PhysicalOperator {
     return NextFromSorted(out);
   }
 
- private:
   struct GroupAccumulator {
     std::string key_enc;
     std::vector<Sequence> key_values;     // one per group key
@@ -975,17 +1309,63 @@ class StreamGroupByOp final : public PhysicalOperator {
     return std::make_pair(std::move(enc), std::move(values));
   }
 
-  Result<std::vector<Sequence>> MemberValuesOf(const Tuple& t) {
-    std::vector<Sequence> values;
-    for (const auto& gv : cl_.group_vars) {
-      const Sequence* v = t.Lookup(gv.in_var);
-      if (v == nullptr) {
-        return Status::RuntimeError("unbound grouping variable $" +
-                                    gv.in_var);
+  /// Pulls the next non-empty input batch and precomputes, per row, the
+  /// key encoding + key values (kernel per column when possible, else
+  /// the interpreter over materialized rows) and the member values
+  /// (column-aware lookups — no tuple materialization). Returns false at
+  /// end of stream.
+  Result<bool> FetchInputBatch() {
+    while (true) {
+      if (input_done_) return false;
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(&in_));
+      if (!more) {
+        input_done_ = true;
+        return false;
       }
-      values.push_back(*v);
+      if (!in_.empty()) break;
     }
-    return values;
+    size_t n = in_.size();
+    size_t nkeys = cl_.group_keys.size();
+    size_t nvars = cl_.group_vars.size();
+    in_pos_ = 0;
+    in_enc_.assign(n, std::string());
+    in_keys_.assign(n, std::vector<Sequence>());
+    in_members_.assign(n, std::vector<Sequence>());
+    if (keys_kernel_) {
+      key_cols_.resize(nkeys);
+      for (size_t k = 0; k < nkeys; ++k) {
+        ALDSP_RETURN_NOT_OK(
+            KernelEvalRows(*cl_.group_keys[k].expr, in_, &key_cols_[k]));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        in_keys_[i].reserve(nkeys);
+        for (size_t k = 0; k < nkeys; ++k) {
+          Sequence data = xml::Atomize(key_cols_[k][i]);
+          in_enc_[i] += EncodeAtomicSequence(data);
+          in_enc_[i] += '\x1e';
+          in_keys_[i].push_back(std::move(data));
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        ALDSP_ASSIGN_OR_RETURN(auto key, KeyOf(in_.MaterializeRow(i)));
+        in_enc_[i] = std::move(key.first);
+        in_keys_[i] = std::move(key.second);
+      }
+    }
+    Sequence scratch;
+    for (size_t i = 0; i < n; ++i) {
+      in_members_[i].reserve(nvars);
+      for (const auto& gv : cl_.group_vars) {
+        const Sequence* v = in_.LookupRow(i, gv.in_var, &scratch);
+        if (v == nullptr) {
+          return Status::RuntimeError("unbound grouping variable $" +
+                                      gv.in_var);
+        }
+        in_members_[i].push_back(*v);
+      }
+    }
+    return true;
   }
 
   Tuple EmitGroup(const GroupAccumulator& g) {
@@ -1003,36 +1383,32 @@ class StreamGroupByOp final : public PhysicalOperator {
 
   Result<bool> NextStreaming(Tuple* out) {
     while (true) {
-      if (input_done_) {
-        if (current_.active) {
-          *out = EmitGroup(current_);
-          current_ = GroupAccumulator{};
-          return true;
+      if (in_pos_ >= in_.size()) {
+        ALDSP_ASSIGN_OR_RETURN(bool more, FetchInputBatch());
+        if (!more) {
+          if (current_.active) {
+            *out = EmitGroup(current_);
+            current_ = GroupAccumulator{};
+            return true;
+          }
+          return false;
         }
-        return false;
       }
-      Tuple t;
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
-      if (!more) {
-        input_done_ = true;
-        continue;
-      }
-      ALDSP_ASSIGN_OR_RETURN(auto key, KeyOf(t));
-      ALDSP_ASSIGN_OR_RETURN(std::vector<Sequence> members, MemberValuesOf(t));
+      size_t i = in_pos_++;
       if (!current_.active) {
-        StartGroup(std::move(key.first), std::move(key.second));
-        Accumulate(std::move(members));
+        StartGroup(std::move(in_enc_[i]), std::move(in_keys_[i]));
+        Accumulate(std::move(in_members_[i]));
         if (ctx()->stats != nullptr) ctx()->stats->streaming_groups += 1;
         continue;
       }
-      if (key.first == current_.key_enc) {
-        Accumulate(std::move(members));
+      if (in_enc_[i] == current_.key_enc) {
+        Accumulate(std::move(in_members_[i]));
         continue;
       }
       // Key changed: emit the finished group and start the next one.
       Tuple finished = EmitGroup(current_);
-      StartGroup(std::move(key.first), std::move(key.second));
-      Accumulate(std::move(members));
+      StartGroup(std::move(in_enc_[i]), std::move(in_keys_[i]));
+      Accumulate(std::move(in_members_[i]));
       *out = std::move(finished);
       return true;
     }
@@ -1067,23 +1443,24 @@ class StreamGroupByOp final : public PhysicalOperator {
     buffer_ = std::make_unique<TupleBuffer>(ctx()->materialize_repr,
                                             nkeys + nvars);
     std::unordered_map<std::string, size_t> index;
-    Tuple t;
     while (true) {
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      ALDSP_ASSIGN_OR_RETURN(bool more, FetchInputBatch());
       if (!more) break;
-      ALDSP_ASSIGN_OR_RETURN(auto key, KeyOf(t));
-      ALDSP_ASSIGN_OR_RETURN(std::vector<Sequence> members, MemberValuesOf(t));
-      std::vector<Sequence> fields = std::move(key.second);
-      for (auto& m : members) fields.push_back(std::move(m));
-      size_t row = buffer_->size();
-      buffer_->Append(fields);
-      auto it = index.find(key.first);
-      if (it == index.end()) {
-        index.emplace(std::move(key.first), group_rows_.size());
-        group_rows_.push_back({row});
-      } else {
-        group_rows_[it->second].push_back(row);
+      size_t n = in_.size();
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<Sequence> fields = std::move(in_keys_[i]);
+        for (auto& m : in_members_[i]) fields.push_back(std::move(m));
+        size_t row = buffer_->size();
+        buffer_->Append(fields);
+        auto it = index.find(in_enc_[i]);
+        if (it == index.end()) {
+          index.emplace(std::move(in_enc_[i]), group_rows_.size());
+          group_rows_.push_back({row});
+        } else {
+          group_rows_[it->second].push_back(row);
+        }
       }
+      in_pos_ = n;
     }
     NoteOperatorBytes(static_cast<int64_t>(buffer_->MemoryBytes()));
     return Status::OK();
@@ -1113,9 +1490,19 @@ class StreamGroupByOp final : public PhysicalOperator {
 
   const Clause& cl_;
 
+  // Batched input state: the current batch plus its precomputed per-row
+  // key encodings/values and member values.
+  bool keys_kernel_ = false;
+  TupleBatch in_;
+  size_t in_pos_ = 0;
+  bool input_done_ = false;
+  std::vector<std::string> in_enc_;
+  std::vector<std::vector<Sequence>> in_keys_;
+  std::vector<std::vector<Sequence>> in_members_;
+  std::vector<std::vector<Sequence>> key_cols_;
+
   // Streaming state.
   GroupAccumulator current_;
-  bool input_done_ = false;
 
   // Materializing-fallback state.
   bool sorted_ready_ = false;
@@ -1126,22 +1513,41 @@ class StreamGroupByOp final : public PhysicalOperator {
 
 // ----- Order-by ----------------------------------------------------------
 
+/// Order-by: materializes the input with its atomized sort keys, sorts
+/// stably, then emits whole batches of sorted rows. Batch-native: input
+/// arrives a batch at a time, and key expressions whose shape the kernel
+/// covers evaluate in per-column loops instead of per-row interpreter
+/// calls.
 class OrderByOp final : public PhysicalOperator {
  public:
   OrderByOp(std::unique_ptr<PhysicalOperator> input, const Clause& cl,
             std::string label)
-      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {}
+      : PhysicalOperator(std::move(input), std::move(label)), cl_(cl) {
+    explain().batch = true;
+  }
 
  protected:
-  Result<bool> NextImpl(Tuple* out) override {
+  Status OpenImpl() override {
+    keys_kernel_ = !cl_.order_keys.empty();
+    for (const auto& ok : cl_.order_keys) {
+      if (ok.expr == nullptr || !KernelSupports(*ok.expr)) {
+        keys_kernel_ = false;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
     if (!ready_) {
       ALDSP_RETURN_NOT_OK(Materialize());
       ready_ = true;
     }
-    if (pos_ >= rows_.size()) return false;
-    *out = std::move(rows_[pos_].tuple);
-    ++pos_;
-    return true;
+    int target = batch_target();
+    while (pos_ < rows_.size() && static_cast<int>(out->size()) < target) {
+      out->PushRow(std::move(rows_[pos_].tuple));
+      ++pos_;
+    }
+    return !out->empty();
   }
 
  private:
@@ -1151,20 +1557,39 @@ class OrderByOp final : public PhysicalOperator {
   };
 
   Status Materialize() {
-    Tuple t;
     size_t bytes = 0;
+    size_t nk = cl_.order_keys.size();
+    TupleBatch in;
     while (true) {
-      ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
+      ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(&in));
       if (!more) break;
-      SortRow row;
-      row.tuple = t;
-      for (const auto& ok : cl_.order_keys) {
-        ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*ok.expr, t));
-        Sequence data = xml::Atomize(v);
-        bytes += xml::SequenceMemoryBytes(data);
-        row.keys.push_back(std::move(data));
+      size_t n = in.size();
+      if (n == 0) continue;
+      if (keys_kernel_) {
+        key_cols_.resize(nk);
+        for (size_t k = 0; k < nk; ++k) {
+          ALDSP_RETURN_NOT_OK(
+              KernelEvalRows(*cl_.order_keys[k].expr, in, &key_cols_[k]));
+        }
       }
-      rows_.push_back(std::move(row));
+      for (size_t i = 0; i < n; ++i) {
+        SortRow row;
+        row.tuple = in.MaterializeRow(i);
+        row.keys.reserve(nk);
+        for (size_t k = 0; k < nk; ++k) {
+          Sequence data;
+          if (keys_kernel_) {
+            data = xml::Atomize(key_cols_[k][i]);
+          } else {
+            ALDSP_ASSIGN_OR_RETURN(
+                Sequence v, eval()->EvalExpr(*cl_.order_keys[k].expr, row.tuple));
+            data = xml::Atomize(v);
+          }
+          bytes += xml::SequenceMemoryBytes(data);
+          row.keys.push_back(std::move(data));
+        }
+        rows_.push_back(std::move(row));
+      }
     }
     NoteOperatorBytes(static_cast<int64_t>(bytes));
     std::stable_sort(rows_.begin(), rows_.end(),
@@ -1182,7 +1607,9 @@ class OrderByOp final : public PhysicalOperator {
 
   const Clause& cl_;
   bool ready_ = false;
+  bool keys_kernel_ = false;
   std::vector<SortRow> rows_;
+  std::vector<std::vector<Sequence>> key_cols_;
   size_t pos_ = 0;
 };
 
@@ -1190,26 +1617,112 @@ class OrderByOp final : public PhysicalOperator {
 
 /// Evaluates the return expression per tuple and binds the resulting
 /// sequence to kResultBinding; the tree driver delivers those sequences.
+/// Batch-native: the result lands as a column on the input batch (the
+/// drivers read it directly — the atomic layout is their fast path), via
+/// the expression kernel when the return shape supports it.
 class ReturnOp final : public PhysicalOperator {
  public:
   ReturnOp(std::unique_ptr<PhysicalOperator> input, const Expr* ret)
-      : PhysicalOperator(std::move(input), "return"), ret_(ret) {}
+      : PhysicalOperator(std::move(input), "return"), ret_(ret) {
+    explain().batch = true;
+  }
 
  protected:
-  Result<bool> NextImpl(Tuple* out) override {
-    Tuple t;
-    ALDSP_ASSIGN_OR_RETURN(bool more, input()->Next(&t));
-    if (!more) return false;
-    Sequence v;
-    if (ret_ != nullptr) {
-      ALDSP_ASSIGN_OR_RETURN(v, eval()->EvalExpr(*ret_, t));
+  Status OpenImpl() override {
+    kernel_ = ret_ != nullptr && KernelSupports(*ret_);
+    in_.Clear();
+    in_pos_ = 0;
+    input_done_ = false;
+    kernel_vals_.clear();
+    return Status::OK();
+  }
+
+  // Two production modes:
+  //
+  // Uncapped pulls (the materializing driver) take the eager columnar
+  // path: the input batch lands directly in `out`, the result expression
+  // is evaluated for the whole batch (one kernel dispatch, or one
+  // materialized row per interpreter call), and the result column is
+  // appended — no per-row tuple construction for kernel expressions.
+  //
+  // Capped pulls (the streaming driver asks for one row at a time)
+  // buffer whole upstream batches — the pipeline below stays vectorized —
+  // but evaluate the interpreted return expression only for rows actually
+  // emitted this call, so each delivered item pays for exactly one result
+  // expression (external calls included), preserving the incremental-
+  // delivery contract. Kernel-evaluable expressions are pure, so those
+  // are computed eagerly per buffered batch either way.
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    size_t want = batch_target();
+    if (in_pos_ >= in_.size() && !input_done_ &&
+        batch_target() == batch_capacity()) {
+      ALDSP_ASSIGN_OR_RETURN(bool more,
+                             input()->NextBatch(out, batch_target()));
+      if (!more) {
+        input_done_ = true;
+        return false;
+      }
+      out->Compact();
+      size_t n = out->size();
+      if (ret_ == nullptr) {
+        vals_.assign(n, Sequence{});
+      } else if (kernel_) {
+        ALDSP_RETURN_NOT_OK(KernelEvalRows(*ret_, *out, &vals_));
+      } else {
+        vals_.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          Tuple t = out->MaterializeRow(i);
+          ALDSP_ASSIGN_OR_RETURN(Sequence v, eval()->EvalExpr(*ret_, t));
+          vals_[i] = std::move(v);
+        }
+      }
+      BatchColumn* col = out->AddColumn(kResultBinding);
+      for (size_t i = 0; i < n; ++i) col->AppendSeq(std::move(vals_[i]));
+      return true;
     }
-    *out = t.Bind(kResultBinding, std::move(v));
-    return true;
+    vals_.clear();
+    while (out->size() < want) {
+      if (in_pos_ >= in_.size()) {
+        if (input_done_) break;
+        in_.Clear();
+        in_pos_ = 0;
+        ALDSP_ASSIGN_OR_RETURN(bool more, input()->NextBatch(&in_));
+        if (!more) {
+          input_done_ = true;
+          break;
+        }
+        in_.Compact();
+        if (kernel_) {
+          ALDSP_RETURN_NOT_OK(KernelEvalRows(*ret_, in_, &kernel_vals_));
+        }
+        continue;
+      }
+      Tuple t = in_.MaterializeRow(in_pos_);
+      Sequence v;
+      if (ret_ == nullptr) {
+        v = Sequence{};
+      } else if (kernel_) {
+        v = std::move(kernel_vals_[in_pos_]);
+      } else {
+        ALDSP_ASSIGN_OR_RETURN(v, eval()->EvalExpr(*ret_, t));
+      }
+      out->PushRow(std::move(t));
+      vals_.push_back(std::move(v));
+      ++in_pos_;
+    }
+    BatchColumn* col = out->AddColumn(kResultBinding);
+    for (Sequence& v : vals_) col->AppendSeq(std::move(v));
+    return !(out->empty() && input_done_);
   }
 
  private:
   const Expr* ret_;
+  bool kernel_ = false;
+  TupleBatch in_;
+  size_t in_pos_ = 0;
+  bool input_done_ = false;
+  std::vector<Sequence> kernel_vals_;
+  std::vector<Sequence> vals_;
 };
 
 JoinMethod ResolveJoinMethod(const Clause& cl) {

@@ -72,6 +72,7 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
                            ? options_.max_query_dop
                            : static_cast<int>(pool_.size());
   ctx_.ppk_prefetch_depth = options_.ppk_prefetch_depth;
+  ctx_.batch_size = options_.batch_size;
   options_.optimizer.observed = &observed_;
 }
 
@@ -612,6 +613,7 @@ static runtime::physical::BuildOptions PlanBuildOptions(
   opts.parallel_row_threshold = ctx.parallel_row_threshold;
   opts.exchange_chunk_size = ctx.exchange_chunk_size;
   opts.ordered = ctx.exchange_ordered;
+  opts.batch_size = ctx.batch_size;
   return opts;
 }
 

@@ -68,6 +68,10 @@ struct ServerOptions {
   /// round-trip/transfer times (capped at 8); >= 1 forces that depth
   /// (1 reproduces the classic double-buffered overlap).
   int ppk_prefetch_depth = 0;
+  /// Rows per TupleBatch in the vectorized runtime (clamped to
+  /// [1, 16384] at operator Open). 1 degenerates to row-at-a-time
+  /// execution — useful for isolating batch-effects in benchmarks.
+  int batch_size = 1024;
 
   // ----- Always-on observability plane ---------------------------------
 

@@ -1,0 +1,250 @@
+// Unit tests for the vectorized batch runtime: TupleBatch layout and
+// selection semantics, the row/batch compatibility shim contract, and the
+// batch expression kernel (which must match the interpreter exactly,
+// error messages included).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/physical/batch.h"
+#include "runtime/tuple.h"
+#include "xml/item.h"
+#include "xml/node.h"
+#include "xquery/parser.h"
+
+namespace aldsp::runtime::physical {
+namespace {
+
+using xml::AtomicValue;
+using xml::Item;
+using xml::Sequence;
+using xquery::ExprPtr;
+
+Sequence Ints(std::initializer_list<int64_t> vals) {
+  Sequence s;
+  for (int64_t v : vals) s.emplace_back(AtomicValue::Integer(v));
+  return s;
+}
+
+std::string Lex(const Sequence& s) {
+  std::string out;
+  for (const auto& item : s) {
+    if (!out.empty()) out += " ";
+    out += item.StringValue();
+  }
+  return out;
+}
+
+// ----- BatchColumn layout -------------------------------------------------
+
+TEST(BatchColumnTest, AtomicAppendsStayColumnar) {
+  BatchColumn col;
+  col.AppendAtomic(AtomicValue::Integer(1));
+  col.AppendItem(Item(AtomicValue::String("two")));
+  col.AppendSeq(Sequence{Item(AtomicValue::Integer(3))});
+  EXPECT_TRUE(col.atomic());
+  ASSERT_EQ(col.rows(), 3u);
+  EXPECT_EQ(Lex(col.Value(0)), "1");
+  EXPECT_EQ(Lex(col.Value(1)), "two");
+  EXPECT_EQ(Lex(col.Value(2)), "3");
+}
+
+TEST(BatchColumnTest, NonSingletonSequenceDemotesWithoutLosingRows) {
+  BatchColumn col;
+  col.AppendAtomic(AtomicValue::Integer(7));
+  col.AppendSeq(Ints({1, 2}));   // multi-item: forces the fallback
+  col.AppendSeq(Sequence{});     // empty sequence rides the fallback too
+  col.AppendAtomic(AtomicValue::Integer(9));
+  EXPECT_FALSE(col.atomic());
+  ASSERT_EQ(col.rows(), 4u);
+  EXPECT_EQ(Lex(col.Value(0)), "7");
+  EXPECT_EQ(Lex(col.Value(1)), "1 2");
+  EXPECT_EQ(col.Value(2).size(), 0u);
+  EXPECT_EQ(Lex(col.Value(3)), "9");
+}
+
+TEST(BatchColumnTest, NodeItemDemotes) {
+  BatchColumn col;
+  col.AppendAtomic(AtomicValue::Integer(1));
+  col.AppendItem(Item(xml::XNode::Element("e")));
+  EXPECT_FALSE(col.atomic());
+  EXPECT_EQ(col.rows(), 2u);
+}
+
+// ----- TupleBatch selection and materialization ---------------------------
+
+TupleBatch MakeCountingBatch(size_t n) {
+  TupleBatch b;
+  for (size_t i = 0; i < n; ++i) b.AddRow(Tuple{});
+  BatchColumn* col = b.AddColumn("x");
+  for (size_t i = 0; i < n; ++i) {
+    col->AppendAtomic(AtomicValue::Integer(static_cast<int64_t>(i)));
+  }
+  return b;
+}
+
+TEST(TupleBatchTest, SelectionRestrictsVisibleRows) {
+  TupleBatch b = MakeCountingBatch(5);
+  b.SetSelection({1, 3});
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.physical_size(), 5u);
+  EXPECT_EQ(b.PhysicalIndex(0), 1u);
+  EXPECT_EQ(b.PhysicalIndex(1), 3u);
+  Tuple t = b.MaterializeRow(1);
+  ASSERT_NE(t.Lookup("x"), nullptr);
+  EXPECT_EQ(Lex(*t.Lookup("x")), "3");
+}
+
+TEST(TupleBatchTest, ZeroRowSelectionIsEmptyButNotEndOfStream) {
+  TupleBatch b = MakeCountingBatch(4);
+  b.SetSelection({});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.physical_size(), 4u);
+  // Compacting an all-dropped batch leaves a well-formed empty batch.
+  b.Compact();
+  EXPECT_EQ(b.physical_size(), 0u);
+  EXPECT_FALSE(b.has_selection());
+}
+
+TEST(TupleBatchTest, CompactRewritesStorageToSurvivors) {
+  TupleBatch b = MakeCountingBatch(6);
+  b.SetSelection({0, 2, 5});
+  b.Compact();
+  EXPECT_FALSE(b.has_selection());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.physical_size(), 3u);
+  EXPECT_EQ(Lex(b.column(0).Value(1)), "2");
+  EXPECT_EQ(Lex(b.column(0).Value(2)), "5");
+}
+
+TEST(TupleBatchTest, MaterializeRowBindsColumnsNewestLast) {
+  // Columns shadow the base environment and each other, newest winning —
+  // exactly the tuple the row engine would have built by rebinding.
+  Tuple base = Tuple{}.Bind("x", Ints({100}));
+  TupleBatch b;
+  b.AddRow(base);
+  b.AddColumn("x")->AppendAtomic(AtomicValue::Integer(1));
+  b.AddColumn("x")->AppendAtomic(AtomicValue::Integer(2));
+  Tuple t = b.MaterializeRow(0);
+  EXPECT_EQ(Lex(*t.Lookup("x")), "2");
+  const BatchColumn* col = b.FindColumn("x");
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(Lex(col->Value(0)), "2");
+}
+
+TEST(TupleBatchTest, LookupRowPrefersColumnsThenFallsBackToBase) {
+  Tuple base = Tuple{}.Bind("y", Ints({42}));
+  TupleBatch b;
+  b.AddRow(base);
+  b.AddColumn("x")->AppendAtomic(AtomicValue::Integer(7));
+  Sequence scratch;
+  const Sequence* x = b.LookupRow(0, "x", &scratch);
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(Lex(*x), "7");
+  const Sequence* y = b.LookupRow(0, "y", &scratch);
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(Lex(*y), "42");
+  EXPECT_EQ(b.LookupRow(0, "z", &scratch), nullptr);
+}
+
+TEST(TupleBatchTest, ClearKeepsNothingVisible) {
+  TupleBatch b = MakeCountingBatch(3);
+  b.SetSelection({1});
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.physical_size(), 0u);
+  EXPECT_EQ(b.column_count(), 0u);
+  EXPECT_FALSE(b.has_selection());
+}
+
+// ----- Expression kernel --------------------------------------------------
+
+ExprPtr Parse(const std::string& text) {
+  auto parsed = xquery::ParseExpression(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+TEST(BatchKernelTest, SupportsVarRefPathChainsAndLiterals) {
+  EXPECT_TRUE(KernelSupports(*Parse("$x")));
+  EXPECT_TRUE(KernelSupports(*Parse("$x/CID")));
+  EXPECT_TRUE(KernelSupports(*Parse("$c/ADDR/CITY")));
+  EXPECT_TRUE(KernelSupports(*Parse("5")));
+  EXPECT_FALSE(KernelSupports(*Parse("$x eq 1")));
+  EXPECT_FALSE(KernelSupports(*Parse("fn:data($x)")));
+}
+
+TEST(BatchKernelTest, VarRefReadsColumnValuesPerRow) {
+  TupleBatch b = MakeCountingBatch(4);
+  b.SetSelection({1, 3});  // kernel sees the selection, not physical rows
+  std::vector<Sequence> out;
+  ASSERT_TRUE(KernelEvalRows(*Parse("$x"), b, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(Lex(out[0]), "1");
+  EXPECT_EQ(Lex(out[1]), "3");
+}
+
+TEST(BatchKernelTest, VarRefFallsBackToRowBases) {
+  TupleBatch b;
+  b.AddRow(Tuple{}.Bind("v", Ints({10})));
+  b.AddRow(Tuple{}.Bind("v", Ints({20})));
+  std::vector<Sequence> out;
+  ASSERT_TRUE(KernelEvalRows(*Parse("$v"), b, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(Lex(out[0]), "10");
+  EXPECT_EQ(Lex(out[1]), "20");
+}
+
+TEST(BatchKernelTest, PathStepsWalkChildElements) {
+  xml::NodePtr row = xml::XNode::Element("ROW");
+  row->AddChild(xml::XNode::TypedElement("CID", AtomicValue::Integer(17)));
+  TupleBatch b;
+  b.AddRow(Tuple{});
+  b.AddColumn("c")->AppendItem(Item(row));
+  std::vector<Sequence> out;
+  ASSERT_TRUE(KernelEvalRows(*Parse("$c/CID"), b, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), 1u);
+  EXPECT_EQ(out[0][0].StringValue(), "17");
+}
+
+TEST(BatchKernelTest, ErrorsMatchTheInterpreterExactly) {
+  // Interpreter parity is the kernel's contract: a query must fail with
+  // the same message whether the batch kernel or the row interpreter
+  // evaluated it.
+  TupleBatch b = MakeCountingBatch(2);
+  std::vector<Sequence> out;
+
+  Status unbound = KernelEvalRows(*Parse("$nope"), b, &out);
+  EXPECT_FALSE(unbound.ok());
+  EXPECT_NE(unbound.ToString().find("unbound variable $nope"),
+            std::string::npos)
+      << unbound.ToString();
+
+  Status atomic_step = KernelEvalRows(*Parse("$x/CID"), b, &out);
+  EXPECT_FALSE(atomic_step.ok());
+  EXPECT_NE(atomic_step.ToString().find(
+                "path step 'CID' applied to an atomic value"),
+            std::string::npos)
+      << atomic_step.ToString();
+
+  Status unsupported = KernelEvalRows(*Parse("$x eq 1"), b, &out);
+  EXPECT_FALSE(unsupported.ok());
+  EXPECT_NE(unsupported.ToString().find("expression shape not kernel-evaluable"),
+            std::string::npos)
+      << unsupported.ToString();
+}
+
+TEST(BatchKernelTest, EmptyBatchEvaluatesToNoRows) {
+  TupleBatch b;
+  std::vector<Sequence> out{Sequence{Item(AtomicValue::Integer(1))}};
+  ASSERT_TRUE(KernelEvalRows(*Parse("$x"), b, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace aldsp::runtime::physical

@@ -468,6 +468,45 @@ INSTANTIATE_TEST_SUITE_P(
         CancelCase{JoinMethod::kPPkIndexNestedLoop, 8}),
     CancelCaseName);
 
+TEST(CancelMidStreamTest, CancelLandsWithinOneBatchAtDop8) {
+  // The batch runtime polls the control block once per batch, so a tiny
+  // batch size bounds cancel latency at a few rows of work even with
+  // eight worker pipelines in flight — and the per-row delivery poll
+  // still guarantees nothing reaches the sink after the flag flips.
+  RunningExample env(60, 3);
+  ExprPtr plan = CompileJoin(env, JoinMethod::kIndexNestedLoop);
+  env.ctx.max_query_dop = 8;
+  env.ctx.batch_size = 4;
+
+  QueryRegistry registry;
+  auto ctl = registry.Register(1, "test", "join-small-batch");
+  env.ctx.exec = ctl.get();
+  env.ctx.exec_owner = ctl;
+
+  int delivered = 0;
+  int delivered_after_cancel = 0;
+  Status st = runtime::EvaluateStream(
+      *plan, env.ctx, [&](const xml::Item&) -> Status {
+        ++delivered;
+        if (ctl->IsCancelled()) ++delivered_after_cancel;
+        if (delivered == 3) EXPECT_TRUE(registry.Cancel(ctl->query_id));
+        return Status::OK();
+      });
+
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st.ToString();
+  // Delivery stops at the row where the cancel landed: the in-flight
+  // batch is never drained past the poll.
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(delivered_after_cancel, 0);
+  EXPECT_EQ(env.pool.queue_depth(), 0);
+
+  env.ctx.exec = nullptr;
+  env.ctx.exec_owner.reset();
+  env.ctx.max_query_dop = 1;
+  env.ctx.batch_size = 1024;
+  registry.Unregister(ctl->query_id);
+}
+
 // ----- Cancellation: the server API end to end ----------------------------
 
 TEST(InsightPlaneTest, CancelQueryThroughServerAuditsAndCounts) {

@@ -125,6 +125,36 @@ INSTANTIATE_TEST_SUITE_P(
       }
     });
 
+TEST(PhysicalParityTest, BatchWidthsAreByteIdentical) {
+  // The batch size is a pure throughput knob: every width — including 1,
+  // which degenerates to row-at-a-time — must produce byte-identical
+  // ordered output for every join method, through both drivers. Odd
+  // widths exercise partial final batches; width 3 makes most batches
+  // sub-block relative to the 30-row inputs.
+  RunningExample env(30, 3);
+  auto reference = env.Run(kJoinQuery);
+  ASSERT_TRUE(reference.ok());
+  const std::string expected = xml::SerializeSequence(*reference);
+
+  for (JoinMethod method :
+       {JoinMethod::kNestedLoop, JoinMethod::kIndexNestedLoop,
+        JoinMethod::kPPkNestedLoop, JoinMethod::kPPkIndexNestedLoop}) {
+    ExprPtr plan = PlanWithMethod(env, method);
+    for (int width : {1, 3, 7, 1024}) {
+      env.ctx.batch_size = width;
+      auto materialized = Evaluate(*plan, env.ctx);
+      ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+      EXPECT_EQ(expected, xml::SerializeSequence(*materialized))
+          << "width=" << width;
+      auto streamed = CollectStream(*plan, env.ctx);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      EXPECT_EQ(expected, xml::SerializeSequence(*streamed))
+          << "width=" << width;
+    }
+  }
+  env.ctx.batch_size = 1024;
+}
+
 TEST(PhysicalParityTest, PrefetchOnAndOffAreByteIdentical) {
   // The PP-k prefetcher overlaps the next block's round trip with
   // consumption of the current one; results and block counts must not
@@ -241,6 +271,36 @@ INSTANTIATE_TEST_SUITE_P(
           return "Auto";
       }
     });
+
+TEST(ParallelParityTest, TinyBatchesThroughExchangesMatchSerial) {
+  // Small widths stress the exchange path: scatter chunks carry one- and
+  // three-row batches, workers see many tiny units, and the ordered
+  // gather must still reassemble the exact serial output at every dop.
+  RunningExample env(30, 3);
+  auto reference = env.Run(kJoinQuery);
+  ASSERT_TRUE(reference.ok());
+  const std::string expected = xml::SerializeSequence(*reference);
+
+  for (JoinMethod method :
+       {JoinMethod::kNestedLoop, JoinMethod::kIndexNestedLoop,
+        JoinMethod::kPPkNestedLoop, JoinMethod::kPPkIndexNestedLoop}) {
+    ExprPtr plan = PlanWithMethod(env, method);
+    MarkLargeClauses(*plan);
+    for (int width : {1, 3}) {
+      env.ctx.batch_size = width;
+      for (int dop : {2, 8}) {
+        env.ctx.max_query_dop = dop;
+        env.ctx.exchange_ordered = true;
+        auto parallel = Evaluate(*plan, env.ctx);
+        ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+        EXPECT_EQ(expected, xml::SerializeSequence(*parallel))
+            << "width=" << width << " dop=" << dop;
+      }
+    }
+  }
+  env.ctx.batch_size = 1024;
+  env.ctx.max_query_dop = 1;
+}
 
 TEST(ParallelParityTest, ParallelForScanMatchesSerial) {
   // Two cascaded for-scans (join introduction disabled) so the second
