@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "compiler/analyzer.h"
+#include "observability/plan_history.h"
 #include "observability/query_registry.h"
 #include "observability/source_health.h"
 #include "observability/stat_statements.h"
@@ -127,30 +128,38 @@ double BestOf(RunningExample& env, const xquery::Expr& plan,
 
 // The complete statement-insight configuration: counters trace + health
 // board as in the always-on plane, plus the live query registry
-// (Register / ctx.exec cancellation polling / Unregister per run) and a
-// StatStatements::Record of the finished execution — everything an
-// ordinary server Execute pays with the insight plane enabled.
+// (Register / ctx.exec cancellation polling / Unregister per run), a
+// StatStatements::Record of the finished execution, and the plan
+// lifecycle plane (RecordCompile as a Prepare would, RecordExecution
+// feeding the per-version latency baseline / regression sentinel) —
+// everything an ordinary server Execute pays with the insight plane
+// and lifecycle plane enabled.
 double InsightBestOf(RunningExample& env, const xquery::Expr& plan,
                      observability::SourceHealthBoard* health,
                      observability::QueryRegistry* registry,
                      observability::StatStatements* stats,
+                     observability::PlanHistory* history,
                      int64_t* rows_out) {
   double best = -1;
   for (int i = 0; i < kRepetitions; ++i) {
     runtime::QueryTrace trace(runtime::QueryTrace::Mode::kCounters);
     env.ctx.trace = &trace;
     env.ctx.health = health;
-    auto ctl = registry->Register(0xa1d5, "bench", kJoinQuery);
+    auto ctl = registry->Register(0xa1d5, 0x57a7, "bench", kJoinQuery);
     ctl->SetPhase(observability::QueryPhase::kExecuting);
     env.ctx.exec = ctl.get();
+    history->RecordCompile(0x57a7, 0xa1d5, kJoinQuery, "bench-advice",
+                           "bench-explain");
     double ms = TimedStream(env, plan, rows_out);
     registry->Unregister(ctl->query_id);
     observability::StatementSample sample;
     sample.fingerprint = 0xa1d5;
+    sample.statement_fingerprint = 0x57a7;
     sample.query_head = kJoinQuery;
     sample.wall_micros = static_cast<int64_t>(ms * 1000.0);
     sample.rows_returned = *rows_out;
     stats->Record(sample);
+    (void)history->RecordExecution(0x57a7, 0xa1d5, sample.wall_micros);
     if (ms >= 0 && (best < 0 || ms < best)) best = ms;
   }
   env.ctx.trace = nullptr;
@@ -170,6 +179,7 @@ void BM_ObservabilityOverhead(benchmark::State& state) {
   observability::SourceHealthBoard health;
   observability::QueryRegistry registry;
   observability::StatStatements stats;
+  observability::PlanHistory history;
 
   GridRow row;
   row.k = k;
@@ -180,8 +190,8 @@ void BM_ObservabilityOverhead(benchmark::State& state) {
     runtime::QueryTrace::Mode timeline = runtime::QueryTrace::Mode::kTimeline;
     row.bare_ms = BestOf(env, *plan, nullptr, nullptr, &row.rows);
     row.counters_ms = BestOf(env, *plan, &counters, &health, &row.rows);
-    row.insight_ms =
-        InsightBestOf(env, *plan, &health, &registry, &stats, &row.rows);
+    row.insight_ms = InsightBestOf(env, *plan, &health, &registry, &stats,
+                                   &history, &row.rows);
     row.full_ms = BestOf(env, *plan, &full, &health, &row.rows);
     row.timeline_ms = BestOf(env, *plan, &timeline, &health, &row.rows);
   }

@@ -1,15 +1,19 @@
 // Statement-insight-plane demo: runs a small workload against the
-// running example, then walks the three insight surfaces —
+// running example, then walks the insight surfaces —
 //
-//   1. cumulative per-statement statistics keyed by plan fingerprint
+//   1. cumulative per-statement statistics keyed by statement fingerprint
 //      (same statement with different literals folds into one entry),
 //   2. the live query registry, observed mid-stream from a result sink,
 //   3. cooperative cancellation: CancelQuery() stops an in-flight join
-//      and the cancel shows up in the audit logs and per-tenant counters.
+//      and the cancel shows up in the audit logs and per-tenant counters,
+//   4. the plan lifecycle plane: per-statement plan-version history with
+//      compile-trigger attribution, plus the regression sentinel's event
+//      ring (empty here — every statement keeps its first plan).
 //
 // With --json, stdout carries a single JSON document combining the
-// StatStatements and LiveQueries exports (so it pipes cleanly into
-// `python3 -m json.tool`); the narration goes to stderr.
+// StatStatements, LiveQueries, PlanHistory and PlanRegressions exports
+// (so it pipes cleanly into `python3 -m json.tool`); the narration goes
+// to stderr.
 
 #include <cstdio>
 #include <cstring>
@@ -77,6 +81,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- 4. Plan lifecycle plane ------------------------------------------
+  std::fprintf(out, "\n== plan history (all statements) ==\n%s",
+               aldsp.PlanHistoryText().c_str());
+  std::fprintf(out, "\n== plan regressions ==\n%s",
+               aldsp.PlanRegressionsText().c_str());
+
   auto audit = aldsp.execution_audit().Records();
   if (!audit.empty()) {
     std::fprintf(out, "\nlast execution outcome: %s\n",
@@ -85,7 +95,10 @@ int main(int argc, char** argv) {
 
   if (json_mode) {
     std::string doc = "{\"stat_statements\":" + aldsp.StatStatementsJson(10) +
-                      ",\"live_queries\":" + aldsp.LiveQueriesJson() + "}";
+                      ",\"live_queries\":" + aldsp.LiveQueriesJson() +
+                      ",\"plan_history\":" + aldsp.PlanHistoryJson() +
+                      ",\"plan_regressions\":" + aldsp.PlanRegressionsJson() +
+                      "}";
     std::fprintf(stdout, "%s\n", doc.c_str());
   }
   return st.code() == StatusCode::kCancelled ? 0 : 1;

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every committed BENCH_*.json export in one pass: builds the
+# JSON-emitting benchmarks, runs each from the repo root (the benches
+# write their grids to the current directory), and round-trips every
+# export through a real JSON parser so a malformed emitter fails the
+# script instead of landing in the repo. Run from anywhere.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+# bench target -> export it writes into $PWD.
+benches=(
+  "bench_ppk_prefetch:BENCH_ppk_prefetch.json"
+  "bench_observability_overhead:BENCH_observability_overhead.json"
+  "bench_parallel_scaling:BENCH_parallel_scaling.json"
+  "bench_batch_width:BENCH_batch_width.json"
+)
+
+echo "== bench_all: build =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+targets=()
+for entry in "${benches[@]}"; do targets+=("${entry%%:*}"); done
+cmake --build "$repo/build" -j "$jobs" --target "${targets[@]}"
+
+cd "$repo"
+for entry in "${benches[@]}"; do
+  bench="${entry%%:*}"
+  export_file="${entry##*:}"
+  echo "== bench_all: $bench -> $export_file =="
+  "$repo/build/bench/$bench" --benchmark_min_warmup_time=0 >/dev/null
+  [ -s "$repo/$export_file" ] || {
+    echo "bench_all: $bench did not write $export_file" >&2
+    exit 1
+  }
+  python3 -m json.tool "$repo/$export_file" >/dev/null
+done
+
+echo "== bench_all: all exports regenerated and validated =="
+ls -l "$repo"/BENCH_*.json

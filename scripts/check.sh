@@ -45,8 +45,9 @@ print(f"trace ok: {len(events)} events, {slices} slices, {len(lanes)} lane(s)")
 PYEOF
 
 # Insight-plane validation: run the statement-insight demo (which ends
-# with a cooperative cancel) and round-trip its StatStatements and
-# LiveQueries JSON exports through a real JSON parser.
+# with a cooperative cancel) and round-trip its StatStatements,
+# LiveQueries, PlanHistory and PlanRegressions JSON exports through a
+# real JSON parser.
 echo "== tier-1: statement insight plane JSON validation =="
 cmake --build "$repo/build" -j "$jobs" --target insight_demo
 "$repo/build/examples/insight_demo" --json 2>/dev/null > "$repo/build/insight_demo.json"
@@ -58,8 +59,9 @@ stats = doc["stat_statements"]
 assert stats["entry_count"] >= 2, stats
 assert stats["statements"], "no statement entries exported"
 top = stats["statements"][0]
-for field in ("fingerprint", "calls", "errors", "cancels", "total_wall_micros",
-              "mean_wall_micros", "p95_wall_micros_upper", "rows_returned"):
+for field in ("fingerprint", "statement_fingerprint", "calls", "errors",
+              "cancels", "total_wall_micros", "mean_wall_micros",
+              "p95_wall_micros_upper", "rows_returned"):
     assert field in top, f"missing {field}: {top}"
 folded = [s for s in stats["statements"] if s["calls"] >= 4]
 assert folded, "literal-varied statements did not fold into one fingerprint"
@@ -69,9 +71,25 @@ live = doc["live_queries"]
 assert live["live_count"] == 0, live
 assert live["total_started"] >= 6, live
 assert live["total_cancel_requests"] >= 1, live
+history = doc["plan_history"]
+assert history["statement_count"] >= 3, history
+assert history["statements"], "no plan history exported"
+for s in history["statements"]:
+    assert s["versions"], f"statement with no plan versions: {s}"
+    for v in s["versions"]:
+        assert v["trigger"] in ("cold compile", "cache eviction",
+                                "cost-model-advice change"), v
+        assert v["explain"], "version retained no EXPLAIN snapshot"
+folded_hist = [s for s in history["statements"]
+               if any(v["compiles"] >= 4 for v in s["versions"])]
+assert folded_hist, "literal-varied statements did not fold in the history"
+regressions = doc["plan_regressions"]
+assert regressions["regressions_total"] == 0, regressions
+assert regressions["regressions"] == [], regressions
 print(f"insight ok: {stats['entry_count']} statements, "
       f"{live['total_started']} executions, "
-      f"{live['total_cancel_requests']} cancel(s)")
+      f"{live['total_cancel_requests']} cancel(s), "
+      f"{history['statement_count']} statement histories")
 PYEOF
 
 # Batch-width validation: sweep the vectorized runtime's batch_size knob
@@ -122,8 +140,9 @@ cmake -B "$repo/build-tsan" -S "$repo" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target physical_parity_test parallel_exec_test worker_pool_test \
-  join_methods_test observability_test insight_plane_test batch_runtime_test
+  join_methods_test observability_test insight_plane_test \
+  batch_runtime_test plan_history_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test)$'
+  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test|plan_history_test)$'
 
 echo "== all checks passed =="

@@ -50,9 +50,14 @@ uint64_t ExecutionAuditLog::HashQuery(std::string_view text) {
 std::string ExecutionAuditLog::RecordJson(const AuditRecord& r) {
   std::string out;
   char buf[512];
-  std::snprintf(buf, sizeof(buf), "{\"seq\":%lld,\"query_hash\":\"%016llx\",",
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%lld,\"query_hash\":\"%016llx\","
+                "\"fingerprint\":\"%llu\","
+                "\"statement_fingerprint\":\"%llu\",",
                 static_cast<long long>(r.seq),
-                static_cast<unsigned long long>(r.query_hash));
+                static_cast<unsigned long long>(r.query_hash),
+                static_cast<unsigned long long>(r.fingerprint),
+                static_cast<unsigned long long>(r.statement_fingerprint));
   out += buf;
   out += "\"query_head\":";
   AppendJsonString(&out, r.query_head);

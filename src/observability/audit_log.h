@@ -16,6 +16,8 @@ namespace aldsp::observability {
 struct AuditRecord {
   int64_t seq = 0;            // assigned by the log, monotonically increasing
   uint64_t query_hash = 0;    // FNV-1a of the full query text
+  uint64_t fingerprint = 0;   // plan fingerprint (0 if compile failed)
+  uint64_t statement_fingerprint = 0;  // statement identity (0 if unknown)
   std::string query_head;     // leading fragment of the text for readability
   std::string principal;
   std::string outcome;        // "ok" or the failing status code name

@@ -27,6 +27,20 @@ void LatencyHistogram::Record(int64_t micros) {
   sum_micros += micros;
 }
 
+int64_t LatencyHistogram::P95UpperMicros() const {
+  if (count == 0) return 0;
+  const int64_t rank = (count * 95 + 99) / 100;  // ceil(0.95 * count), 1-based
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      int64_t upper = (i < kBuckets - 1) ? kUpperMicros[i] : max_micros;
+      return upper < max_micros ? upper : max_micros;
+    }
+  }
+  return max_micros;
+}
+
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   if (other.count == 0) return;
   for (int i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];

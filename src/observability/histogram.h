@@ -22,6 +22,10 @@ struct LatencyHistogram {
 
   void Record(int64_t micros);
   void Merge(const LatencyHistogram& other);
+  /// Conservative p95 estimate: the upper bound of the bucket holding the
+  /// ceil(0.95*count)-th sample, clamped to the observed max (exact for
+  /// the overflow bucket and single-sample histograms). 0 when empty.
+  int64_t P95UpperMicros() const;
   void Reset() { *this = LatencyHistogram{}; }
   double MeanMicros() const {
     return count == 0 ? 0.0

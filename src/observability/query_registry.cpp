@@ -30,11 +30,12 @@ const char* QueryPhaseName(QueryPhase phase) {
 }
 
 std::shared_ptr<QueryControl> QueryRegistry::Register(
-    uint64_t fingerprint, const std::string& tenant,
-    const std::string& query_head) {
+    uint64_t fingerprint, uint64_t statement_fingerprint,
+    const std::string& tenant, const std::string& query_head) {
   auto ctl = std::make_shared<QueryControl>();
   ctl->query_id = next_id_.fetch_add(1, std::memory_order_relaxed);
   ctl->fingerprint = fingerprint;
+  ctl->statement_fingerprint = statement_fingerprint;
   ctl->tenant = tenant;
   ctl->query_head = query_head;
   ctl->start_micros = NowMicros();
@@ -76,6 +77,7 @@ std::vector<LiveQueryInfo> QueryRegistry::Snapshot() const {
     LiveQueryInfo info;
     info.query_id = ctl->query_id;
     info.fingerprint = ctl->fingerprint;
+    info.statement_fingerprint = ctl->statement_fingerprint;
     info.tenant = ctl->tenant;
     info.query_head = ctl->query_head;
     info.start_micros = ctl->start_micros;
@@ -104,7 +106,8 @@ std::string QueryRegistry::RenderText() const {
   std::string out = "live queries: " + std::to_string(live.size()) + "\n";
   for (const auto& q : live) {
     out += "  #" + std::to_string(q.query_id);
-    out += " fp=" + std::to_string(q.fingerprint);
+    out += " stmt_fp=" + std::to_string(q.statement_fingerprint);
+    out += " plan_fp=" + std::to_string(q.fingerprint);
     out += " tenant=" + q.tenant;
     out += " phase=" + std::string(QueryPhaseName(q.phase));
     out += " rows=" + std::to_string(q.rows_produced);
@@ -128,6 +131,8 @@ std::string QueryRegistry::RenderJson() const {
     first = false;
     out += "{\"query_id\":" + std::to_string(q.query_id);
     out += ",\"fingerprint\":\"" + std::to_string(q.fingerprint) + "\"";
+    out += ",\"statement_fingerprint\":\"" +
+           std::to_string(q.statement_fingerprint) + "\"";
     out += ",\"tenant\":";
     AppendJsonString(&out, q.tenant);
     out += ",\"query_head\":";

@@ -33,7 +33,8 @@ const char* QueryPhaseName(QueryPhase phase);
 /// references, so a snapshot or a cancel can never race with teardown.
 struct QueryControl {
   uint64_t query_id = 0;
-  uint64_t fingerprint = 0;
+  uint64_t fingerprint = 0;            // plan fingerprint
+  uint64_t statement_fingerprint = 0;  // statement identity (0 if unknown)
   std::string tenant;        // principal user, "(anonymous)" if none
   std::string query_head;    // first ~120 chars of the statement text
   int64_t start_micros = 0;  // wall-clock epoch micros at registration
@@ -66,6 +67,7 @@ struct QueryControl {
 struct LiveQueryInfo {
   uint64_t query_id = 0;
   uint64_t fingerprint = 0;
+  uint64_t statement_fingerprint = 0;
   std::string tenant;
   std::string query_head;
   int64_t start_micros = 0;
@@ -83,7 +85,10 @@ struct LiveQueryInfo {
 class QueryRegistry {
  public:
   /// Creates and registers a control block; assigns a fresh query id.
+  /// `fingerprint` is the plan fingerprint, `statement_fingerprint` the
+  /// statement identity (0 when the caller predates the split).
   std::shared_ptr<QueryControl> Register(uint64_t fingerprint,
+                                         uint64_t statement_fingerprint,
                                          const std::string& tenant,
                                          const std::string& query_head);
   void Unregister(uint64_t query_id);

@@ -48,10 +48,12 @@ std::string SlowQueryLog::RecordJson(const SlowQueryRecord& r) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"seq\":%lld,\"query_hash\":\"%016llx\","
-                "\"fingerprint\":\"%llu\",",
+                "\"fingerprint\":\"%llu\","
+                "\"statement_fingerprint\":\"%llu\",",
                 static_cast<long long>(r.seq),
                 static_cast<unsigned long long>(r.query_hash),
-                static_cast<unsigned long long>(r.fingerprint));
+                static_cast<unsigned long long>(r.fingerprint),
+                static_cast<unsigned long long>(r.statement_fingerprint));
   out += buf;
   out += "\"query_head\":";
   AppendJsonString(&out, r.query_head);

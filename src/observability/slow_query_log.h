@@ -19,9 +19,12 @@ namespace aldsp::observability {
 struct SlowQueryRecord {
   int64_t seq = 0;
   uint64_t query_hash = 0;
-  /// Plan fingerprint of the statement (literal-stripped plan shape), so
-  /// slow captures join against the cumulative per-statement statistics.
+  /// Plan fingerprint (literal-stripped plan shape) and statement
+  /// fingerprint (literal-stripped pre-optimization AST), so slow captures
+  /// join against both the cumulative per-statement statistics and the
+  /// plan-version history.
   uint64_t fingerprint = 0;
+  uint64_t statement_fingerprint = 0;
   std::string query_head;
   int64_t wall_micros = 0;
   int64_t threshold_micros = 0;

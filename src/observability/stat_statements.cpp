@@ -8,27 +8,18 @@
 namespace aldsp::observability {
 
 int64_t StatementStats::P95WallMicrosEstimate() const {
-  if (wall.count == 0) return 0;
-  const int64_t rank =
-      (wall.count * 95 + 99) / 100;  // ceil(0.95 * count), 1-based
-  int64_t seen = 0;
-  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
-    seen += wall.counts[i];
-    if (seen >= rank) {
-      // Upper bucket bound, clamped to the observed max (exact for the
-      // overflow bucket and for single-sample histograms).
-      int64_t upper = (i < LatencyHistogram::kBuckets - 1)
-                          ? LatencyHistogram::kUpperMicros[i]
-                          : wall.max_micros;
-      return std::min(upper, wall.max_micros);
-    }
-  }
-  return wall.max_micros;
+  return wall.P95UpperMicros();
 }
 
 void StatStatements::Record(const StatementSample& sample) {
+  // Key on statement identity so the cumulative history survives plan
+  // flips; samples predating the split (statement_fingerprint == 0) key
+  // on the plan fingerprint as before.
+  const uint64_t key = sample.statement_fingerprint != 0
+                           ? sample.statement_fingerprint
+                           : sample.fingerprint;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = stats_.find(sample.fingerprint);
+  auto it = stats_.find(key);
   if (it == stats_.end()) {
     if (stats_.size() >= max_entries_) {
       // Evict the entry with the least cumulative wall time.
@@ -43,10 +34,12 @@ void StatStatements::Record(const StatementSample& sample) {
     }
     StatementStats fresh;
     fresh.fingerprint = sample.fingerprint;
+    fresh.statement_fingerprint = sample.statement_fingerprint;
     fresh.query_head = sample.query_head;
-    it = stats_.emplace(sample.fingerprint, std::move(fresh)).first;
+    it = stats_.emplace(key, std::move(fresh)).first;
   }
   StatementStats& s = it->second;
+  s.fingerprint = sample.fingerprint;  // track the latest plan version
   ++s.calls;
   if (sample.error) ++s.errors;
   if (sample.cancelled) ++s.cancels;
@@ -110,10 +103,13 @@ std::string StatStatements::RenderText(int top_k) const {
   for (const auto& s : top) {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "  [%d] fp=%llu calls=%lld errors=%lld cancels=%lld "
+                  "  [%d] stmt_fp=%llu plan_fp=%llu calls=%lld errors=%lld "
+                  "cancels=%lld "
                   "total_ms=%.1f mean_ms=%.2f p95_ms<=%.1f rows=%lld "
                   "peak_bytes=%lld\n",
-                  ++rank, static_cast<unsigned long long>(s.fingerprint),
+                  ++rank,
+                  static_cast<unsigned long long>(s.statement_fingerprint),
+                  static_cast<unsigned long long>(s.fingerprint),
                   static_cast<long long>(s.calls),
                   static_cast<long long>(s.errors),
                   static_cast<long long>(s.cancels),
@@ -149,6 +145,8 @@ std::string StatStatements::RenderJson(int top_k) const {
     if (!first) out += ",";
     first = false;
     out += "{\"fingerprint\":\"" + std::to_string(s.fingerprint) + "\"";
+    out += ",\"statement_fingerprint\":\"" +
+           std::to_string(s.statement_fingerprint) + "\"";
     out += ",\"query_head\":";
     AppendJsonString(&out, s.query_head);
     out += ",\"calls\":" + std::to_string(s.calls);

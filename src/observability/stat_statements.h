@@ -14,7 +14,12 @@ namespace aldsp::observability {
 /// Resource deltas for one finished execution, fed into the per-fingerprint
 /// accumulator and the per-tenant rolling windows.
 struct StatementSample {
-  uint64_t fingerprint = 0;
+  uint64_t fingerprint = 0;  // plan fingerprint (current plan version)
+  /// Statement identity (literal-stripped pre-optimization AST hash).
+  /// Cumulative stats key on this when set, so the history of a statement
+  /// no longer forks when the cost model flips its plan; 0 falls back to
+  /// keying on the plan fingerprint (legacy samples).
+  uint64_t statement_fingerprint = 0;
   std::string query_head;  // stored on first sight of a fingerprint
   bool error = false;
   bool cancelled = false;
@@ -32,9 +37,12 @@ struct StatementSample {
   int64_t function_cache_misses = 0;
 };
 
-/// Cumulative per-fingerprint statistics (pg_stat_statements-style).
+/// Cumulative per-statement statistics (pg_stat_statements-style).
+/// `fingerprint` tracks the most recently seen *plan* version for the
+/// statement; the map key is the statement fingerprint when available.
 struct StatementStats {
-  uint64_t fingerprint = 0;
+  uint64_t fingerprint = 0;            // latest plan fingerprint seen
+  uint64_t statement_fingerprint = 0;  // identity (0 for legacy samples)
   std::string query_head;
   int64_t calls = 0;
   int64_t errors = 0;

@@ -162,6 +162,30 @@ int ObservedCostModel::AdvisePrefetchDepth(const std::string& source,
   return static_cast<int>(std::clamp<int64_t>(depth, 1, 8));
 }
 
+std::string ObservedCostModel::AdviceSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map iteration order makes the snapshot deterministic for a
+  // given observation state, so string equality is state equality.
+  std::string out;
+  for (const auto& [key, obs] : tables_) {
+    out += key.first;
+    out += '.';
+    out += key.second;
+    out += '=';
+    out += std::to_string(obs.rows);
+    out += ';';
+  }
+  out += '|';
+  for (const auto& [source, obs] : splits_) {
+    const int64_t p50 = obs.roundtrip.Percentile(0.5);
+    out += source;
+    out += '~';
+    out += std::to_string(p50 < 0 ? -1 : BucketOf(p50));
+    out += ';';
+  }
+  return out;
+}
+
 void ObservedCostModel::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   tables_.clear();

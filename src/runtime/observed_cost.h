@@ -95,6 +95,15 @@ class ObservedCostModel {
   /// buffer) when the source has no split observations yet.
   int AdvisePrefetchDepth(const std::string& source, int block_rows) const;
 
+  /// Deterministic summary of the advice-relevant inputs: observed row
+  /// counts per (source, table) plus the log2 bucket of each source's
+  /// round-trip p50 (bucketed because raw p50 jitters without changing
+  /// any advice). The plan lifecycle plane snapshots this at compile
+  /// time; when a statement recompiles into a different plan shape,
+  /// comparing snapshots attributes the flip to cost-model-advice change
+  /// versus plan-cache eviction.
+  std::string AdviceSnapshot() const;
+
   void Clear();
 
  private:

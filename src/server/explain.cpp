@@ -1,5 +1,6 @@
 #include "server/explain.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -325,6 +326,24 @@ std::string RenderPlanText(const CompiledPlan& plan) {
   return RenderPlanText(plan, runtime::physical::BuildOptions{});
 }
 
+std::string RenderPlanSnapshotText(const CompiledPlan& plan) {
+  std::ostringstream os;
+  os << "query: " << plan.text << "\n";
+  os << "pushdown: " << plan.pushdown.regions_pushed << " region(s), "
+     << plan.pushdown.bare_scans_pushed << " bare scan(s), "
+     << plan.pushdown.outer_joins_pushed << " outer join(s), "
+     << plan.pushdown.custom_filters_pushed << " custom filter(s)\n";
+  if (!plan.called_functions.empty()) {
+    os << "calls:";
+    for (const auto& f : plan.called_functions) os << " " << f;
+    os << "\n";
+  }
+  if (plan.plan != nullptr) {
+    RenderExprText(*plan.plan, "", runtime::physical::BuildOptions{}, os);
+  }
+  return os.str();
+}
+
 std::string RenderPlanJson(const CompiledPlan& plan,
                            const runtime::physical::BuildOptions& opts) {
   std::ostringstream os;
@@ -430,6 +449,56 @@ std::string RenderProfileJson(const CompiledPlan& plan,
 
 std::string RenderChromeTrace(const runtime::QueryTrace& trace) {
   return observability::ChromeTraceJson(trace.BuildTimeline());
+}
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string RenderExplainDiff(const std::string& before,
+                              const std::string& after) {
+  const std::vector<std::string> a = SplitLines(before);
+  const std::vector<std::string> b = SplitLines(after);
+  // Classic O(n*m) LCS table — EXPLAIN outputs are tens of lines, so the
+  // quadratic table is trivially cheap and keeps the alignment optimal.
+  const size_t n = a.size(), m = b.size();
+  std::vector<std::vector<int>> lcs(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      lcs[i][j] = (a[i] == b[j])
+                      ? lcs[i + 1][j + 1] + 1
+                      : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  std::string out;
+  size_t i = 0, j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      out += "  " + a[i] + "\n";
+      ++i, ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      out += "- " + a[i] + "\n";
+      ++i;
+    } else {
+      out += "+ " + b[j] + "\n";
+      ++j;
+    }
+  }
+  for (; i < n; ++i) out += "- " + a[i] + "\n";
+  for (; j < m; ++j) out += "+ " + b[j] + "\n";
+  return out;
 }
 
 }  // namespace aldsp::server

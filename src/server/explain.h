@@ -44,6 +44,22 @@ std::string RenderProfileJson(const CompiledPlan& plan,
 /// degrade to a flat ts=0 layout.
 std::string RenderChromeTrace(const runtime::QueryTrace& trace);
 
+/// The deterministic subset of the serial EXPLAIN — query text, pushdown
+/// statistics, called functions and the operator tree, without the
+/// per-compile phase timings. This is what the plan-version history
+/// retains per version: two compiles of the same plan shape render
+/// byte-identical snapshots, so a structural diff shows only real
+/// plan changes.
+std::string RenderPlanSnapshotText(const CompiledPlan& plan);
+
+/// Structural diff of two rendered EXPLAIN texts, for plan-regression
+/// reports: unchanged lines print with two leading spaces, lines only in
+/// `before` with "- ", lines only in `after` with "+ ". An LCS alignment
+/// keeps shared plan structure matched up, so a join-method flip shows as
+/// one -/+ pair instead of resynchronizing the whole tree.
+std::string RenderExplainDiff(const std::string& before,
+                              const std::string& after);
+
 /// The source-health scoreboard section EXPLAIN appends once the server
 /// has observed any source: per-source breaker state, EWMA latency and
 /// error/timeout tallies, so a plan reading a tripped source is visible

@@ -205,11 +205,134 @@ void MixExpr(uint64_t* h, const Expr& e) {
   }
 }
 
+// --- Statement identity: structural walk, no physical lowering ---------
+
+void MixStmtExpr(uint64_t* h, const Expr& e);
+
+/// FLWOR clauses hash by their logical structure only: clause kinds,
+/// bound variables, grouping/ordering keys and the clause expressions.
+/// Join methods, PP-k shapes, pre-clustering and pushdown regions are
+/// optimizer output — deliberately excluded so the statement fingerprint
+/// survives plan flips. (kJoin/kSqlQuery normally never appear in the
+/// pre-optimization tree this hash is computed from; they are handled
+/// structurally anyway so the function is total.)
+void MixStmtFLWOR(uint64_t* h, const Expr& e) {
+  using CK = xquery::Clause::Kind;
+  for (const auto& c : e.clauses) {
+    switch (c.kind) {
+      case CK::kFor:
+        Mix(h, "for");
+        Mix(h, c.var);
+        Mix(h, c.positional_var);
+        if (c.expr) MixStmtExpr(h, *c.expr);
+        break;
+      case CK::kLet:
+        Mix(h, "let");
+        Mix(h, c.var);
+        if (c.expr) MixStmtExpr(h, *c.expr);
+        break;
+      case CK::kWhere:
+        Mix(h, "where");
+        if (c.expr) MixStmtExpr(h, *c.expr);
+        break;
+      case CK::kGroupBy:
+        Mix(h, "group");
+        for (const auto& gv : c.group_vars) {
+          Mix(h, gv.in_var);
+          Mix(h, gv.out_var);
+        }
+        for (const auto& gk : c.group_keys) {
+          Mix(h, gk.as_var);
+          if (gk.expr) MixStmtExpr(h, *gk.expr);
+        }
+        break;
+      case CK::kOrderBy:
+        Mix(h, "order");
+        for (const auto& ok : c.order_keys) {
+          Mix(h, static_cast<int64_t>(ok.descending));
+          if (ok.expr) MixStmtExpr(h, *ok.expr);
+        }
+        break;
+      case CK::kJoin:
+        Mix(h, "join");
+        Mix(h, c.var);
+        if (c.expr) MixStmtExpr(h, *c.expr);
+        if (c.condition) MixStmtExpr(h, *c.condition);
+        break;
+    }
+  }
+  Mix(h, "return");
+  for (const auto& child : e.children) {
+    if (child) MixStmtExpr(h, *child);
+  }
+}
+
+void MixStmtExpr(uint64_t* h, const Expr& e) {
+  Mix(h, xquery::ExprKindName(e.kind));
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      Mix(h, "?");  // value stripped
+      return;       // literals have no children
+    case ExprKind::kFLWOR:
+      MixStmtFLWOR(h, e);
+      return;  // clauses + return already walked
+    case ExprKind::kVarRef:
+      Mix(h, e.var_name);
+      break;
+    case ExprKind::kFunctionCall:
+      Mix(h, e.fn_name);
+      break;
+    case ExprKind::kPathStep:
+      Mix(h, e.step_name);
+      Mix(h, static_cast<int64_t>(e.is_attribute_step));
+      break;
+    case ExprKind::kElementCtor:
+    case ExprKind::kAttributeCtor:
+      Mix(h, e.ctor_name);
+      break;
+    case ExprKind::kComparison:
+    case ExprKind::kArith:
+    case ExprKind::kLogical:
+      Mix(h, e.op);
+      break;
+    case ExprKind::kQuantified:
+      Mix(h, e.var_name);
+      break;
+    case ExprKind::kSqlQuery:
+      if (e.sql) {
+        Mix(h, e.sql->source);
+        if (e.sql->select) MixSqlSelect(h, *e.sql->select);
+      }
+      break;
+    case ExprKind::kCustomQuery:
+      if (e.custom) {
+        Mix(h, e.custom->source);
+        Mix(h, e.custom->function);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& c : e.children) {
+    if (c) MixStmtExpr(h, *c);
+  }
+}
+
 }  // namespace
 
 uint64_t PlanFingerprint(const Expr& root) {
   uint64_t h = kFnvOffset;
   MixExpr(&h, root);
+  return h;
+}
+
+uint64_t StatementFingerprint(const Expr& root) {
+  // Different offset basis (one extra round over a tag) so a statement
+  // fingerprint and a plan fingerprint of the same tree never collide by
+  // construction — the two id spaces are distinguishable in logs.
+  uint64_t h = kFnvOffset;
+  Mix(&h, "stmt");
+  MixStmtExpr(&h, root);
   return h;
 }
 

@@ -7,19 +7,35 @@
 
 namespace aldsp::server {
 
-/// Stable fingerprint of a compiled statement's normalized physical plan
-/// shape (pg_stat_statements-style): FNV-1a over a canonical walk of the
-/// optimized expression tree, with FLWOR subtrees hashed through the same
-/// serial physical lowering EXPLAIN renders — so the fingerprint covers
-/// operator kinds, join methods, sources, pushed SQL structure and PP-k
-/// fetch shapes, while literal values (XQuery constants, SQL literals,
-/// row-range bounds) are stripped. Two executions of the same statement
-/// with different literals share a fingerprint; changing the join method,
-/// a source, or the pushdown shape changes it.
+/// Statement identity is split from plan version (pg_stat_statements
+/// crossed with a plan-change log):
 ///
-/// The hash is computed from the *optimized* tree stored in CompiledPlan,
-/// so a plan-cache round trip trivially preserves it.
+///  - StatementFingerprint answers "which statement is this?". It hashes
+///    the normalized *pre-optimization* AST — clause structure, bound
+///    variables, path steps, function names, comparison/arith operators —
+///    with literal values stripped to "?". Two executions of the same
+///    statement with different literals share it, and it stays stable
+///    when the optimizer picks a different join method, pushdown shape,
+///    or PP-k configuration for the same source text.
+///
+///  - PlanFingerprint answers "which plan shape did this compile pick?".
+///    It hashes the *optimized* expression tree, with FLWOR subtrees
+///    hashed through the same serial physical lowering EXPLAIN renders —
+///    so it covers operator kinds, join methods, sources, pushed SQL
+///    structure and PP-k fetch shapes (literals still stripped). Changing
+///    the join method, a source, or the pushdown shape changes it.
+///
+/// One statement fingerprint therefore maps to a history of plan
+/// fingerprints over time as the ObservedCostModel adapts; PlanHistory
+/// (src/observability/plan_history.h) records that mapping. Both hashes
+/// are computed once at Compile and stored in CompiledPlan, so a
+/// plan-cache round trip trivially preserves them.
 uint64_t PlanFingerprint(const xquery::Expr& root);
+
+/// FNV-1a over the normalized pre-optimization AST (see above). Must be
+/// computed before the optimizer rewrites the tree (join-clause
+/// introduction, SQL pushdown), or plan decisions leak into identity.
+uint64_t StatementFingerprint(const xquery::Expr& root);
 
 }  // namespace aldsp::server
 

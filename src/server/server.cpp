@@ -55,6 +55,10 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
       exec_audit_(options_.audit_log_capacity),
       slow_queries_(options_.slow_query_log_capacity),
       stat_statements_(options_.stat_statements_capacity),
+      plan_history_(observability::PlanHistoryOptions{
+          options_.plan_history_statements, options_.plan_history_versions,
+          options_.plan_regression_min_calls, options_.plan_regression_ratio,
+          options_.plan_regression_capacity}),
       pool_(options_.worker_pool_size) {
   ctx_.functions = &functions_;
   ctx_.adaptors = &adaptors_;
@@ -224,6 +228,10 @@ Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Compile(
   compiler::Analyzer analyzer(&functions_, &schemas_, &bag);
   ALDSP_RETURN_NOT_OK(analyzer.Analyze(expr, {}));
   CollectCalledFunctions(expr, functions_, &plan->called_functions);
+  // Statement identity hashes the analyzed, *pre-optimization* tree:
+  // computed here, before the optimizer's join-clause introduction and
+  // SQL pushdown can leak plan decisions into it.
+  plan->statement_fingerprint = StatementFingerprint(*expr);
   int64_t t2 = NowMicros();
   plan->analyze_micros = t2 - t1;
 
@@ -279,6 +287,16 @@ Result<std::shared_ptr<const CompiledPlan>> DataServicePlatform::Prepare(
   metrics_.RecordWindowed("compile.total_micros",
                           plan->parse_micros + plan->analyze_micros +
                               plan->optimize_micros + plan->pushdown_micros);
+  if (options_.always_on_observability) {
+    // Plan lifecycle plane: record the (statement, plan-version) pair
+    // with the cost-model advice inputs the optimizer just consulted and
+    // an EXPLAIN snapshot, so a later regression report can show what
+    // changed and why the plan flipped.
+    plan_history_.RecordCompile(plan->statement_fingerprint,
+                                plan->fingerprint, plan->text.substr(0, 120),
+                                observed_.AdviceSnapshot(),
+                                RenderPlanSnapshotText(*plan));
+  }
   {
     std::lock_guard<std::mutex> lock(plan_cache_mutex_);
     while (plan_cache_.size() >= options_.plan_cache_size &&
@@ -361,6 +379,7 @@ void DataServicePlatform::FinishObservation(
   // Per-fingerprint cumulative statistics (pg_stat_statements-style).
   observability::StatementSample sample;
   sample.fingerprint = plan.fingerprint;
+  sample.statement_fingerprint = plan.statement_fingerprint;
   sample.query_head = plan.text.substr(0, 120);
   sample.error = !outcome.ok() && !cancelled;
   sample.cancelled = cancelled;
@@ -374,6 +393,39 @@ void DataServicePlatform::FinishObservation(
   sample.function_cache_hits = trace.CountEvents(EventKind::kCacheHit);
   sample.function_cache_misses = trace.CountEvents(EventKind::kCacheMiss);
   stat_statements_.Record(sample);
+
+  // Plan lifecycle plane: feed the per-(statement, plan-version) latency
+  // baseline. Only clean executions count — errors and cancels truncate
+  // the run and would poison the baseline comparison. When the latest
+  // version's baseline breaches its predecessor's, the sentinel hands
+  // back both EXPLAIN snapshots; the server renders the structural diff,
+  // publishes the completed event, and audits it.
+  if (outcome.ok() && plan.statement_fingerprint != 0) {
+    std::optional<observability::PlanRegressionEvent> regression =
+        plan_history_.RecordExecution(plan.statement_fingerprint,
+                                      plan.fingerprint, wall_micros);
+    if (regression.has_value()) {
+      regression->explain_diff = RenderExplainDiff(
+          regression->baseline_explain, regression->regressed_explain);
+      char detail[256];
+      std::snprintf(detail, sizeof(detail),
+                    "stmt_fp=%llu plan_fp %llu -> %llu (%s) "
+                    "mean %lldus -> %lldus (%.2fx)",
+                    static_cast<unsigned long long>(
+                        regression->statement_fingerprint),
+                    static_cast<unsigned long long>(
+                        regression->baseline_plan_fingerprint),
+                    static_cast<unsigned long long>(
+                        regression->regressed_plan_fingerprint),
+                    observability::CompileTriggerName(regression->trigger),
+                    static_cast<long long>(regression->baseline_mean_micros),
+                    static_cast<long long>(regression->regressed_mean_micros),
+                    regression->ratio);
+      plan_history_.PublishRegression(std::move(*regression));
+      metrics_.AddWindowedCounter("plan_regression.events");
+      audit_.Record("plan_regression", principal, detail);
+    }
+  }
 
   // Per-tenant resource attribution: the same deltas rolled into 1m/5m
   // windows keyed by principal, the admission-control substrate.
@@ -394,6 +446,8 @@ void DataServicePlatform::FinishObservation(
 
   observability::AuditRecord record;
   record.query_hash = hash;
+  record.fingerprint = plan.fingerprint;
+  record.statement_fingerprint = plan.statement_fingerprint;
   record.query_head = plan.text.substr(0, 80);
   record.principal = principal;
   record.outcome = outcome.ok() ? "ok" : StatusCodeName(outcome.code());
@@ -421,6 +475,7 @@ void DataServicePlatform::FinishObservation(
   observability::SlowQueryRecord slow;
   slow.query_hash = hash;
   slow.fingerprint = plan.fingerprint;
+  slow.statement_fingerprint = plan.statement_fingerprint;
   slow.query_head = plan.text.substr(0, 80);
   slow.wall_micros = wall_micros;
   slow.threshold_micros = options_.slow_query_threshold_micros;
@@ -458,7 +513,7 @@ DataServicePlatform::RegisterExecution(const CompiledPlan& plan,
                                        const security::Principal* principal) {
   if (!options_.always_on_observability) return nullptr;
   std::shared_ptr<observability::QueryControl> ctl = query_registry_.Register(
-      plan.fingerprint,
+      plan.fingerprint, plan.statement_fingerprint,
       principal != nullptr && !principal->user.empty() ? principal->user
                                                        : "(anonymous)",
       plan.text.substr(0, 120));
@@ -749,6 +804,14 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
                       stat_statements_.entry_count());
   metrics_.SetCounter("stat_statements.evictions",
                       stat_statements_.evictions());
+  metrics_.SetCounter("plan_history.statements",
+                      plan_history_.statement_count());
+  metrics_.SetCounter("plan_history.evictions",
+                      plan_history_.statement_evictions());
+  metrics_.SetCounter("plan_history.plan_changes",
+                      plan_history_.plan_changes_total());
+  metrics_.SetCounter("plan_history.regressions",
+                      plan_history_.regressions_total());
   return metrics_.GetSnapshot();
 }
 
@@ -768,6 +831,22 @@ std::string DataServicePlatform::LiveQueriesText() {
 
 std::string DataServicePlatform::LiveQueriesJson() {
   return query_registry_.RenderJson();
+}
+
+std::string DataServicePlatform::PlanHistoryText(uint64_t statement_fp) {
+  return plan_history_.RenderHistoryText(statement_fp);
+}
+
+std::string DataServicePlatform::PlanHistoryJson(uint64_t statement_fp) {
+  return plan_history_.RenderHistoryJson(statement_fp);
+}
+
+std::string DataServicePlatform::PlanRegressionsText() {
+  return plan_history_.RenderRegressionsText();
+}
+
+std::string DataServicePlatform::PlanRegressionsJson() {
+  return plan_history_.RenderRegressionsJson();
 }
 
 bool DataServicePlatform::CancelQuery(uint64_t query_id) {

@@ -12,6 +12,7 @@
 #include "compiler/analyzer.h"
 #include "compiler/function_table.h"
 #include "observability/audit_log.h"
+#include "observability/plan_history.h"
 #include "observability/query_registry.h"
 #include "observability/slow_query_log.h"
 #include "observability/source_health.h"
@@ -40,10 +41,15 @@ struct CompiledPlan {
   /// before view unfolding so function-level access control still sees
   /// them (paper §7).
   std::vector<std::string> called_functions;
-  /// Stable fingerprint of the normalized plan shape (literals stripped);
-  /// the key of the cumulative per-statement statistics. Computed once at
+  /// Stable fingerprint of the normalized plan shape (literals stripped):
+  /// which plan *version* this compile produced. Computed once at
   /// compilation, so it survives plan-cache round trips by construction.
   uint64_t fingerprint = 0;
+  /// Stable fingerprint of the normalized pre-optimization AST (literals
+  /// stripped): which *statement* this is, independent of the plan the
+  /// optimizer picked. One statement fingerprint maps to a history of
+  /// plan fingerprints as the cost model adapts (see PlanHistory).
+  uint64_t statement_fingerprint = 0;
   /// Microseconds spent in each compilation phase, for the §3.3 bench.
   int64_t parse_micros = 0;
   int64_t analyze_micros = 0;
@@ -91,9 +97,26 @@ struct ServerOptions {
   int64_t slow_query_threshold_micros = 250'000;
   /// Circuit-breaker tuning for the per-source health scoreboard.
   observability::BreakerOptions circuit_breaker;
-  /// Distinct plan fingerprints tracked by the cumulative statement
-  /// statistics; the least expensive entry is evicted on overflow.
+  /// Distinct statements tracked by the cumulative statement statistics;
+  /// the least expensive entry is evicted on overflow.
   size_t stat_statements_capacity = 512;
+
+  // ----- Plan lifecycle plane ------------------------------------------
+
+  /// Distinct statements tracked by the plan-version history; the least
+  /// recently seen statement is evicted on overflow.
+  size_t plan_history_statements = 256;
+  /// Plan versions retained per statement (oldest roll off).
+  size_t plan_history_versions = 8;
+  /// Executions a new plan version and its predecessor must each
+  /// accumulate before the regression sentinel compares their latency
+  /// baselines. <= 0 disables the sentinel.
+  int64_t plan_regression_min_calls = 8;
+  /// Sentinel breach threshold: new mean (or p95 upper bound) at least
+  /// this multiple of the prior version's fires a plan_regression event.
+  double plan_regression_ratio = 1.5;
+  /// Retained plan_regression events (bounded ring).
+  size_t plan_regression_capacity = 64;
 };
 
 /// The result of ExecuteProfiled: the materialized result plus the plan
@@ -307,6 +330,24 @@ class DataServicePlatform {
   observability::StatStatements& stat_statements() { return stat_statements_; }
   observability::QueryRegistry& query_registry() { return query_registry_; }
 
+  // ----- Plan lifecycle plane ------------------------------------------
+
+  /// Per-statement plan-version history: every plan fingerprint a
+  /// statement has compiled into, with its compile trigger (cold compile,
+  /// cache eviction, cost-model-advice change), per-version latency
+  /// baseline and retained EXPLAIN snapshot. statement_fp == 0 renders
+  /// every tracked statement.
+  std::string PlanHistoryText(uint64_t statement_fp = 0);
+  std::string PlanHistoryJson(uint64_t statement_fp = 0);
+
+  /// Regression-sentinel events: a new plan version whose latency
+  /// baseline breached the prior version's, with a structural EXPLAIN
+  /// diff between the two plans.
+  std::string PlanRegressionsText();
+  std::string PlanRegressionsJson();
+
+  observability::PlanHistory& plan_history() { return plan_history_; }
+
   // ----- Introspection of internals (tests, benchmarks, console) ------
 
   compiler::FunctionTable& functions() { return functions_; }
@@ -381,6 +422,7 @@ class DataServicePlatform {
   observability::SlowQueryLog slow_queries_;
   observability::QueryRegistry query_registry_;
   observability::StatStatements stat_statements_;
+  observability::PlanHistory plan_history_;
   service::ServiceCatalog services_;
   std::shared_ptr<adaptors::FileAdaptor> file_adaptor_;  // lazily created
 

@@ -114,7 +114,7 @@ TEST(StatStatementsTest, RenderersIncludeCountsAndEscapes) {
 
 TEST(QueryRegistryTest, RegisterSnapshotCancelUnregister) {
   QueryRegistry reg;
-  auto ctl = reg.Register(42, "alice", "for $c in ...");
+  auto ctl = reg.Register(42, 7042, "alice", "for $c in ...");
   EXPECT_GT(ctl->query_id, 0u);
   ctl->SetPhase(QueryPhase::kExecuting);
   ctl->AddRows(5);
@@ -389,7 +389,7 @@ TEST_P(CancelMidStreamTest, CancelStopsTheStreamAndDrainsTasks) {
   env.ctx.max_query_dop = param.dop;
 
   QueryRegistry registry;
-  auto ctl = registry.Register(1, "test", "join");
+  auto ctl = registry.Register(1, 0, "test", "join");
   env.ctx.exec = ctl.get();
   env.ctx.exec_owner = ctl;
 
@@ -479,7 +479,7 @@ TEST(CancelMidStreamTest, CancelLandsWithinOneBatchAtDop8) {
   env.ctx.batch_size = 4;
 
   QueryRegistry registry;
-  auto ctl = registry.Register(1, "test", "join-small-batch");
+  auto ctl = registry.Register(1, 0, "test", "join-small-batch");
   env.ctx.exec = ctl.get();
   env.ctx.exec_owner = ctl;
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -424,19 +425,34 @@ class TimelineE2ETest : public ::testing::Test {
   std::shared_ptr<relational::Database> billing_db;
 };
 
-TEST_F(TimelineE2ETest, ProfiledSpansCarryTimestampsAndLanes) {
-  // Under heavy machine load the driving thread can claim every prefetch
-  // task inline before a starved pool worker dequeues it, collapsing the
-  // trace onto lane 0. That is legitimate runtime behavior, so retry a
-  // few times until a worker lane shows up.
+// Lane assertions need a span to actually execute on a pool worker, and a
+// cold ObservedCostModel makes that racy: AdvisePrefetchDepth() returns 1
+// with no split observations, so PPkJoinOp::Refill enqueues exactly one
+// fetch and immediately Wait()s on it — and Task::Wait work-steals, so the
+// driving thread claims every fetch inline and the whole trace collapses
+// onto lane 0. Pinning ppk_prefetch_depth = 2 removes the race: each
+// inline-stolen fetch sleeps ~1ms of modeled source latency while the
+// second queued fetch sits available to a parked worker, so a worker lane
+// is registered on the first profiled run — no retry needed.
+class TimelineLaneTest : public TimelineE2ETest {
+ protected:
+  TimelineLaneTest()
+      : TimelineE2ETest([] {
+          server::ServerOptions options;
+          options.ppk_prefetch_depth = 2;
+          return options;
+        }()) {}
+};
+
+TEST_F(TimelineLaneTest, ProfiledSpansCarryTimestampsAndLanes) {
+  // Warm-up gate: prove a pool worker is scheduled and dequeuing before
+  // the profiled run. Task::WaitFor never work-steals, so the no-op task
+  // below can only complete on a worker thread.
+  auto gate = platform.worker_pool().Submit([] {});
+  ASSERT_TRUE(gate.WaitFor(std::chrono::seconds(30)))
+      << "worker pool never scheduled a task";
+
   auto prof = platform.ExecuteProfiled(kCrossJoin);
-  for (int attempt = 0; attempt < 10; ++attempt) {
-    if (prof.ok() && prof->trace->has_timeline() &&
-        prof->trace->BuildTimeline().lanes.size() >= 2) {
-      break;
-    }
-    prof = platform.ExecuteProfiled(kCrossJoin);
-  }
   ASSERT_TRUE(prof.ok()) << prof.status().ToString();
   ASSERT_TRUE(prof->trace->has_timeline());
 
