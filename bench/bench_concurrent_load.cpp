@@ -1,0 +1,159 @@
+// Concurrent-load harness: captures a mixed workload (point lookups with
+// varied literals, a cross-source join, an aggregate, two tenants) into
+// the server's workload journal, then replays it closed-loop through
+// ReplayWorkload at increasing simulated-client counts. Each level
+// reports throughput and exact p50/p95/p99/p999 latency — the offered
+// load adapts to the service rate, so the level sweep shows where added
+// concurrency stops buying throughput and starts buying tail latency.
+// Results land in BENCH_concurrent_load.json. --smoke shrinks the data
+// set, client levels and op counts for CI gates.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "examples/example_env.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace aldsp;
+
+bool g_smoke = false;
+
+struct LevelRow {
+  int clients = 0;
+  observability::ReplayReport report;
+};
+
+// The capture phase: every statement shape the replay will round-robin.
+// Literal variety keeps the plan cache honest (one statement fingerprint,
+// several cache entries) and the two principals exercise the per-tenant
+// attribution path under load.
+int RunCaptureWorkload(server::DataServicePlatform& aldsp, int customers) {
+  int ops = 0;
+  for (int i = 1; i <= 8; ++i) {
+    char cid[16];
+    std::snprintf(cid, sizeof(cid), "CUST%03d", 1 + (i * 7) % customers);
+    std::string q = "for $c in ns3:CUSTOMER() where $c/CID eq \"" +
+                    std::string(cid) + "\" return fn:data($c/LAST_NAME)";
+    if (auto r = aldsp.Execute(q); !r.ok()) return -1;
+    ++ops;
+  }
+  const std::string join =
+      "for $c in ns3:CUSTOMER(), $cc in ns2:CREDIT_CARD() "
+      "where $c/CID eq $cc/CID "
+      "return <CO>{fn:data($c/CID)}{fn:data($cc/LIMIT_AMT)}</CO>";
+  for (int i = 0; i < 2; ++i) {
+    if (auto r = aldsp.Execute(join); !r.ok()) return -1;
+    ++ops;
+  }
+  security::Principal alpha{"alpha", {"support"}};
+  security::Principal beta{"beta", {"support"}};
+  for (int i = 0; i < 2; ++i) {
+    if (auto r = aldsp.ExecuteAs("fn:count(ns3:ORDER())", alpha); !r.ok()) {
+      return -1;
+    }
+    ++ops;
+    if (auto r = aldsp.ExecuteAs("fn:count(ns2:CREDIT_CARD())", beta);
+        !r.ok()) {
+      return -1;
+    }
+    ++ops;
+  }
+  return ops;
+}
+
+void WriteJson(const std::vector<LevelRow>& rows, int customers,
+               int capture_ops) {
+  const char* path = "BENCH_concurrent_load.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"concurrent_load\",\"smoke\":%s,"
+               "\"customers\":%d,\"capture_ops\":%d,\"rows\":[",
+               g_smoke ? "true" : "false", customers, capture_ops);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const observability::ReplayReport& r = rows[i].report;
+    std::fprintf(
+        f,
+        "%s{\"clients\":%d,\"ops\":%lld,\"wall_ms\":%.1f,"
+        "\"throughput_qps\":%.1f,\"mean_us\":%lld,\"p50_us\":%lld,"
+        "\"p95_us\":%lld,\"p99_us\":%lld,\"p999_us\":%lld,\"max_us\":%lld,"
+        "\"errors\":%lld,\"fingerprint_mismatches\":%lld,"
+        "\"plan_changes\":%lld}",
+        i == 0 ? "" : ",", rows[i].clients, static_cast<long long>(r.ops),
+        static_cast<double>(r.wall_micros) / 1000.0, r.throughput_qps,
+        static_cast<long long>(r.mean_micros),
+        static_cast<long long>(r.p50_micros),
+        static_cast<long long>(r.p95_micros),
+        static_cast<long long>(r.p99_micros),
+        static_cast<long long>(r.p999_micros),
+        static_cast<long long>(r.max_micros),
+        static_cast<long long>(r.errors),
+        static_cast<long long>(r.fingerprint_mismatches),
+        static_cast<long long>(r.plan_changes));
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("concurrent load grid written to %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Plain main: accept --smoke, ignore google-benchmark flags the bench
+  // runner passes to every target.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  const int customers = g_smoke ? 30 : 60;
+  const std::vector<int> client_levels =
+      g_smoke ? std::vector<int>{2, 8} : std::vector<int>{4, 32, 256};
+  const int64_t total_ops = g_smoke ? 60 : 900;
+
+  server::DataServicePlatform aldsp;
+  examples::WireRunningExample(aldsp, customers);
+
+  const int capture_ops = RunCaptureWorkload(aldsp, customers);
+  if (capture_ops < 0) {
+    std::fprintf(stderr, "bench: capture workload failed\n");
+    return 1;
+  }
+  const std::vector<observability::WorkloadJournalEntry> entries =
+      aldsp.workload_journal().Records();
+  std::printf("captured %d ops (%zu journal entries)\n", capture_ops,
+              entries.size());
+
+  std::vector<LevelRow> rows;
+  for (int clients : client_levels) {
+    observability::ReplayOptions opts;
+    opts.mode = observability::ReplayOptions::Mode::kClosedLoop;
+    opts.clients = clients;
+    opts.total_ops = total_ops;
+    LevelRow row;
+    row.clients = clients;
+    row.report = aldsp.ReplayWorkload(entries, opts);
+    const observability::ReplayReport& r = row.report;
+    std::printf(
+        "clients=%-4d ops=%lld  %8.1f qps  p50=%lldus p99=%lldus "
+        "p999=%lldus  errors=%lld mismatches=%lld\n",
+        clients, static_cast<long long>(r.ops), r.throughput_qps,
+        static_cast<long long>(r.p50_micros),
+        static_cast<long long>(r.p99_micros),
+        static_cast<long long>(r.p999_micros),
+        static_cast<long long>(r.errors),
+        static_cast<long long>(r.fingerprint_mismatches));
+    if (r.errors > 0 || r.fingerprint_mismatches > 0) {
+      std::fprintf(stderr, "bench: replay reported errors or mismatches\n");
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+  WriteJson(rows, customers, capture_ops);
+  return 0;
+}

@@ -8,12 +8,17 @@
 //      and the cancel shows up in the audit logs and per-tenant counters,
 //   4. the plan lifecycle plane: per-statement plan-version history with
 //      compile-trigger attribution, plus the regression sentinel's event
-//      ring (empty here — every statement keeps its first plan).
+//      ring (empty here — every statement keeps its first plan),
+//   5. workload capture & replay: the journal that recorded the workload
+//      above is exported to JSONL, imported back, and replayed open-loop
+//      at 2x the captured rate with a per-statement comparison report.
 //
 // With --json, stdout carries a single JSON document combining the
-// StatStatements, LiveQueries, PlanHistory and PlanRegressions exports
-// (so it pipes cleanly into `python3 -m json.tool`); the narration goes
-// to stderr.
+// StatStatements, LiveQueries, PlanHistory, PlanRegressions, workload
+// journal and replay-report exports (so it pipes cleanly into
+// `python3 -m json.tool`); the narration goes to stderr. --prom prints
+// the Prometheus text exposition of the metrics snapshot to stdout;
+// --journal prints the workload journal JSONL export to stdout.
 
 #include <cstdio>
 #include <cstring>
@@ -26,7 +31,9 @@ using namespace aldsp;
 
 int main(int argc, char** argv) {
   const bool json_mode = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-  FILE* out = json_mode ? stderr : stdout;
+  const bool prom_mode = argc > 1 && std::strcmp(argv[1], "--prom") == 0;
+  const bool journal_mode = argc > 1 && std::strcmp(argv[1], "--journal") == 0;
+  FILE* out = (json_mode || prom_mode || journal_mode) ? stderr : stdout;
 
   server::DataServicePlatform aldsp;
   examples::WireRunningExample(aldsp, /*customers=*/60);
@@ -93,13 +100,40 @@ int main(int argc, char** argv) {
                  audit.back().outcome.c_str());
   }
 
+  // --- 5. Workload capture -> export -> import -> replay ----------------
+  const std::string jsonl = aldsp.WorkloadJournalJsonl();
+  std::fprintf(out, "\n== workload journal (captured above) ==\n%s",
+               aldsp.WorkloadJournalText().c_str());
+  auto imported = observability::WorkloadJournal::ParseJsonl(jsonl);
+  observability::ReplayReport replay;
+  if (imported.ok()) {
+    observability::ReplayOptions ropts;
+    ropts.mode = observability::ReplayOptions::Mode::kOpenLoop;
+    ropts.speed = 2.0;  // replay the capture at twice the recorded rate
+    ropts.clients = 2;
+    replay = aldsp.ReplayWorkload(*imported, ropts);
+    std::fprintf(out, "\n== replay at 2x (from the JSONL export) ==\n%s",
+                 replay.RenderText().c_str());
+  } else {
+    std::fprintf(stderr, "journal import failed: %s\n",
+                 imported.status().ToString().c_str());
+    return 1;
+  }
+
   if (json_mode) {
     std::string doc = "{\"stat_statements\":" + aldsp.StatStatementsJson(10) +
                       ",\"live_queries\":" + aldsp.LiveQueriesJson() +
                       ",\"plan_history\":" + aldsp.PlanHistoryJson() +
                       ",\"plan_regressions\":" + aldsp.PlanRegressionsJson() +
-                      "}";
+                      ",\"workload_journal\":" + aldsp.WorkloadJournalJson() +
+                      ",\"replay\":" + replay.RenderJson() + "}";
     std::fprintf(stdout, "%s\n", doc.c_str());
+  }
+  if (prom_mode) {
+    std::fprintf(stdout, "%s", aldsp.MetricsPrometheusText().c_str());
+  }
+  if (journal_mode) {
+    std::fprintf(stdout, "%s", jsonl.c_str());
   }
   return st.code() == StatusCode::kCancelled ? 0 : 1;
 }

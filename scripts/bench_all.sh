@@ -15,6 +15,7 @@ benches=(
   "bench_observability_overhead:BENCH_observability_overhead.json"
   "bench_parallel_scaling:BENCH_parallel_scaling.json"
   "bench_batch_width:BENCH_batch_width.json"
+  "bench_concurrent_load:BENCH_concurrent_load.json"
 )
 
 echo "== bench_all: build =="

@@ -97,6 +97,53 @@ PYEOF
 # a real JSON parser. The benchmark self-checks byte-identical output at
 # every width; a workload that fails the check emits no rows, which the
 # per-workload assertion below turns into a gate failure.
+# Prometheus exposition validation: render the demo server's metrics in
+# text exposition format and assert the shape scrapers rely on — every
+# sample line belongs to an aldsp_-prefixed family with a # TYPE header,
+# the per-tenant gauges fold into labelled families, and the source
+# histogram emits monotonic cumulative buckets ending in +Inf with
+# matching _sum/_count.
+echo "== tier-1: Prometheus exposition shape validation =="
+"$repo/build/examples/insight_demo" --prom 2>/dev/null > "$repo/build/insight_demo.prom"
+python3 - "$repo/build/insight_demo.prom" <<'PYEOF'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty exposition"
+typed = set()
+samples = 0
+hist = {}
+sample_re = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+|\+Inf)$')
+for line in lines:
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        typed.add(line.split()[2])
+        continue
+    if line.startswith("#"):
+        continue
+    m = sample_re.match(line)
+    assert m, f"malformed sample line: {line!r}"
+    name, labels = m.group(1), m.group(2) or ""
+    assert name.startswith("aldsp_"), f"unprefixed family: {line!r}"
+    family = re.sub(r'_(bucket|sum|count)$', '', name)
+    assert family in typed or name in typed, f"sample without # TYPE: {line!r}"
+    samples += 1
+    if name.endswith("_bucket"):
+        le = re.search(r'le="([^"]*)"', labels).group(1)
+        key = labels[:labels.index("le=")]
+        hist.setdefault(key, []).append((le, float(m.group(3))))
+assert samples > 0, "no samples rendered"
+assert any(n.startswith("aldsp_tenant_") for n in typed), typed
+assert "aldsp_source_latency_micros" in typed, typed
+assert "aldsp_server_in_flight" in typed, typed
+for key, buckets in hist.items():
+    assert buckets[-1][0] == "+Inf", f"{key}: buckets must end at +Inf"
+    counts = [c for _, c in buckets]
+    assert counts == sorted(counts), f"{key}: non-monotonic buckets {counts}"
+print(f"prometheus ok: {samples} samples, {len(typed)} families, "
+      f"{len(hist)} histogram series")
+PYEOF
+
 echo "== tier-1: batch width smoke sweep + JSON validation =="
 cmake --build "$repo/build" -j "$jobs" --target bench_batch_width
 (cd "$repo/build" && ./bench/bench_batch_width --smoke >/dev/null)
@@ -141,8 +188,8 @@ cmake -B "$repo/build-tsan" -S "$repo" \
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target physical_parity_test parallel_exec_test worker_pool_test \
   join_methods_test observability_test insight_plane_test \
-  batch_runtime_test plan_history_test
+  batch_runtime_test plan_history_test workload_replay_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test|plan_history_test)$'
+  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test|plan_history_test|workload_replay_test)$'
 
 echo "== all checks passed =="

@@ -42,12 +42,22 @@ std::shared_ptr<QueryControl> QueryRegistry::Register(
   total_started_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   live_[ctl->query_id] = ctl;
+  peak_live_ = std::max(peak_live_, static_cast<int64_t>(live_.size()));
+  TenantGauge& gauge = tenants_[ctl->tenant];
+  ++gauge.in_flight;
+  gauge.peak_in_flight = std::max(gauge.peak_in_flight, gauge.in_flight);
   return ctl;
 }
 
 void QueryRegistry::Unregister(uint64_t query_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  live_.erase(query_id);
+  auto it = live_.find(query_id);
+  if (it == live_.end()) return;
+  auto tenant_it = tenants_.find(it->second->tenant);
+  if (tenant_it != tenants_.end() && tenant_it->second.in_flight > 0) {
+    --tenant_it->second.in_flight;
+  }
+  live_.erase(it);
 }
 
 bool QueryRegistry::Cancel(uint64_t query_id) {
@@ -99,6 +109,17 @@ std::vector<LiveQueryInfo> QueryRegistry::Snapshot() const {
 int64_t QueryRegistry::live_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(live_.size());
+}
+
+int64_t QueryRegistry::peak_live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_live_;
+}
+
+std::map<std::string, QueryRegistry::TenantGauge> QueryRegistry::TenantGauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_;
 }
 
 std::string QueryRegistry::RenderText() const {

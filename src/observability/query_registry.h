@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -110,10 +111,24 @@ class QueryRegistry {
     return total_cancels_.load(std::memory_order_relaxed);
   }
   int64_t live_count() const;
+  /// High-water mark of concurrently live queries (server-wide).
+  int64_t peak_live() const;
+
+  /// Concurrency attribution per tenant: how many of its queries are in
+  /// flight right now and the most that ever were at once. Entries stay
+  /// after the tenant goes idle so the peak remains visible (the
+  /// admission-control plane will key quotas off exactly these gauges).
+  struct TenantGauge {
+    int64_t in_flight = 0;
+    int64_t peak_in_flight = 0;
+  };
+  std::map<std::string, TenantGauge> TenantGauges() const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<QueryControl>> live_;
+  std::map<std::string, TenantGauge> tenants_;
+  int64_t peak_live_ = 0;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> total_started_{0};
   std::atomic<int64_t> total_cancels_{0};

@@ -1,0 +1,274 @@
+#include "observability/workload_journal.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "observability/json_util.h"
+
+namespace aldsp::observability {
+
+int64_t WorkloadJournal::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WorkloadJournal::Append(WorkloadJournalEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now = NowMicros();
+  if (epoch_micros_ < 0) epoch_micros_ = now;
+  entry.seq = next_seq_++;
+  entry.offset_micros = now - epoch_micros_;
+  int64_t seq = entry.seq;
+  if (capacity_ == 0) return seq;
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(std::move(entry));
+  return seq;
+}
+
+std::vector<WorkloadJournalEntry> WorkloadJournal::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<WorkloadJournalEntry>(ring_.begin(), ring_.end());
+}
+
+int64_t WorkloadJournal::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void WorkloadJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  epoch_micros_ = -1;
+}
+
+std::string WorkloadJournal::EntryJson(const WorkloadJournalEntry& e) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%lld,\"offset_micros\":%lld,"
+                "\"statement_fingerprint\":\"%llu\","
+                "\"plan_fingerprint\":\"%llu\",",
+                static_cast<long long>(e.seq),
+                static_cast<long long>(e.offset_micros),
+                static_cast<unsigned long long>(e.statement_fingerprint),
+                static_cast<unsigned long long>(e.plan_fingerprint));
+  out += buf;
+  out += "\"text\":";
+  AppendJsonString(&out, e.text);
+  out += ",\"principal\":";
+  AppendJsonString(&out, e.principal);
+  out += ",\"outcome\":";
+  AppendJsonString(&out, e.outcome);
+  std::snprintf(buf, sizeof(buf),
+                ",\"wall_micros\":%lld,\"rows\":%lld,\"peak_bytes\":%lld}",
+                static_cast<long long>(e.wall_micros),
+                static_cast<long long>(e.rows),
+                static_cast<long long>(e.peak_bytes));
+  out += buf;
+  return out;
+}
+
+std::string WorkloadJournal::RenderJsonl(
+    const std::vector<WorkloadJournalEntry>& entries) {
+  std::string out;
+  for (const WorkloadJournalEntry& e : entries) {
+    out += EntryJson(e);
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal parser for the flat JSON objects EntryJson emits: string,
+/// integer and quoted-integer values only, no nesting. Returns false on
+/// malformed input; unknown keys are skipped so the format can grow.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view line) : s_(line) {}
+
+  bool ParseObject(WorkloadJournalEntry* out) {
+    SkipWs();
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key, sval;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '"') {
+        if (!ParseString(&sval)) return false;
+        Assign(*out, key, sval, /*quoted=*/true);
+      } else {
+        size_t start = pos_;
+        while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}') ++pos_;
+        sval = std::string(s_.substr(start, pos_ - start));
+        Assign(*out, key, sval, /*quoted=*/false);
+      }
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The escaper only emits \u00XX for control characters, so a
+          // one-byte reconstruction round-trips our own exports.
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  static void Assign(WorkloadJournalEntry& e, const std::string& key,
+                     const std::string& val, bool quoted) {
+    auto as_i64 = [&]() { return std::strtoll(val.c_str(), nullptr, 10); };
+    auto as_u64 = [&]() { return std::strtoull(val.c_str(), nullptr, 10); };
+    if (key == "seq") e.seq = as_i64();
+    else if (key == "offset_micros") e.offset_micros = as_i64();
+    else if (key == "statement_fingerprint") e.statement_fingerprint = as_u64();
+    else if (key == "plan_fingerprint") e.plan_fingerprint = as_u64();
+    else if (key == "text" && quoted) e.text = val;
+    else if (key == "principal" && quoted) e.principal = val;
+    else if (key == "outcome" && quoted) e.outcome = val;
+    else if (key == "wall_micros") e.wall_micros = as_i64();
+    else if (key == "rows") e.rows = as_i64();
+    else if (key == "peak_bytes") e.peak_bytes = as_i64();
+    // Unknown keys: skipped.
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<WorkloadJournalEntry>> WorkloadJournal::ParseJsonl(
+    const std::string& jsonl) {
+  std::vector<WorkloadJournalEntry> out;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    std::string_view line(jsonl.data() + start, end - start);
+    start = end + 1;
+    ++line_no;
+    // Skip blank lines so a trailing newline or hand-edited file imports.
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    WorkloadJournalEntry entry;
+    FlatJsonParser parser(line);
+    if (!parser.ParseObject(&entry)) {
+      return Status::InvalidArgument("workload journal import: malformed line " +
+                                     std::to_string(line_no));
+    }
+    if (entry.text.empty()) {
+      return Status::InvalidArgument(
+          "workload journal import: line " + std::to_string(line_no) +
+          " has no statement text");
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string WorkloadJournal::RenderText(
+    const std::vector<WorkloadJournalEntry>& entries) {
+  std::ostringstream os;
+  os << "workload journal: " << entries.size() << " entr"
+     << (entries.size() == 1 ? "y" : "ies") << "\n";
+  for (const WorkloadJournalEntry& e : entries) {
+    os << "  #" << e.seq << " +" << e.offset_micros / 1000 << "ms"
+       << " stmt_fp=" << e.statement_fingerprint
+       << " plan_fp=" << e.plan_fingerprint
+       << " tenant=" << (e.principal.empty() ? "(anonymous)" : e.principal)
+       << " " << e.outcome << " wall=" << e.wall_micros << "us rows=" << e.rows;
+    if (e.peak_bytes > 0) os << " peak_bytes=" << e.peak_bytes;
+    std::string head = e.text.substr(0, 72);
+    for (char& c : head) {
+      if (c == '\n' || c == '\t') c = ' ';
+    }
+    os << "  " << head << "\n";
+  }
+  return os.str();
+}
+
+std::string WorkloadJournal::RenderJson(
+    const std::vector<WorkloadJournalEntry>& entries, int64_t total_appended,
+    size_t capacity) {
+  std::string out = "{\"total_appended\":" + std::to_string(total_appended);
+  out += ",\"capacity\":" + std::to_string(capacity);
+  out += ",\"retained\":" + std::to_string(entries.size());
+  out += ",\"entries\":[";
+  bool first = true;
+  for (const WorkloadJournalEntry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += EntryJson(e);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace aldsp::observability

@@ -1,0 +1,87 @@
+#ifndef ALDSP_OBSERVABILITY_WORKLOAD_JOURNAL_H_
+#define ALDSP_OBSERVABILITY_WORKLOAD_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aldsp::observability {
+
+/// One captured server execution: everything a replay driver needs to
+/// re-issue the statement against a live server and compare the result
+/// against the capture. `text` is the verbatim statement (replay needs
+/// it to hit the same plan-cache entry); identity is carried by the two
+/// fingerprints (literal-stripped statement hash + optimized-plan hash)
+/// so the replay can verify it compiled the *same statement into the
+/// same plan shape* rather than diffing query strings.
+struct WorkloadJournalEntry {
+  int64_t seq = 0;            // assigned by the journal
+  /// Arrival offset from the journal epoch (micros). An open-loop replay
+  /// re-issues the statement at `offset_micros / speed` after its own
+  /// epoch, reproducing the captured arrival process.
+  int64_t offset_micros = 0;
+  uint64_t statement_fingerprint = 0;
+  uint64_t plan_fingerprint = 0;
+  std::string text;       // verbatim statement text
+  std::string principal;  // tenant attribution ("" = anonymous)
+  std::string outcome;    // "ok" or the failing status code name
+  int64_t wall_micros = 0;
+  int64_t rows = 0;
+  int64_t peak_bytes = 0;
+};
+
+/// Bounded ring of captured executions (the workload capture plane).
+/// Appends are a short mutex hold — one struct move, no rendering — so
+/// the capture cost on the Execute hot path stays within the counters
+/// overhead budget; all rendering happens against a snapshot copy.
+///
+/// The epoch is the steady-clock instant of the first append after
+/// construction or Clear(), so offsets start near zero and survive a
+/// JSONL round trip unchanged.
+class WorkloadJournal {
+ public:
+  explicit WorkloadJournal(size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Stamps `entry.seq` and `entry.offset_micros` (now - epoch) and
+  /// appends, evicting the oldest entry when full. Returns the sequence.
+  int64_t Append(WorkloadJournalEntry entry);
+
+  /// Oldest-to-newest copy of the retained entries.
+  std::vector<WorkloadJournalEntry> Records() const;
+  int64_t total_appended() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Drops all entries and re-arms the epoch for a fresh capture.
+  void Clear();
+
+  static std::string EntryJson(const WorkloadJournalEntry& entry);
+  /// One JSON object per line, oldest first — the export format.
+  static std::string RenderJsonl(const std::vector<WorkloadJournalEntry>& entries);
+  /// Parses a RenderJsonl export back into entries (the import side of
+  /// the capture -> export -> import -> replay round trip). Unknown keys
+  /// are ignored; a malformed line fails the whole import.
+  static Result<std::vector<WorkloadJournalEntry>> ParseJsonl(
+      const std::string& jsonl);
+
+  static std::string RenderText(const std::vector<WorkloadJournalEntry>& entries);
+  /// JSON document: {"entries":[...],"total_appended":N,...}.
+  static std::string RenderJson(const std::vector<WorkloadJournalEntry>& entries,
+                                int64_t total_appended, size_t capacity);
+
+ private:
+  int64_t NowMicros() const;
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<WorkloadJournalEntry> ring_;
+  int64_t next_seq_ = 0;
+  int64_t epoch_micros_ = -1;  // armed on first append
+};
+
+}  // namespace aldsp::observability
+
+#endif  // ALDSP_OBSERVABILITY_WORKLOAD_JOURNAL_H_

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "observability/json_util.h"
 
@@ -197,6 +199,143 @@ std::string MetricsRegistry::RenderJson(const Snapshot& snapshot) {
        << ",\"total\":" << c.total << "}";
   }
   os << "}}";
+  return os.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the
+// registry's dots, mostly) maps to '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+// Label values escape backslash, double quote and newline.
+std::string PromLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void PromHistogram(std::ostringstream& os, const std::string& family,
+                   const std::string& label,
+                   const MetricsRegistry::Histogram& h) {
+  int64_t cumulative = 0;
+  for (int i = 0; i < MetricsRegistry::Histogram::kBuckets; ++i) {
+    cumulative += h.counts[i];
+    os << family << "_bucket{" << label << ",le=\"";
+    if (i < MetricsRegistry::Histogram::kBuckets - 1) {
+      os << MetricsRegistry::Histogram::kUpperMicros[i];
+    } else {
+      os << "+Inf";
+    }
+    os << "\"} " << cumulative << "\n";
+  }
+  os << family << "_sum{" << label << "} " << h.sum_micros << "\n";
+  os << family << "_count{" << label << "} " << h.count << "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheusText(const Snapshot& snapshot) {
+  std::ostringstream os;
+
+  // Plain counters are exposed as one gauge family each; per-tenant
+  // gauges ("tenant.<tenant>.<gauge>", split at the last dot) fold into
+  // one family per gauge with a `tenant` label so a scrape sees a single
+  // aldsp_tenant_in_flight family across every tenant.
+  std::map<std::string, std::vector<std::pair<std::string, int64_t>>>
+      tenant_families;
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    const size_t last_dot = name.rfind('.');
+    if (name.rfind("tenant.", 0) == 0 && last_dot > sizeof("tenant.") - 1) {
+      const std::string tenant =
+          name.substr(sizeof("tenant.") - 1, last_dot - (sizeof("tenant.") - 1));
+      tenant_families[name.substr(last_dot + 1)].emplace_back(tenant, value);
+      continue;
+    }
+    const std::string family = "aldsp_" + PromName(name);
+    if (!first) os << "\n";
+    first = false;
+    os << "# HELP " << family << " ALDSP counter " << name << "\n";
+    os << "# TYPE " << family << " gauge\n";
+    os << family << " " << value << "\n";
+  }
+  for (const auto& [gauge, samples] : tenant_families) {
+    const std::string family = "aldsp_tenant_" + PromName(gauge);
+    os << "\n# HELP " << family << " ALDSP per-tenant gauge " << gauge << "\n";
+    os << "# TYPE " << family << " gauge\n";
+    for (const auto& [tenant, value] : samples) {
+      os << family << "{tenant=\"" << PromLabelValue(tenant) << "\"} " << value
+         << "\n";
+    }
+  }
+
+  if (!snapshot.source_latency.empty()) {
+    os << "\n# HELP aldsp_source_latency_micros Source round-trip latency\n";
+    os << "# TYPE aldsp_source_latency_micros histogram\n";
+    for (const auto& [source, h] : snapshot.source_latency) {
+      PromHistogram(os, "aldsp_source_latency_micros",
+                    "source=\"" + PromLabelValue(source) + "\"", h);
+    }
+  }
+
+  // Rolling windows and windowed counters keep the registry series name
+  // as a `series` label (dots intact) with one sample per span.
+  if (!snapshot.windows.empty()) {
+    os << "\n# HELP aldsp_window_count Rolling-window sample count\n";
+    os << "# TYPE aldsp_window_count gauge\n";
+    os << "# HELP aldsp_window_sum_micros Rolling-window sample sum\n";
+    os << "# TYPE aldsp_window_sum_micros gauge\n";
+    for (const auto& [name, w] : snapshot.windows) {
+      const std::string series = PromLabelValue(name);
+      const struct {
+        const char* span;
+        const Histogram& h;
+      } spans[] = {{"1m", w.last_1m}, {"5m", w.last_5m}, {"total", w.total}};
+      for (const auto& s : spans) {
+        os << "aldsp_window_count{series=\"" << series << "\",span=\""
+           << s.span << "\"} " << s.h.count << "\n";
+        os << "aldsp_window_sum_micros{series=\"" << series << "\",span=\""
+           << s.span << "\"} " << s.h.sum_micros << "\n";
+      }
+    }
+  }
+  if (!snapshot.windowed_counters.empty()) {
+    os << "\n# HELP aldsp_windowed_total Rolling-window counter\n";
+    os << "# TYPE aldsp_windowed_total gauge\n";
+    for (const auto& [name, c] : snapshot.windowed_counters) {
+      const std::string series = PromLabelValue(name);
+      const struct {
+        const char* span;
+        int64_t value;
+      } spans[] = {{"1m", c.last_1m}, {"5m", c.last_5m}, {"total", c.total}};
+      for (const auto& s : spans) {
+        os << "aldsp_windowed_total{series=\"" << series << "\",span=\""
+           << s.span << "\"} " << s.value << "\n";
+      }
+    }
+  }
   return os.str();
 }
 

@@ -57,6 +57,13 @@ class MetricsRegistry {
   static std::string RenderText(const Snapshot& snapshot);
   /// Machine-readable snapshot for export / BENCH_*.json artifacts.
   static std::string RenderJson(const Snapshot& snapshot);
+  /// Prometheus text exposition (version 0.0.4) over the same snapshot:
+  /// counters become `aldsp_<name>` gauges (dots to underscores),
+  /// per-tenant `tenant.<t>.<gauge>` counters fold into one family per
+  /// gauge with a `tenant` label, source histograms render as cumulative
+  /// `_bucket{le=...}` series with `_sum`/`_count`, and rolling windows /
+  /// windowed counters carry `series` + `span` labels.
+  static std::string RenderPrometheusText(const Snapshot& snapshot);
 
  private:
   int64_t NowMicrosLocked() const;

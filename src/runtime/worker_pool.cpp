@@ -75,6 +75,7 @@ void WorkerPool::WorkerLoop() {
 
 void WorkerPool::RunTask(const std::shared_ptr<TaskState>& task,
                          bool inline_run) {
+  running_.fetch_add(1, std::memory_order_relaxed);
   task->fn();
   task->fn = nullptr;  // release captures promptly
   int64_t finish = SteadyNowMicros();
@@ -86,6 +87,7 @@ void WorkerPool::RunTask(const std::shared_ptr<TaskState>& task,
   total_run_micros_.fetch_add(std::max<int64_t>(finish - start, 0),
                               std::memory_order_relaxed);
   tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  running_.fetch_sub(1, std::memory_order_relaxed);
   (inline_run ? inline_runs_ : async_runs_).fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(task->mutex);

@@ -140,8 +140,24 @@ class WorkerPool {
   /// Tasks submitted but not yet claimed by a worker or inline waiter —
   /// the queue-depth gauge the metrics snapshot polls. An atomic gauge
   /// (incremented on enqueue, decremented on claim), not a queue scan.
+  ///
+  /// Inline-steal audit: Submit increments after enqueue; the single
+  /// decrement lives inside Claim's successful CAS, which is the one
+  /// gate both a worker and an inline-stealing Task::Wait must pass. A
+  /// worker that pops a task Wait already claimed loses the CAS and
+  /// never touches the gauge, so a stolen task is decremented exactly
+  /// once and the gauge returns to zero after a drain. The only way the
+  /// gauge rests above zero is tasks abandoned unclaimed at pool
+  /// destruction, which drops them unrun by design.
   int64_t queue_depth() const {
     return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Tasks currently executing a body on any thread (worker or inline
+  /// waiter). With queue_depth this gives the saturation picture the
+  /// metrics snapshot exposes: running/size is how busy the pool is,
+  /// queue_depth is how much work is waiting behind it.
+  int64_t running_tasks() const {
+    return running_.load(std::memory_order_relaxed);
   }
   /// Counters for tests: completions on pool threads vs claimed inline
   /// by a waiter.
@@ -190,6 +206,7 @@ class WorkerPool {
   bool stop_ = false;
   std::vector<std::thread> threads_;
   std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> running_{0};
   std::atomic<int64_t> async_runs_{0};
   std::atomic<int64_t> inline_runs_{0};
   std::atomic<int64_t> tasks_completed_{0};

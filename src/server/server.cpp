@@ -59,6 +59,8 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
           options_.plan_history_statements, options_.plan_history_versions,
           options_.plan_regression_min_calls, options_.plan_regression_ratio,
           options_.plan_regression_capacity}),
+      workload_journal_(options_.workload_journal_capacity),
+      workload_capture_(options_.workload_capture),
       pool_(options_.worker_pool_size) {
   ctx_.functions = &functions_;
   ctx_.adaptors = &adaptors_;
@@ -468,6 +470,21 @@ void DataServicePlatform::FinishObservation(
   record.security_denials = security_denials;
   exec_audit_.Append(std::move(record));
 
+  // Workload capture: the replay driver needs the verbatim text plus the
+  // identity fingerprints; everything else is the comparison baseline.
+  if (workload_capture_.load(std::memory_order_relaxed)) {
+    observability::WorkloadJournalEntry capture;
+    capture.statement_fingerprint = plan.statement_fingerprint;
+    capture.plan_fingerprint = plan.fingerprint;
+    capture.text = plan.text;
+    capture.principal = principal;
+    capture.outcome = outcome.ok() ? "ok" : StatusCodeName(outcome.code());
+    capture.wall_micros = wall_micros;
+    capture.rows = rows;
+    capture.peak_bytes = peak_bytes;
+    workload_journal_.Append(std::move(capture));
+  }
+
   if (options_.slow_query_threshold_micros <= 0 ||
       wall_micros < options_.slow_query_threshold_micros) {
     return;
@@ -524,6 +541,7 @@ DataServicePlatform::RegisterExecution(const CompiledPlan& plan,
 Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
     const CompiledPlan& plan, bool plan_cache_hit,
     const security::Principal* principal) {
+  const int64_t arrival_micros = NowMicros();
   std::shared_ptr<runtime::QueryTrace> trace = MakeObservedTrace(plan);
   if (trace == nullptr) {
     // Observability disabled: the bare execution path.
@@ -542,6 +560,12 @@ Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
   ctx.exec = ctl.get();
   ctx.exec_owner = ctl;
   int64_t t0 = NowMicros();
+  // Admission wait: arrival at the execution surface to evaluation start.
+  // Near zero today (registration and trace setup only) — this window is
+  // the slot an admission-control gate in front of Evaluate will inflate,
+  // so dashboards built on it need no change when queueing appears.
+  metrics_.RecordWindowed("admission.wait_micros",
+                          std::max<int64_t>(0, t0 - arrival_micros));
   Result<xml::Sequence> result = runtime::Evaluate(*plan.plan, ctx);
   int64_t security_denials = 0;
   if (result.ok() && principal != nullptr) {
@@ -788,6 +812,14 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
                       static_cast<int64_t>(function_cache_.size()));
   metrics_.SetCounter("worker_pool.size", pool_.size());
   metrics_.SetCounter("worker_pool.queue_depth", pool_.queue_depth());
+  metrics_.SetCounter("worker_pool.running", pool_.running_tasks());
+  // Saturation: running tasks as a percentage of pool threads. Can read
+  // above 100 when inline-stealing waiters run tasks on their own
+  // threads — that is the interesting overload signal, not an error.
+  metrics_.SetCounter("worker_pool.saturation_pct",
+                      pool_.size() > 0
+                          ? 100 * pool_.running_tasks() / pool_.size()
+                          : 0);
   metrics_.SetCounter("worker_pool.tasks_completed", pool_.tasks_completed());
   metrics_.SetCounter("worker_pool.queue_wait_micros",
                       pool_.total_queue_wait_micros());
@@ -800,6 +832,17 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
                       query_registry_.total_started());
   metrics_.SetCounter("query_registry.cancel_requests",
                       query_registry_.total_cancel_requests());
+  // Concurrency plane: server-wide and per-tenant in-flight gauges with
+  // high-water marks, fed by the live-query registry.
+  metrics_.SetCounter("server.in_flight", query_registry_.live_count());
+  metrics_.SetCounter("server.peak_in_flight", query_registry_.peak_live());
+  for (const auto& [tenant, gauge] : query_registry_.TenantGauges()) {
+    metrics_.SetCounter("tenant." + tenant + ".in_flight", gauge.in_flight);
+    metrics_.SetCounter("tenant." + tenant + ".peak_in_flight",
+                        gauge.peak_in_flight);
+  }
+  metrics_.SetCounter("workload_journal.records",
+                      workload_journal_.total_appended());
   metrics_.SetCounter("stat_statements.entries",
                       stat_statements_.entry_count());
   metrics_.SetCounter("stat_statements.evictions",
@@ -857,6 +900,67 @@ bool DataServicePlatform::CancelQuery(uint64_t query_id) {
   return found;
 }
 
+std::string DataServicePlatform::WorkloadJournalText() {
+  return observability::WorkloadJournal::RenderText(
+      workload_journal_.Records());
+}
+
+std::string DataServicePlatform::WorkloadJournalJson() {
+  return observability::WorkloadJournal::RenderJson(
+      workload_journal_.Records(), workload_journal_.total_appended(),
+      workload_journal_.capacity());
+}
+
+std::string DataServicePlatform::WorkloadJournalJsonl() {
+  return observability::WorkloadJournal::RenderJsonl(
+      workload_journal_.Records());
+}
+
+observability::ReplayReport DataServicePlatform::ReplayWorkload(
+    const std::vector<observability::WorkloadJournalEntry>& entries,
+    const observability::ReplayOptions& options) {
+  // Suspend capture for the duration: a replay measuring the server must
+  // not also append itself to the journal it may be replayed from.
+  const bool was_capturing = workload_capture();
+  SetWorkloadCapture(false);
+  observability::ReplayDriver driver(
+      entries, [this](const observability::WorkloadJournalEntry& entry) {
+        observability::ReplayExecution exec;
+        bool cache_hit = false;
+        Result<std::shared_ptr<const CompiledPlan>> plan =
+            Prepare(entry.text, &cache_hit);
+        if (!plan.ok()) {
+          exec.outcome = StatusCodeName(plan.status().code());
+          return exec;
+        }
+        exec.statement_fingerprint = (*plan)->statement_fingerprint;
+        exec.plan_fingerprint = (*plan)->fingerprint;
+        // Replay under the captured principal so per-tenant attribution
+        // and element-level security behave as they did at capture time
+        // (roles are not captured, so function ACLs — which key on roles
+        // — may refuse what the original run was allowed).
+        security::Principal principal;
+        principal.user = entry.principal;
+        const bool as_principal =
+            !entry.principal.empty() && entry.principal != "(anonymous)";
+        Result<xml::Sequence> result = ExecuteObserved(
+            **plan, cache_hit, as_principal ? &principal : nullptr);
+        exec.ok = result.ok();
+        exec.outcome =
+            result.ok() ? "ok" : StatusCodeName(result.status().code());
+        exec.rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
+        return exec;
+      });
+  observability::ReplayReport report = driver.Run(options);
+  SetWorkloadCapture(was_capturing);
+  audit_.Record("workload_replay", "",
+                "ops=" + std::to_string(report.ops) +
+                    " errors=" + std::to_string(report.errors) +
+                    " stmt_mismatches=" +
+                    std::to_string(report.fingerprint_mismatches));
+  return report;
+}
+
 std::string DataServicePlatform::AuditLog() {
   return observability::ExecutionAuditLog::RenderJsonl(exec_audit_.Records());
 }
@@ -900,6 +1004,10 @@ std::string DataServicePlatform::MetricsText() {
 
 std::string DataServicePlatform::MetricsJson() {
   return runtime::MetricsRegistry::RenderJson(MetricsSnapshot());
+}
+
+std::string DataServicePlatform::MetricsPrometheusText() {
+  return runtime::MetricsRegistry::RenderPrometheusText(MetricsSnapshot());
 }
 
 void DataServicePlatform::ClearPlanCache() {

@@ -1,6 +1,7 @@
 #ifndef ALDSP_SERVER_SERVER_H_
 #define ALDSP_SERVER_SERVER_H_
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -14,9 +15,11 @@
 #include "observability/audit_log.h"
 #include "observability/plan_history.h"
 #include "observability/query_registry.h"
+#include "observability/replay.h"
 #include "observability/slow_query_log.h"
 #include "observability/source_health.h"
 #include "observability/stat_statements.h"
+#include "observability/workload_journal.h"
 #include "optimizer/optimizer.h"
 #include "runtime/context.h"
 #include "runtime/evaluator.h"
@@ -100,6 +103,13 @@ struct ServerOptions {
   /// Distinct statements tracked by the cumulative statement statistics;
   /// the least expensive entry is evicted on overflow.
   size_t stat_statements_capacity = 512;
+  /// Retained workload-journal entries (bounded ring): every observed
+  /// Execute* is recorded for later JSONL export and replay.
+  size_t workload_journal_capacity = 4096;
+  /// Capture executions into the workload journal. Flipped off during
+  /// ReplayWorkload so a replay does not journal itself; also togglable
+  /// at runtime via SetWorkloadCapture.
+  bool workload_capture = true;
 
   // ----- Plan lifecycle plane ------------------------------------------
 
@@ -282,6 +292,10 @@ class DataServicePlatform {
   /// The always-on metrics export API (counters, source histograms,
   /// rolling windows, windowed cache-hit counters, pool gauges).
   std::string MetricsSnapshotJson() { return MetricsJson(); }
+  /// The same snapshot in Prometheus text exposition format, for scrape
+  /// endpoints (per-tenant gauges as labelled families, source latency
+  /// as cumulative `le` buckets).
+  std::string MetricsPrometheusText();
 
   // ----- Always-on observability plane ---------------------------------
 
@@ -347,6 +361,39 @@ class DataServicePlatform {
   std::string PlanRegressionsJson();
 
   observability::PlanHistory& plan_history() { return plan_history_; }
+
+  // ----- Workload capture & replay plane --------------------------------
+
+  /// The captured workload: every observed Execute* lands in a bounded
+  /// journal (statement + plan fingerprint, text, principal, arrival
+  /// offset, wall micros, rows, peak bytes, outcome). Text / JSON
+  /// renderings, and the JSONL export that WorkloadJournal::ParseJsonl
+  /// round-trips for capture-on-one-server, replay-on-another.
+  std::string WorkloadJournalText();
+  std::string WorkloadJournalJson();
+  std::string WorkloadJournalJsonl();
+
+  /// Re-runs a captured workload against this server in open loop
+  /// (recorded arrival offsets, scaled by options.speed) or closed loop
+  /// (options.clients simulated clients). Capture is suspended for the
+  /// duration so the replay does not journal itself. The report carries
+  /// throughput, exact p50/p99/p999 latency, and the per-statement
+  /// comparison vs the captured baseline with fingerprint verification.
+  observability::ReplayReport ReplayWorkload(
+      const std::vector<observability::WorkloadJournalEntry>& entries,
+      const observability::ReplayOptions& options);
+
+  /// Runtime toggle for journal capture (see options().workload_capture).
+  void SetWorkloadCapture(bool on) {
+    workload_capture_.store(on, std::memory_order_relaxed);
+  }
+  bool workload_capture() const {
+    return workload_capture_.load(std::memory_order_relaxed);
+  }
+
+  observability::WorkloadJournal& workload_journal() {
+    return workload_journal_;
+  }
 
   // ----- Introspection of internals (tests, benchmarks, console) ------
 
@@ -423,6 +470,8 @@ class DataServicePlatform {
   observability::QueryRegistry query_registry_;
   observability::StatStatements stat_statements_;
   observability::PlanHistory plan_history_;
+  observability::WorkloadJournal workload_journal_;
+  std::atomic<bool> workload_capture_{true};
   service::ServiceCatalog services_;
   std::shared_ptr<adaptors::FileAdaptor> file_adaptor_;  // lazily created
 

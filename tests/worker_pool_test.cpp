@@ -167,6 +167,27 @@ TEST(WorkerPoolTest, QueueDepthGaugeTracksEnqueueAndClaim) {
   EXPECT_EQ(pool.queue_depth(), 0);
 }
 
+TEST(WorkerPoolTest, GaugesRestAtZeroAfterDrain) {
+  // Audit regression for the inline-steal path: Submit is the only
+  // increment and Claim's winning CAS the only decrement, so no mix of
+  // worker pops and stealing waiters may leave queue_depth (or the
+  // running gauge) off zero once every task has completed. Runs under
+  // TSan via scripts/check.sh; a double decrement shows up here as -N.
+  WorkerPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<WorkerPool::Task> tasks;
+    for (int i = 0; i < 32; ++i) {
+      tasks.push_back(pool.Submit([] {}));
+    }
+    // Wait in reverse so the caller steals tasks the workers are racing
+    // to pop — the contended claim path both sides must synchronize on.
+    for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) it->Wait();
+    EXPECT_EQ(pool.queue_depth(), 0) << "round " << round;
+    EXPECT_EQ(pool.running_tasks(), 0) << "round " << round;
+  }
+  EXPECT_EQ(pool.async_runs() + pool.inline_runs(), 20 * 32);
+}
+
 TEST(WorkerPoolTest, TasksRecordQueueWaitAndRunTime) {
   WorkerPool pool(1);
   std::mutex mu;
