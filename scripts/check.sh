@@ -166,6 +166,39 @@ for r in rows:
 print(f"batch width ok: {len(rows)} rows over {len(workloads)} workloads")
 PYEOF
 
+# Concurrent-load validation: replay a captured workload through the
+# admission gate at several client counts on a shrunk data set (--smoke)
+# and round-trip the emitted JSON. The bench itself exits non-zero on
+# replay errors, fingerprint mismatches or a gate that fails to drain;
+# the assertions below additionally pin the shape the perf tracking and
+# the mixed-workload isolation claim rely on.
+echo "== tier-1: concurrent load smoke sweep + JSON validation =="
+cmake --build "$repo/build" -j "$jobs" --target bench_concurrent_load
+(cd "$repo/build" && ./bench/bench_concurrent_load --smoke >/dev/null)
+python3 -m json.tool "$repo/build/BENCH_concurrent_load.json" >/dev/null
+python3 - "$repo/build/BENCH_concurrent_load.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "concurrent_load", doc
+assert doc["max_concurrent_queries"] >= 1, doc
+rows = doc["rows"]
+assert rows, "no client-level rows emitted"
+for r in rows:
+    assert r["clients"] >= 1 and r["ops"] > 0, r
+    assert r["errors"] == 0 and r["fingerprint_mismatches"] == 0, r
+    # The gate must fully drain after every level.
+    assert r["drain_queue_depth"] == 0 and r["drain_running"] == 0, r
+    assert r["admitted"] >= r["ops"], r
+queued = [r for r in rows if r["clients"] > doc["max_concurrent_queries"]]
+assert any(r["admission_queued"] > 0 for r in queued), \
+    "oversubscribed levels never queued: gate not engaging"
+mixed = doc["mixed"]
+assert mixed["lookup_ops"] > 0 and mixed["analytics_ops"] > 0, mixed
+assert mixed["isolated_lookup_p99_us"] > 0, mixed
+print(f"concurrent load ok: {len(rows)} levels, "
+      f"mixed p99 ratio {mixed['ratio']:.2f}")
+PYEOF
+
 echo "== tier-1: ASan/UBSan build + ctest =="
 cmake -B "$repo/build-asan" -S "$repo" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -188,8 +221,8 @@ cmake -B "$repo/build-tsan" -S "$repo" \
 cmake --build "$repo/build-tsan" -j "$jobs" \
   --target physical_parity_test parallel_exec_test worker_pool_test \
   join_methods_test observability_test insight_plane_test \
-  batch_runtime_test plan_history_test workload_replay_test
+  batch_runtime_test plan_history_test workload_replay_test admission_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test|plan_history_test|workload_replay_test)$'
+  -R '^(physical_parity_test|parallel_exec_test|worker_pool_test|join_methods_test|observability_test|insight_plane_test|batch_runtime_test|plan_history_test|workload_replay_test|admission_test)$'
 
 echo "== all checks passed =="

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kSecurityError:
       return "SecurityError";
     case StatusCode::kUpdateError:

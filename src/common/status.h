@@ -19,6 +19,10 @@ enum class StatusCode {
   kSourceError,       // Data source (adaptor) failure.
   kTimeout,           // Evaluation exceeded a deadline (fn-bea:timeout).
   kCancelled,         // Query cancelled via the live query registry.
+  kResourceExhausted, // Refused or stopped by admission control / budgets:
+                      // queue overflow, queue-wait timeout, or a per-query
+                      // memory-budget breach. Distinct from kRuntimeError so
+                      // dashboards and replay can tell shed load from bugs.
   kSecurityError,     // Access denied.
   kUpdateError,       // Update decomposition / propagation failure.
   kConcurrencyError,  // Optimistic concurrency check failed at submit time.
@@ -63,6 +67,9 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
   static Status SecurityError(std::string m) {
     return Status(StatusCode::kSecurityError, std::move(m));

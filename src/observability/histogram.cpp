@@ -28,8 +28,16 @@ void LatencyHistogram::Record(int64_t micros) {
 }
 
 int64_t LatencyHistogram::P95UpperMicros() const {
-  if (count == 0) return 0;
-  const int64_t rank = (count * 95 + 99) / 100;  // ceil(0.95 * count), 1-based
+  return PercentileUpperMicros(0.95);
+}
+
+int64_t LatencyHistogram::PercentileUpperMicros(double q) const {
+  if (count == 0 || q <= 0.0) return 0;
+  if (q > 1.0) q = 1.0;
+  // ceil(q * count), 1-based, computed in integers to keep the rank exact
+  // for the permille quantiles the admission plane reports.
+  const int64_t permille = static_cast<int64_t>(q * 1000.0 + 0.5);
+  const int64_t rank = (count * permille + 999) / 1000;
   int64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += counts[i];

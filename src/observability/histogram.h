@@ -22,9 +22,12 @@ struct LatencyHistogram {
 
   void Record(int64_t micros);
   void Merge(const LatencyHistogram& other);
-  /// Conservative p95 estimate: the upper bound of the bucket holding the
-  /// ceil(0.95*count)-th sample, clamped to the observed max (exact for
-  /// the overflow bucket and single-sample histograms). 0 when empty.
+  /// Conservative percentile estimate for quantile `q` in (0, 1]: the
+  /// upper bound of the bucket holding the ceil(q*count)-th sample,
+  /// clamped to the observed max (exact for the overflow bucket and
+  /// single-sample histograms). 0 when empty.
+  int64_t PercentileUpperMicros(double q) const;
+  /// Conservative p95 estimate (PercentileUpperMicros(0.95)).
   int64_t P95UpperMicros() const;
   void Reset() { *this = LatencyHistogram{}; }
   double MeanMicros() const {

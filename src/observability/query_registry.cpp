@@ -19,6 +19,8 @@ const char* QueryPhaseName(QueryPhase phase) {
   switch (phase) {
     case QueryPhase::kCompiling:
       return "compiling";
+    case QueryPhase::kQueued:
+      return "queued";
     case QueryPhase::kExecuting:
       return "executing";
     case QueryPhase::kSecurityFilter:
@@ -96,6 +98,10 @@ std::vector<LiveQueryInfo> QueryRegistry::Snapshot() const {
         static_cast<QueryPhase>(ctl->phase.load(std::memory_order_relaxed));
     info.rows_produced = ctl->rows_produced.load(std::memory_order_relaxed);
     info.peak_bytes = ctl->peak_bytes.load(std::memory_order_relaxed);
+    info.memory_budget_bytes =
+        ctl->memory_budget_bytes.load(std::memory_order_relaxed);
+    info.budget_breached =
+        ctl->budget_breached.load(std::memory_order_relaxed);
     info.cancel_requested = ctl->cancelled.load(std::memory_order_relaxed);
     out.push_back(std::move(info));
   }
@@ -133,7 +139,11 @@ std::string QueryRegistry::RenderText() const {
     out += " phase=" + std::string(QueryPhaseName(q.phase));
     out += " rows=" + std::to_string(q.rows_produced);
     out += " peak_bytes=" + std::to_string(q.peak_bytes);
+    if (q.memory_budget_bytes > 0) {
+      out += " budget_bytes=" + std::to_string(q.memory_budget_bytes);
+    }
     out += " elapsed_ms=" + std::to_string(q.elapsed_micros / 1000);
+    if (q.budget_breached) out += " BUDGET-BREACHED";
     if (q.cancel_requested) out += " CANCELLING";
     out += "  " + q.query_head + "\n";
   }
@@ -163,6 +173,9 @@ std::string QueryRegistry::RenderJson() const {
     out += ",\"elapsed_micros\":" + std::to_string(q.elapsed_micros);
     out += ",\"rows_produced\":" + std::to_string(q.rows_produced);
     out += ",\"peak_bytes\":" + std::to_string(q.peak_bytes);
+    out += ",\"memory_budget_bytes\":" + std::to_string(q.memory_budget_bytes);
+    out += ",\"budget_breached\":";
+    out += q.budget_breached ? "true" : "false";
     out += ",\"cancel_requested\":";
     out += q.cancel_requested ? "true" : "false";
     out += "}";

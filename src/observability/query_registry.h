@@ -16,6 +16,10 @@ namespace aldsp::observability {
 /// so phase transitions are a single relaxed store.
 enum class QueryPhase : int {
   kCompiling = 0,
+  /// Waiting in an admission-control lane for a concurrency slot. Queued
+  /// queries are registered (visible in LiveQueries*, cancellable) before
+  /// they hold any execution resources.
+  kQueued,
   kExecuting,
   kSecurityFilter,
   kFinishing,
@@ -44,9 +48,22 @@ struct QueryControl {
   std::atomic<int> phase{static_cast<int>(QueryPhase::kCompiling)};
   std::atomic<int64_t> rows_produced{0};
   std::atomic<int64_t> peak_bytes{0};
+  /// Per-query memory budget in bytes (0 = unlimited), set by the server
+  /// at admission. NotePeakBytes flips `budget_breached` when the peak
+  /// crosses it; the runtime's cancellation funnel turns that flag into a
+  /// kResourceExhausted failure at the next cooperative poll, so a breach
+  /// fails fast instead of letting the operator keep materializing.
+  std::atomic<int64_t> memory_budget_bytes{0};
+  std::atomic<bool> budget_breached{false};
 
   bool IsCancelled() const {
     return cancelled.load(std::memory_order_relaxed);
+  }
+  bool BudgetBreached() const {
+    return budget_breached.load(std::memory_order_relaxed);
+  }
+  void SetMemoryBudget(int64_t bytes) {
+    memory_budget_bytes.store(bytes, std::memory_order_relaxed);
   }
   void SetPhase(QueryPhase p) {
     phase.store(static_cast<int>(p), std::memory_order_relaxed);
@@ -54,11 +71,16 @@ struct QueryControl {
   void AddRows(int64_t n) {
     rows_produced.fetch_add(n, std::memory_order_relaxed);
   }
-  /// CAS-max, mirroring RuntimeStats::NotePeakBytes.
+  /// CAS-max, mirroring RuntimeStats::NotePeakBytes; also trips the
+  /// budget-breached flag when a budget is set and exceeded.
   void NotePeakBytes(int64_t bytes) {
     int64_t prev = peak_bytes.load(std::memory_order_relaxed);
     while (bytes > prev && !peak_bytes.compare_exchange_weak(
                                prev, bytes, std::memory_order_relaxed)) {
+    }
+    const int64_t budget = memory_budget_bytes.load(std::memory_order_relaxed);
+    if (budget > 0 && bytes > budget) {
+      budget_breached.store(true, std::memory_order_relaxed);
     }
   }
 };
@@ -76,6 +98,8 @@ struct LiveQueryInfo {
   QueryPhase phase = QueryPhase::kCompiling;
   int64_t rows_produced = 0;
   int64_t peak_bytes = 0;
+  int64_t memory_budget_bytes = 0;  // 0 = unlimited
+  bool budget_breached = false;
   bool cancel_requested = false;
 };
 

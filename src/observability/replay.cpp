@@ -25,6 +25,7 @@ struct Sample {
   size_t entry_index = 0;
   int64_t latency_micros = 0;
   bool ok = false;
+  bool shed = false;
   bool statement_mismatch = false;
   bool plan_change = false;
 };
@@ -97,6 +98,7 @@ ReplayReport ReplayDriver::Run(const ReplayOptions& options) const {
       ReplayExecution exec = executor_(entry);
       s.latency_micros = SteadyNowMicros() - t0;
       s.ok = exec.ok;
+      s.shed = exec.shed;
       s.statement_mismatch = entry.statement_fingerprint != 0 &&
                              exec.statement_fingerprint != 0 &&
                              exec.statement_fingerprint !=
@@ -122,6 +124,7 @@ ReplayReport ReplayDriver::Run(const ReplayOptions& options) const {
     int64_t replayed_calls = 0;
     int64_t replayed_wall = 0;
     int64_t errors = 0;
+    int64_t sheds = 0;
     int64_t mismatches = 0;
     int64_t plan_changes = 0;
   };
@@ -137,7 +140,11 @@ ReplayReport ReplayDriver::Run(const ReplayOptions& options) const {
   for (const auto& local : worker_samples) {
     for (const Sample& s : local) {
       ++report.ops;
-      if (!s.ok) ++report.errors;
+      if (s.shed) {
+        ++report.sheds;
+      } else if (!s.ok) {
+        ++report.errors;
+      }
       if (s.statement_mismatch) ++report.fingerprint_mismatches;
       if (s.plan_change) ++report.plan_changes;
       latencies.push_back(s.latency_micros);
@@ -146,7 +153,11 @@ ReplayReport ReplayDriver::Run(const ReplayOptions& options) const {
           per_statement[entries_[s.entry_index].statement_fingerprint];
       ++agg.replayed_calls;
       agg.replayed_wall += s.latency_micros;
-      if (!s.ok) ++agg.errors;
+      if (s.shed) {
+        ++agg.sheds;
+      } else if (!s.ok) {
+        ++agg.errors;
+      }
       if (s.statement_mismatch) ++agg.mismatches;
       if (s.plan_change) ++agg.plan_changes;
     }
@@ -183,6 +194,7 @@ ReplayReport ReplayDriver::Run(const ReplayOptions& options) const {
                   s.replayed_calls >= options.min_calls &&
                   s.ratio >= options.ratio;
     s.errors = agg.errors;
+    s.sheds = agg.sheds;
     s.fingerprint_mismatches = agg.mismatches;
     s.plan_changes = agg.plan_changes;
     report.statements.push_back(std::move(s));
@@ -201,10 +213,11 @@ std::string ReplayReport::RenderText() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "replay: %lld ops in %.1fms  %.1f qps  errors=%lld"
-                " stmt_mismatches=%lld plan_changes=%lld\n",
+                " sheds=%lld stmt_mismatches=%lld plan_changes=%lld\n",
                 static_cast<long long>(ops),
                 static_cast<double>(wall_micros) / 1000.0, throughput_qps,
                 static_cast<long long>(errors),
+                static_cast<long long>(sheds),
                 static_cast<long long>(fingerprint_mismatches),
                 static_cast<long long>(plan_changes));
   os << buf;
@@ -239,6 +252,7 @@ std::string ReplayReport::RenderText() const {
 std::string ReplayReport::RenderJson() const {
   std::string out = "{\"ops\":" + std::to_string(ops);
   out += ",\"errors\":" + std::to_string(errors);
+  out += ",\"sheds\":" + std::to_string(sheds);
   out += ",\"fingerprint_mismatches\":" + std::to_string(fingerprint_mismatches);
   out += ",\"plan_changes\":" + std::to_string(plan_changes);
   out += ",\"wall_micros\":" + std::to_string(wall_micros);
@@ -269,6 +283,7 @@ std::string ReplayReport::RenderJson() const {
     out += ",\"regressed\":";
     out += s.regressed ? "true" : "false";
     out += ",\"errors\":" + std::to_string(s.errors);
+    out += ",\"sheds\":" + std::to_string(s.sheds);
     out += ",\"fingerprint_mismatches\":" +
            std::to_string(s.fingerprint_mismatches);
     out += ",\"plan_changes\":" + std::to_string(s.plan_changes);

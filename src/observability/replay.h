@@ -18,6 +18,10 @@ namespace aldsp::observability {
 /// means the optimizer picked a different plan than the capture ran).
 struct ReplayExecution {
   bool ok = false;
+  /// The execution was refused or stopped by admission control / a memory
+  /// budget (kResourceExhausted). Counted apart from errors: shed load is
+  /// the server protecting itself, not the workload failing.
+  bool shed = false;
   std::string outcome;  // "ok" or the failing status code name
   uint64_t statement_fingerprint = 0;
   uint64_t plan_fingerprint = 0;
@@ -76,6 +80,7 @@ struct ReplayStatementReport {
   double ratio = 0.0;  // replayed mean / captured mean (0 when unknown)
   bool regressed = false;
   int64_t errors = 0;
+  int64_t sheds = 0;  // kResourceExhausted outcomes, not counted as errors
   int64_t fingerprint_mismatches = 0;  // statement identity changed
   int64_t plan_changes = 0;            // same statement, different plan
 };
@@ -83,6 +88,7 @@ struct ReplayStatementReport {
 struct ReplayReport {
   int64_t ops = 0;
   int64_t errors = 0;
+  int64_t sheds = 0;  // admission/budget refusals (kResourceExhausted)
   int64_t fingerprint_mismatches = 0;
   int64_t plan_changes = 0;
   int64_t wall_micros = 0;    // replay wall clock, first issue to last finish

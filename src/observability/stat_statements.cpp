@@ -43,6 +43,7 @@ void StatStatements::Record(const StatementSample& sample) {
   ++s.calls;
   if (sample.error) ++s.errors;
   if (sample.cancelled) ++s.cancels;
+  if (sample.shed) ++s.sheds;
   s.total_wall_micros += sample.wall_micros;
   s.wall.Record(sample.wall_micros);
   s.rows_returned += sample.rows_returned;
@@ -57,6 +58,13 @@ void StatStatements::Record(const StatementSample& sample) {
   }
   s.function_cache_hits += sample.function_cache_hits;
   s.function_cache_misses += sample.function_cache_misses;
+}
+
+int64_t StatStatements::MeanWallMicrosFor(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(key);
+  if (it == stats_.end() || it->second.wall.count == 0) return -1;
+  return static_cast<int64_t>(it->second.MeanWallMicros());
 }
 
 void StatStatements::Reset() {
@@ -104,7 +112,7 @@ std::string StatStatements::RenderText(int top_k) const {
     char line[256];
     std::snprintf(line, sizeof(line),
                   "  [%d] stmt_fp=%llu plan_fp=%llu calls=%lld errors=%lld "
-                  "cancels=%lld "
+                  "cancels=%lld sheds=%lld "
                   "total_ms=%.1f mean_ms=%.2f p95_ms<=%.1f rows=%lld "
                   "peak_bytes=%lld\n",
                   ++rank,
@@ -113,6 +121,7 @@ std::string StatStatements::RenderText(int top_k) const {
                   static_cast<long long>(s.calls),
                   static_cast<long long>(s.errors),
                   static_cast<long long>(s.cancels),
+                  static_cast<long long>(s.sheds),
                   s.total_wall_micros / 1000.0, s.MeanWallMicros() / 1000.0,
                   s.P95WallMicrosEstimate() / 1000.0,
                   static_cast<long long>(s.rows_returned),
@@ -152,6 +161,7 @@ std::string StatStatements::RenderJson(int top_k) const {
     out += ",\"calls\":" + std::to_string(s.calls);
     out += ",\"errors\":" + std::to_string(s.errors);
     out += ",\"cancels\":" + std::to_string(s.cancels);
+    out += ",\"sheds\":" + std::to_string(s.sheds);
     out += ",\"total_wall_micros\":" + std::to_string(s.total_wall_micros);
     out += ",\"mean_wall_micros\":" +
            std::to_string(static_cast<int64_t>(s.MeanWallMicros()));

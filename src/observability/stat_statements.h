@@ -23,6 +23,10 @@ struct StatementSample {
   std::string query_head;  // stored on first sight of a fingerprint
   bool error = false;
   bool cancelled = false;
+  /// Refused by admission control or stopped by a memory-budget breach
+  /// (StatusCode::kResourceExhausted). Counted separately from errors so
+  /// shed load under overload does not read as a correctness problem.
+  bool shed = false;
   int64_t wall_micros = 0;
   int64_t rows_returned = 0;
   int64_t peak_bytes = 0;
@@ -47,6 +51,7 @@ struct StatementStats {
   int64_t calls = 0;
   int64_t errors = 0;
   int64_t cancels = 0;
+  int64_t sheds = 0;  // kResourceExhausted outcomes (admission / budget)
   int64_t total_wall_micros = 0;
   LatencyHistogram wall;  // mean + bucket-estimated p95
   int64_t rows_returned = 0;
@@ -77,6 +82,12 @@ class StatStatements {
 
   void Record(const StatementSample& sample);
   void Reset();
+
+  /// Mean wall micros of the entry keyed by `key` (statement fingerprint,
+  /// or plan fingerprint for legacy samples), or -1 when unknown. The
+  /// admission controller's cost-estimate lookup: one map find under the
+  /// mutex, cheap enough for the execute front door.
+  int64_t MeanWallMicrosFor(uint64_t key) const;
 
   /// Entries ordered by descending total wall time; top_k <= 0 returns all.
   std::vector<StatementStats> TopK(int top_k) const;

@@ -24,10 +24,25 @@ class WorkerPool;
 /// runtime — operator Next/NextBatch, exchange chunk workers, the PP-k
 /// block fetcher, external-function invocation — funnels through here so
 /// the cancelled status (and its message) stays identical everywhere.
-/// One relaxed atomic load when a control block is wired; free otherwise.
+/// Two relaxed atomic loads when a control block is wired; free otherwise.
+/// A memory-budget breach (flagged by QueryControl::NotePeakBytes when a
+/// blocking operator's materialization crosses the per-query budget) fails
+/// here with kResourceExhausted: same cooperative stop as a cancel, so the
+/// query tears down through the normal Close/CancelAndWait paths and can
+/// never return a partial result.
 inline Status CheckCancelled(const observability::QueryControl* exec) {
-  if (exec != nullptr && exec->IsCancelled()) {
+  if (exec == nullptr) return Status::OK();
+  if (exec->IsCancelled()) {
     return Status::Cancelled("query cancelled");
+  }
+  if (exec->BudgetBreached()) {
+    return Status::ResourceExhausted(
+        "query memory budget exceeded (budget=" +
+        std::to_string(
+            exec->memory_budget_bytes.load(std::memory_order_relaxed)) +
+        " bytes, peak=" +
+        std::to_string(exec->peak_bytes.load(std::memory_order_relaxed)) +
+        " bytes)");
   }
   return Status::OK();
 }

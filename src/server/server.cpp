@@ -61,6 +61,11 @@ DataServicePlatform::DataServicePlatform(ServerOptions options)
           options_.plan_regression_capacity}),
       workload_journal_(options_.workload_journal_capacity),
       workload_capture_(options_.workload_capture),
+      admission_(AdmissionOptions{
+          options_.max_concurrent_queries, options_.max_concurrent_analytics,
+          options_.admission_queue_depth,
+          options_.admission_queue_timeout_micros,
+          options_.analytics_threshold_micros, options_.tenant_weights}),
       pool_(options_.worker_pool_size) {
   ctx_.functions = &functions_;
   ctx_.adaptors = &adaptors_;
@@ -375,6 +380,9 @@ void DataServicePlatform::FinishObservation(
   }
 
   const bool cancelled = outcome.code() == StatusCode::kCancelled;
+  // Shed by admission control or stopped by a memory budget: tracked as
+  // its own outcome everywhere — overload protection is not a bug.
+  const bool shed = outcome.code() == StatusCode::kResourceExhausted;
   const int64_t peak_bytes =
       ctl == nullptr ? 0 : ctl->peak_bytes.load(std::memory_order_relaxed);
 
@@ -383,8 +391,9 @@ void DataServicePlatform::FinishObservation(
   sample.fingerprint = plan.fingerprint;
   sample.statement_fingerprint = plan.statement_fingerprint;
   sample.query_head = plan.text.substr(0, 120);
-  sample.error = !outcome.ok() && !cancelled;
+  sample.error = !outcome.ok() && !cancelled && !shed;
   sample.cancelled = cancelled;
+  sample.shed = shed;
   sample.wall_micros = wall_micros;
   sample.rows_returned = rows;
   sample.peak_bytes = peak_bytes;
@@ -435,6 +444,7 @@ void DataServicePlatform::FinishObservation(
   metrics_.AddWindowedCounter("tenant." + tenant + ".queries");
   if (sample.error) metrics_.AddWindowedCounter("tenant." + tenant + ".errors");
   if (cancelled) metrics_.AddWindowedCounter("tenant." + tenant + ".cancels");
+  if (shed) metrics_.AddWindowedCounter("tenant." + tenant + ".sheds");
   metrics_.RecordWindowed("tenant." + tenant + ".wall_micros", wall_micros);
   metrics_.RecordWindowed("tenant." + tenant + ".source_wait_micros",
                           source_wait);
@@ -534,8 +544,68 @@ DataServicePlatform::RegisterExecution(const CompiledPlan& plan,
       principal != nullptr && !principal->user.empty() ? principal->user
                                                        : "(anonymous)",
       plan.text.substr(0, 120));
+  ctl->SetMemoryBudget(options_.query_memory_budget_bytes);
   ctl->SetPhase(observability::QueryPhase::kExecuting);
   return ctl;
+}
+
+QueryClass DataServicePlatform::ClassifyStatement(
+    const CompiledPlan& plan) const {
+  const uint64_t key = plan.statement_fingerprint != 0
+                           ? plan.statement_fingerprint
+                           : plan.fingerprint;
+  int64_t mean = stat_statements_.MeanWallMicrosFor(key);
+  if (mean < 0 && plan.statement_fingerprint != 0) {
+    // No cumulative stats yet (fresh server, or the entry was evicted):
+    // fall back to the plan-history latency baseline of the active
+    // version.
+    std::optional<observability::StatementHistory> history =
+        plan_history_.Statement(plan.statement_fingerprint);
+    if (history.has_value() && !history->versions.empty()) {
+      const observability::PlanVersion& v = history->versions.back();
+      if (v.calls > 0) mean = static_cast<int64_t>(v.wall.MeanMicros());
+    }
+  }
+  return mean >= admission_.options().analytics_threshold_micros
+             ? QueryClass::kAnalytics
+             : QueryClass::kInteractive;
+}
+
+AdmissionController::Ticket DataServicePlatform::AdmitExecution(
+    const CompiledPlan& plan, const security::Principal* principal,
+    observability::QueryControl* ctl) {
+  AdmissionController::Ticket ticket;
+  if (!admission_.enabled()) return ticket;
+  const std::string tenant =
+      principal != nullptr && !principal->user.empty() ? principal->user
+                                                       : "(anonymous)";
+  const QueryClass cls = ClassifyStatement(plan);
+  // Queued queries are already registered: they show in LiveQueries* with
+  // phase "queued" and a CancelQuery against them unblocks the wait.
+  if (ctl != nullptr) ctl->SetPhase(observability::QueryPhase::kQueued);
+  ticket = admission_.Admit(tenant, cls, ctl);
+  if (ticket.status.ok() && ctl != nullptr) {
+    ctl->SetPhase(observability::QueryPhase::kExecuting);
+  }
+  return ticket;
+}
+
+void DataServicePlatform::RecordRefusal(const CompiledPlan& plan,
+                                        bool plan_cache_hit,
+                                        const Status& refusal,
+                                        const security::Principal* principal,
+                                        int64_t wait_micros) {
+  const std::string user = principal != nullptr ? principal->user : "";
+  audit_.Record("admission", user,
+                std::string(StatusCodeName(refusal.code())) + ": " +
+                    refusal.message());
+  if (!options_.always_on_observability) return;
+  // Mirror the function-ACL denial path: the refused execution still gets
+  // an audit record, a (shed-aware) statement sample and a journal entry,
+  // with zero rows and the queue wait as its wall time.
+  runtime::QueryTrace none(runtime::QueryTrace::Mode::kCounters);
+  FinishObservation(plan, plan_cache_hit, none, refusal, /*rows=*/0,
+                    /*bytes=*/0, wait_micros, user, /*security_denials=*/0);
 }
 
 Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
@@ -544,13 +614,32 @@ Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
   const int64_t arrival_micros = NowMicros();
   std::shared_ptr<runtime::QueryTrace> trace = MakeObservedTrace(plan);
   if (trace == nullptr) {
-    // Observability disabled: the bare execution path.
+    // Observability disabled: the bare execution path still passes the
+    // admission gate (without a registry control block, so queued waits
+    // are not cancellable and budgets are not enforced here).
+    AdmissionController::Ticket bare_ticket =
+        AdmitExecution(plan, principal, nullptr);
+    if (!bare_ticket.status.ok()) return bare_ticket.status;
     Result<xml::Sequence> bare = runtime::Evaluate(*plan.plan, ctx_);
+    admission_.Release(bare_ticket.cls);
     if (!bare.ok() || principal == nullptr) return bare;
     return access_control_.FilterResult(*principal, *bare, &audit_);
   }
   std::shared_ptr<observability::QueryControl> ctl =
       RegisterExecution(plan, principal);
+  // The concurrent serving plane's front door: classify against the
+  // statement's cost history and wait for a slot in this tenant's
+  // weighted-fair lane. A shed (queue full / queue timeout) or a cancel
+  // while queued refuses the execution before it holds any runtime
+  // resources — kResourceExhausted / kCancelled, never partial results.
+  AdmissionController::Ticket ticket =
+      AdmitExecution(plan, principal, ctl.get());
+  if (!ticket.status.ok()) {
+    RecordRefusal(plan, plan_cache_hit, ticket.status, principal,
+                  ticket.wait_micros);
+    if (ctl) query_registry_.Unregister(ctl->query_id);
+    return ticket.status;
+  }
   // A context copy carries the trace; trace_owner keeps it alive for any
   // evaluation a fn-bea:timeout abandons on a pool thread. The control
   // block rides along the same way (exec/exec_owner).
@@ -561,12 +650,14 @@ Result<xml::Sequence> DataServicePlatform::ExecuteObserved(
   ctx.exec_owner = ctl;
   int64_t t0 = NowMicros();
   // Admission wait: arrival at the execution surface to evaluation start.
-  // Near zero today (registration and trace setup only) — this window is
-  // the slot an admission-control gate in front of Evaluate will inflate,
-  // so dashboards built on it need no change when queueing appears.
+  // With admission control off this is registration/trace setup only
+  // (near zero); with it on, time queued in the fair lanes lands here, so
+  // dashboards built on this window needed no change when queueing
+  // appeared.
   metrics_.RecordWindowed("admission.wait_micros",
                           std::max<int64_t>(0, t0 - arrival_micros));
   Result<xml::Sequence> result = runtime::Evaluate(*plan.plan, ctx);
+  admission_.Release(ticket.cls);
   int64_t security_denials = 0;
   if (result.ok() && principal != nullptr) {
     if (ctl) ctl->SetPhase(observability::QueryPhase::kSecurityFilter);
@@ -655,10 +746,22 @@ Status DataServicePlatform::ExecuteStream(
   // keep them stateless).
   std::shared_ptr<runtime::QueryTrace> trace = MakeObservedTrace(*plan);
   if (trace == nullptr) {
-    return runtime::EvaluateStream(*plan->plan, ctx_, sink);
+    AdmissionController::Ticket bare_ticket =
+        AdmitExecution(*plan, nullptr, nullptr);
+    if (!bare_ticket.status.ok()) return bare_ticket.status;
+    Status bare = runtime::EvaluateStream(*plan->plan, ctx_, sink);
+    admission_.Release(bare_ticket.cls);
+    return bare;
   }
   std::shared_ptr<observability::QueryControl> ctl =
       RegisterExecution(*plan, nullptr);
+  AdmissionController::Ticket ticket = AdmitExecution(*plan, nullptr, ctl.get());
+  if (!ticket.status.ok()) {
+    RecordRefusal(*plan, cache_hit, ticket.status, nullptr,
+                  ticket.wait_micros);
+    if (ctl) query_registry_.Unregister(ctl->query_id);
+    return ticket.status;
+  }
   runtime::RuntimeContext ctx = ctx_;
   ctx.trace = trace.get();
   ctx.trace_owner = trace;
@@ -672,6 +775,7 @@ Status DataServicePlatform::ExecuteStream(
   int64_t t0 = NowMicros();
   Status st = runtime::EvaluateStream(*plan->plan, ctx, counting_sink);
   int64_t wall = NowMicros() - t0;
+  admission_.Release(ticket.cls);
   if (ctl) ctl->SetPhase(observability::QueryPhase::kFinishing);
   if (trace->keeps_events()) {
     trace->FeedObservedCost(&observed_);
@@ -700,6 +804,22 @@ Result<std::string> DataServicePlatform::Explain(const std::string& query) {
   ALDSP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPlan> plan,
                          Prepare(query));
   std::string out = RenderPlanText(*plan, PlanBuildOptions(ctx_));
+  // Serving-plane line: what the admission gate would do with this
+  // statement right now, and the memory budget the execution runs under.
+  if (admission_.enabled() || options_.query_memory_budget_bytes > 0) {
+    out += "admission:";
+    if (admission_.enabled()) {
+      out += " class=";
+      out += QueryClassName(ClassifyStatement(*plan));
+      out += " max_concurrent=" +
+             std::to_string(admission_.options().max_concurrent_queries);
+    }
+    if (options_.query_memory_budget_bytes > 0) {
+      out += " memory_budget_bytes=" +
+             std::to_string(options_.query_memory_budget_bytes);
+    }
+    out += "\n";
+  }
   std::vector<observability::SourceHealthSnapshot> health =
       health_.GetSnapshot(NowMicros());
   if (!health.empty()) out += RenderSourceHealthText(health);
@@ -735,6 +855,14 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
   // any evaluation a fn-bea:timeout abandons on a pool thread.
   std::shared_ptr<observability::QueryControl> ctl =
       RegisterExecution(*plan, nullptr);
+  AdmissionController::Ticket ticket =
+      AdmitExecution(*plan, nullptr, ctl.get());
+  if (!ticket.status.ok()) {
+    RecordRefusal(*plan, cache_hit, ticket.status, nullptr,
+                  ticket.wait_micros);
+    if (ctl) query_registry_.Unregister(ctl->query_id);
+    return ticket.status;
+  }
   runtime::RuntimeContext ctx = ctx_;
   ctx.trace = out.trace.get();
   ctx.trace_owner = out.trace;
@@ -749,6 +877,7 @@ Result<ProfiledExecution> DataServicePlatform::ExecuteProfiled(
   int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+  admission_.Release(ticket.cls);
   int64_t rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
   out.trace->AddSpanMetrics(root, rows, micros);
   out.trace->EndSpan(root);
@@ -813,13 +942,20 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
   metrics_.SetCounter("worker_pool.size", pool_.size());
   metrics_.SetCounter("worker_pool.queue_depth", pool_.queue_depth());
   metrics_.SetCounter("worker_pool.running", pool_.running_tasks());
-  // Saturation: running tasks as a percentage of pool threads. Can read
-  // above 100 when inline-stealing waiters run tasks on their own
-  // threads — that is the interesting overload signal, not an error.
-  metrics_.SetCounter("worker_pool.saturation_pct",
-                      pool_.size() > 0
-                          ? 100 * pool_.running_tasks() / pool_.size()
-                          : 0);
+  // Saturation: running tasks as a percentage of pool threads, clamped to
+  // [0, 100] so it reads as a utilization gauge. Inline-stealing waiters
+  // running tasks on their own threads can push raw occupancy past the
+  // pool size — that overload signal is reported separately as
+  // oversubscription_pct (the share *beyond* 100).
+  {
+    const int64_t raw_pct = pool_.size() > 0
+                                ? 100 * pool_.running_tasks() / pool_.size()
+                                : 0;
+    metrics_.SetCounter("worker_pool.saturation_pct",
+                        std::min<int64_t>(100, raw_pct));
+    metrics_.SetCounter("worker_pool.oversubscription_pct",
+                        std::max<int64_t>(0, raw_pct - 100));
+  }
   metrics_.SetCounter("worker_pool.tasks_completed", pool_.tasks_completed());
   metrics_.SetCounter("worker_pool.queue_wait_micros",
                       pool_.total_queue_wait_micros());
@@ -840,6 +976,36 @@ runtime::MetricsRegistry::Snapshot DataServicePlatform::MetricsSnapshot() {
     metrics_.SetCounter("tenant." + tenant + ".in_flight", gauge.in_flight);
     metrics_.SetCounter("tenant." + tenant + ".peak_in_flight",
                         gauge.peak_in_flight);
+  }
+  // Concurrent serving plane: the admission gate's gauges and shed
+  // counters, plus per-tenant quota counters (admitted/queued/shed per
+  // lane). Exported even when disabled so dashboards see zeros, not
+  // missing series.
+  {
+    AdmissionSnapshot adm = admission_.Snapshot();
+    metrics_.SetCounter("admission.enabled", adm.enabled ? 1 : 0);
+    metrics_.SetCounter("admission.max_concurrent",
+                        adm.max_concurrent_queries);
+    metrics_.SetCounter("admission.running", adm.running);
+    metrics_.SetCounter("admission.analytics_running", adm.analytics_running);
+    metrics_.SetCounter("admission.depth", adm.queue_depth);
+    metrics_.SetCounter("admission.admitted", adm.admitted);
+    metrics_.SetCounter("admission.admitted_interactive",
+                        adm.admitted_interactive);
+    metrics_.SetCounter("admission.admitted_analytics",
+                        adm.admitted_analytics);
+    metrics_.SetCounter("admission.queued", adm.queued);
+    metrics_.SetCounter("admission.shed",
+                        adm.shed_queue_full + adm.shed_timeout);
+    metrics_.SetCounter("admission.shed_queue_full", adm.shed_queue_full);
+    metrics_.SetCounter("admission.shed_timeout", adm.shed_timeout);
+    metrics_.SetCounter("admission.cancelled_while_queued",
+                        adm.cancelled_while_queued);
+    for (const auto& [tenant, t] : adm.tenants) {
+      metrics_.SetCounter("tenant." + tenant + ".admitted", t.admitted);
+      metrics_.SetCounter("tenant." + tenant + ".admission_queued", t.queued);
+      metrics_.SetCounter("tenant." + tenant + ".admission_shed", t.shed);
+    }
   }
   metrics_.SetCounter("workload_journal.records",
                       workload_journal_.total_appended());
@@ -946,6 +1112,8 @@ observability::ReplayReport DataServicePlatform::ReplayWorkload(
         Result<xml::Sequence> result = ExecuteObserved(
             **plan, cache_hit, as_principal ? &principal : nullptr);
         exec.ok = result.ok();
+        exec.shed = !result.ok() &&
+                    result.status().code() == StatusCode::kResourceExhausted;
         exec.outcome =
             result.ok() ? "ok" : StatusCodeName(result.status().code());
         exec.rows = result.ok() ? static_cast<int64_t>(result->size()) : 0;
@@ -956,6 +1124,7 @@ observability::ReplayReport DataServicePlatform::ReplayWorkload(
   audit_.Record("workload_replay", "",
                 "ops=" + std::to_string(report.ops) +
                     " errors=" + std::to_string(report.errors) +
+                    " sheds=" + std::to_string(report.sheds) +
                     " stmt_mismatches=" +
                     std::to_string(report.fingerprint_mismatches));
   return report;

@@ -25,6 +25,7 @@
 #include "runtime/evaluator.h"
 #include "runtime/worker_pool.h"
 #include "security/security.h"
+#include "server/admission.h"
 #include "service/data_service.h"
 #include "service/introspect.h"
 #include "sql/pushdown.h"
@@ -127,6 +128,39 @@ struct ServerOptions {
   double plan_regression_ratio = 1.5;
   /// Retained plan_regression events (bounded ring).
   size_t plan_regression_capacity = 64;
+
+  // ----- Concurrent serving plane (admission control) -------------------
+
+  /// Executions allowed to run concurrently; arrivals beyond this wait in
+  /// per-tenant weighted-fair lanes at the execution front door. 0 (the
+  /// default) disables admission control entirely — every Execute* runs
+  /// immediately, the pre-admission behavior. On a machine with few cores
+  /// a small value (~4) tames the tail: 256 clients queue at the door in
+  /// microsecond-cheap lanes instead of oversubscribing the scheduler.
+  int max_concurrent_queries = 0;
+  /// Of those slots, how many analytics-class executions may hold at
+  /// once; 0 auto-sizes to max(1, max_concurrent_queries - 1) so one slot
+  /// always stays reachable for point lookups.
+  int max_concurrent_analytics = 0;
+  /// Queued executions beyond which arrivals are shed immediately with
+  /// kResourceExhausted.
+  int admission_queue_depth = 1024;
+  /// Longest an execution waits in its lane before being shed with
+  /// kResourceExhausted; <= 0 waits without a deadline.
+  int64_t admission_queue_timeout_micros = 2'000'000;
+  /// Statements whose observed mean wall time (stat_statements, falling
+  /// back to the plan-history baseline) reaches this are classified as
+  /// analytics at the admission gate; unknown statements default to
+  /// interactive.
+  int64_t analytics_threshold_micros = 25'000;
+  /// Relative admission shares per tenant under contention (absent = 1.0).
+  std::map<std::string, double> tenant_weights;
+  /// Per-query memory budget: a single blocking operator materializing
+  /// more than this many bytes fails the query fast with
+  /// kResourceExhausted at the next cooperative poll. 0 = unlimited.
+  /// Enforced through the existing QueryControl::NotePeakBytes watermark,
+  /// surfaced in EXPLAIN and the live-query registry.
+  int64_t query_memory_budget_bytes = 0;
 };
 
 /// The result of ExecuteProfiled: the materialized result plus the plan
@@ -344,6 +378,13 @@ class DataServicePlatform {
   observability::StatStatements& stat_statements() { return stat_statements_; }
   observability::QueryRegistry& query_registry() { return query_registry_; }
 
+  // ----- Concurrent serving plane (admission control) ------------------
+
+  /// Admission gate state: slots, lanes, shed counters, wait histogram.
+  std::string AdmissionText() { return admission_.Snapshot().RenderText(); }
+  std::string AdmissionJson() { return admission_.Snapshot().RenderJson(); }
+  AdmissionController& admission() { return admission_; }
+
   // ----- Plan lifecycle plane ------------------------------------------
 
   /// Per-statement plan-version history: every plan fingerprint a
@@ -445,6 +486,30 @@ class DataServicePlatform {
   std::shared_ptr<observability::QueryControl> RegisterExecution(
       const CompiledPlan& plan, const security::Principal* principal);
 
+  /// Priority class for the admission gate, from the statement's observed
+  /// cost history: stat_statements mean wall time first, plan-history
+  /// latency baseline as fallback. No history => interactive (a statement
+  /// earns the analytics class with its first slow executions).
+  QueryClass ClassifyStatement(const CompiledPlan& plan) const;
+
+  /// Front-door gate shared by every execution surface: classifies,
+  /// admits (possibly queueing in the caller's lane, possibly shedding
+  /// with kResourceExhausted), stamps phases/budget on `ctl`, and records
+  /// the real admission wait into the admission.wait_micros window. An OK
+  /// ticket holds a slot the caller must Release via the returned ticket.
+  AdmissionController::Ticket AdmitExecution(
+      const CompiledPlan& plan, const security::Principal* principal,
+      observability::QueryControl* ctl);
+
+  /// Observability bookkeeping for a refused execution (admission shed or
+  /// cancel-while-queued): audit record, shed-aware statement sample,
+  /// journal capture — all with zero rows and a counters-mode dummy
+  /// trace, mirroring the function-ACL denial path.
+  void RecordRefusal(const CompiledPlan& plan, bool plan_cache_hit,
+                     const Status& refusal,
+                     const security::Principal* principal,
+                     int64_t wait_micros);
+
   /// The shared materialized execution path: attaches the observability
   /// plane, evaluates, applies element-level security when `principal`
   /// is non-null, and records the audit record.
@@ -472,6 +537,7 @@ class DataServicePlatform {
   observability::PlanHistory plan_history_;
   observability::WorkloadJournal workload_journal_;
   std::atomic<bool> workload_capture_{true};
+  AdmissionController admission_;
   service::ServiceCatalog services_;
   std::shared_ptr<adaptors::FileAdaptor> file_adaptor_;  // lazily created
 
